@@ -1,0 +1,99 @@
+// Ablation E8: reactive vs. proactive QoS management (Section 10 iv).
+//
+// The competing load ramps up gradually. In the reactive configuration the
+// manager only reacts once the frame rate has already left the policy band;
+// in the proactive configuration a TrendMonitor extrapolates the frame-rate
+// trend and notifies the manager of *predicted* violations while the stream
+// still complies, so the boost lands earlier. The table compares seconds of
+// degraded playback.
+#include <cstdio>
+
+#include "apps/testbed.hpp"
+#include "instrument/proactive.hpp"
+
+using namespace softqos;
+
+namespace {
+
+struct Result {
+  double degradedSeconds = 0;   // measured fps below the band's lower edge
+  std::uint64_t predictions = 0;
+  double meanFps = 0;
+};
+
+Result run(bool proactive, std::uint64_t seed) {
+  apps::TestbedConfig config;
+  config.seed = seed;
+  apps::Testbed bed(config);
+  bed.startVideo();
+
+  std::unique_ptr<instrument::TrendMonitor> monitor;
+  if (proactive) {
+    instrument::Sensor* fps = bed.video->registry().sensor("fps_sensor");
+    instrument::Sensor* buffer = bed.video->registry().sensor("buffer_sensor");
+    monitor = std::make_unique<instrument::TrendMonitor>(
+        bed.sim, *fps, policy::PolicyCmp::kGt, 25.0,
+        instrument::TrendMonitor::Config{},
+        [&bed, fps, buffer](double current, double predicted) {
+          // Hand the prediction to the host manager as a report carrying the
+          // predicted metric; the proactive-boost rule picks it up.
+          instrument::ViolationReport r;
+          r.policyId = "NotifyQoSViolation";
+          r.pid = bed.video->clientPid();
+          r.hostName = bed.clientHost.name();
+          r.executable = "VideoApplication";
+          r.violated = true;
+          r.metrics = {{"frame_rate", current},
+                       {"predicted_frame_rate", predicted},
+                       {"buffer_size", static_cast<double>(
+                                           buffer->currentValue())}};
+          bed.clientHost.msgQueue("qos-host-manager").send(r.serialize());
+          (void)fps;
+        });
+    monitor->start();
+  }
+
+  // Ramp: +2 competing workers at t=10, t=15, t=20 (final load ~6).
+  bed.sim.runUntil(sim::sec(10));
+  Result result;
+  int measured = 0;
+  for (int second = 10; second < 50; ++second) {
+    if (second == 10 || second == 15 || second == 20) {
+      bed.clientLoad.setWorkers(bed.clientLoad.workers() + 2);
+    }
+    const double fps = bed.measureFps(sim::sec(1));
+    result.meanFps += fps;
+    ++measured;
+    if (fps < 25.0) result.degradedSeconds += 1.0;
+  }
+  result.meanFps /= measured;
+  if (monitor != nullptr) result.predictions = monitor->predictionsFired();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E8: reactive vs proactive management under a ramping load\n");
+  std::printf("%-12s %18s %12s %12s\n", "mode", "degraded sec/40", "mean fps",
+              "predictions");
+  for (const bool proactive : {false, true}) {
+    double degraded = 0;
+    double fps = 0;
+    std::uint64_t predictions = 0;
+    constexpr int kTrials = 5;
+    for (int t = 0; t < kTrials; ++t) {
+      const Result r = run(proactive, 900 + static_cast<std::uint64_t>(t));
+      degraded += r.degradedSeconds / kTrials;
+      fps += r.meanFps / kTrials;
+      predictions += r.predictions;
+    }
+    std::printf("%-12s %18.1f %12.1f %12llu\n",
+                proactive ? "proactive" : "reactive", degraded, fps,
+                static_cast<unsigned long long>(predictions));
+  }
+  std::printf("\nExpected: the proactive configuration spends fewer seconds "
+              "below the band\n(the boost lands before the violation "
+              "materializes — Section 10 iv).\n");
+  return 0;
+}

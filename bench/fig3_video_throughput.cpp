@@ -1,0 +1,75 @@
+// Figure 3 reproduction: mean video playback throughput (frames per second)
+// under increasing competing CPU load, with normal time-sharing scheduling
+// vs. with the QoS Host Manager + CPU Resource Manager in place.
+//
+// The paper's x-axis points are host load averages {0.70, 3, 5, 7, 10}; we
+// sweep the competing-worker count that lands near those values and report
+// the measured load average alongside both FPS series.
+#include <cstdio>
+#include <fstream>
+
+#include "apps/testbed.hpp"
+#include "sim/csv.hpp"
+
+using namespace softqos;
+
+namespace {
+
+struct Point {
+  int workers;
+  double targetLoad;
+};
+
+double runOne(bool withManagers, int workers, double targetLoad,
+              double* measuredLoad) {
+  apps::TestbedConfig config;
+  config.seed = 1234;
+  config.withManagers = withManagers;
+  apps::Testbed bed(config);
+
+  bed.startVideo("silver");
+  bed.clientLoad.setWorkers(workers);
+  // The UNIX load average converges over minutes; prime it near the
+  // steady-state value so a short warm-up suffices.
+  bed.clientHost.loadSampler().prime(targetLoad);
+
+  bed.sim.runUntil(bed.sim.now() + sim::sec(30));  // warm-up + adaptation
+  const double fps = bed.measureFps(sim::sec(60));
+  if (measuredLoad != nullptr) *measuredLoad = bed.clientHost.loadAverage();
+  return fps;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Worker counts chosen to land near the paper's load-average points.
+  const Point points[] = {{0, 0.7}, {2, 3.0}, {4, 5.0}, {6, 7.0}, {9, 10.0}};
+
+  // Optional: fig3_video_throughput <out.csv> re-plots the figure's data.
+  sim::MetricRegistry csvData;
+
+  std::printf("Figure 3: video playback throughput vs CPU load average\n");
+  std::printf("%8s %12s %18s %22s\n", "workers", "load avg",
+              "normal sched (fps)", "with resource mgr (fps)");
+  for (const Point& p : points) {
+    double loadNormal = 0.0;
+    double loadManaged = 0.0;
+    const double fpsNormal = runOne(false, p.workers, p.targetLoad, &loadNormal);
+    const double fpsManaged = runOne(true, p.workers, p.targetLoad, &loadManaged);
+    const double load = (loadNormal + loadManaged) / 2.0;
+    std::printf("%8d %12.2f %18.1f %22.1f\n", p.workers, load, fpsNormal,
+                fpsManaged);
+    const auto x = static_cast<sim::SimTime>(load * sim::kSecond);
+    csvData.sample("fps.normal_scheduler", x, fpsNormal);
+    csvData.sample("fps.with_resource_manager", x, fpsManaged);
+  }
+  if (argc > 1) {
+    std::ofstream out(argv[1]);
+    out << sim::seriesCsv(csvData);  // "time_s" column carries the load avg
+    std::printf("\nwrote %s\n", argv[1]);
+  }
+  std::printf("\nPaper (Fig. 3): normal scheduling collapses from ~28 fps to "
+              "~5 fps as load rises to 10;\nwith the resource manager the "
+              "stream stays ~28 fps across the sweep.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Cross-host fault localization (Section 5.3): the same client-side symptom
+// — an empty communication buffer and a collapsed frame rate — is traced to
+// three different causes by the QoS Domain Manager, each with its own
+// corrective action.
+#include <cstdio>
+
+#include "apps/testbed.hpp"
+
+using namespace softqos;
+
+namespace {
+
+void report(const char* phase, apps::Testbed& bed) {
+  const auto& dx = bed.dm->diagnosisCounts();
+  std::printf("%-26s fps=%4.1f | diagnoses:", phase,
+              bed.measureFps(sim::sec(5)));
+  if (dx.empty()) std::printf(" (none)");
+  for (const auto& [kind, count] : dx) {
+    std::printf(" %s x%llu", kind.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+  std::printf(" | server upri=%d restarts=%llu\n",
+              bed.serverHm->cpuManager().tsPriority(bed.video->serverPid()),
+              static_cast<unsigned long long>(
+                  bed.serverHm->restartsPerformed()));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Scenario 1: the video server is starved of CPU on its host\n");
+  {
+    apps::TestbedConfig config;
+    config.seed = 61;
+    config.video.serverCpuPerFrame = sim::msec(25);
+    apps::Testbed bed(config);
+    bed.startVideo();
+    bed.sim.runUntil(sim::sec(5));
+    report("  healthy:", bed);
+    bed.serverLoad.addInteractiveWorkers(5);
+    bed.serverHost.loadSampler().prime(5.0);
+    bed.sim.runUntil(bed.sim.now() + sim::sec(10));
+    report("  fault injected:", bed);
+    bed.sim.runUntil(bed.sim.now() + sim::sec(25));
+    report("  after adaptation:", bed);
+  }
+
+  std::printf("\nScenario 2: a switch on the path is congested\n");
+  {
+    apps::TestbedConfig config;
+    config.seed = 62;
+    config.bottleneckMbit = 5.0;
+    apps::Testbed bed(config);
+    bed.startVideo();
+    bed.sim.runUntil(sim::sec(5));
+    report("  healthy:", bed);
+    bed.setCrossTraffic(4.9);
+    bed.sim.runUntil(bed.sim.now() + sim::sec(10));
+    report("  fault injected:", bed);
+    bed.setCrossTraffic(0);
+    bed.sim.runUntil(bed.sim.now() + sim::sec(10));
+    report("  congestion gone:", bed);
+  }
+
+  std::printf("\nScenario 3: the server process dies\n");
+  {
+    apps::Testbed bed({.seed = 63});
+    bed.startVideo();
+    bed.sim.runUntil(sim::sec(5));
+    report("  healthy:", bed);
+    bed.video->killServer();
+    bed.sim.runUntil(bed.sim.now() + sim::sec(10));
+    report("  after kill:", bed);
+    bed.sim.runUntil(bed.sim.now() + sim::sec(10));
+    report("  after restart:", bed);
+  }
+
+  std::printf("\nIn every scenario the client host manager sees the same "
+              "local symptom (empty buffer,\nlow fps) and escalates; the "
+              "domain manager's rules find the true cause.\n");
+  return 0;
+}

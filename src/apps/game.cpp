@@ -1,0 +1,81 @@
+#include "apps/game.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace softqos::apps {
+
+GameApp::GameApp(sim::Simulation& simulation, osim::Host& host,
+                 std::string name, GameConfig config)
+    : sim_(simulation), host_(host), name_(std::move(name)), config_(config) {
+  nextDeadline_ = sim_.now();
+  proc_ = host_.spawn(name_ + "-game", [this](osim::Process& p) { tickLoop(p); });
+  proc_->setWorkingSetPages(config_.workingSetPages);
+}
+
+void GameApp::tickLoop(osim::Process& p) {
+  if (p.terminated()) return;
+  p.compute(config_.cpuPerTick, [this, &p] {
+    ++ticks_;
+    if (tickSensor_ != nullptr) tickSensor_->onFrameDisplayed();
+    nextDeadline_ += static_cast<sim::SimDuration>(
+        static_cast<double>(sim::kSecond) / config_.targetTicksPerSecond);
+    const sim::SimDuration sleep =
+        std::max<sim::SimDuration>(1, nextDeadline_ - sim_.now());
+    p.sleepFor(sleep, [this, &p] { tickLoop(p); });
+  });
+}
+
+std::size_t GameApp::instrument(distribution::PolicyAgent& agent,
+                                const std::string& application,
+                                const std::string& role) {
+  auto tick = std::make_shared<instrument::FrameRateSensor>(
+      sim_, "tick_sensor", "tick_rate");
+  tickSensor_ = tick.get();
+  registry_.addSensor(std::move(tick));
+
+  osim::MessageQueue& queue = host_.msgQueue("qos-host-manager");
+  coordinator_ = std::make_unique<instrument::Coordinator>(
+      sim_, host_.name(), proc_->pid(), "GameEngine", registry_,
+      [&queue, pid = proc_->pid()](const instrument::ViolationReport& r) {
+        queue.send(r.serialize(), pid);
+      });
+
+  distribution::PolicyAgent::Registration reg;
+  reg.pid = proc_->pid();
+  reg.application = application;
+  reg.executable = "GameEngine";
+  reg.role = role;
+  reg.coordinator = coordinator_.get();
+  return agent.registerProcess(reg);
+}
+
+void GameApp::seedModel(distribution::RepositoryService& repository) {
+  repository.addSensor(
+      policy::SensorInfo{"tick_sensor", {"tick_rate"}, "tickProbe"});
+  policy::ExecutableInfo exec;
+  exec.name = "GameEngine";
+  exec.path = "/opt/games/doom";
+  exec.sensorIds = {"tick_sensor"};
+  repository.addExecutable(exec);
+  policy::ApplicationInfo app;
+  app.name = "Game";
+  app.executables = {"GameEngine"};
+  repository.addApplication(app);
+}
+
+std::string GameApp::policyText(const std::string& name, double targetRate,
+                                double tolerance) {
+  std::ostringstream out;
+  out << "oblig " << name << " {\n"
+      << "  subject (...)/GameEngine/qosl_coordinator\n"
+      << "  target tick_sensor,(...)QoSHostManager\n"
+      << "  on not (tick_rate = " << targetRate << "(+" << tolerance << ")(-"
+      << tolerance << "))\n"
+      << "  do tick_sensor->read(out tick_rate);\n"
+      << "     (...)/QoSHostManager->notify(tick_rate)\n"
+      << "}\n";
+  return out.str();
+}
+
+}  // namespace softqos::apps

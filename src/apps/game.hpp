@@ -1,0 +1,62 @@
+// An instrumented game-loop application (Section 9 reports instrumenting
+// DOOM): a fixed-cadence tick loop with a tick-rate QoS policy.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "distribution/policy_agent.hpp"
+#include "instrument/coordinator.hpp"
+#include "instrument/registry.hpp"
+#include "instrument/sensors.hpp"
+#include "osim/host.hpp"
+
+namespace softqos::apps {
+
+struct GameConfig {
+  double targetTicksPerSecond = 30.0;
+  sim::SimDuration cpuPerTick = sim::msec(12);
+  std::int64_t workingSetPages = 3072;
+};
+
+class GameApp {
+ public:
+  GameApp(sim::Simulation& simulation, osim::Host& host, std::string name,
+          GameConfig config = {});
+
+  GameApp(const GameApp&) = delete;
+  GameApp& operator=(const GameApp&) = delete;
+
+  std::size_t instrument(distribution::PolicyAgent& agent,
+                         const std::string& application,
+                         const std::string& role);
+
+  static void seedModel(distribution::RepositoryService& repository);
+  static std::string policyText(const std::string& name, double targetRate,
+                                double tolerance);
+
+  [[nodiscard]] osim::Pid pid() const { return proc_->pid(); }
+  [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
+  [[nodiscard]] instrument::Coordinator* coordinator() {
+    return coordinator_.get();
+  }
+
+ private:
+  void tickLoop(osim::Process& p);
+
+  sim::Simulation& sim_;
+  osim::Host& host_;
+  std::string name_;
+  GameConfig config_;
+
+  std::shared_ptr<osim::Process> proc_;
+  instrument::SensorRegistry registry_;
+  std::unique_ptr<instrument::Coordinator> coordinator_;
+  instrument::FrameRateSensor* tickSensor_ = nullptr;
+
+  std::uint64_t ticks_ = 0;
+  sim::SimTime nextDeadline_ = 0;
+};
+
+}  // namespace softqos::apps

@@ -1,0 +1,90 @@
+#include "apps/loadgen.hpp"
+
+namespace softqos::apps {
+
+CpuLoadGenerator::CpuLoadGenerator(osim::Host& host, std::string namePrefix)
+    : host_(host), prefix_(std::move(namePrefix)) {}
+
+void CpuLoadGenerator::spin(osim::Process& p) {
+  if (p.terminated()) return;
+  // Always-runnable batch work: consume CPU in 50ms chunks forever.
+  p.compute(sim::msec(50), [&p] { spin(p); });
+}
+
+namespace {
+
+// ~75% duty cycle with short sleeps: stays interactive (slpret-boosted).
+void interactiveSpin(osim::Process& p) {
+  if (p.terminated()) return;
+  p.compute(sim::msec(25), [&p] {
+    p.sleepFor(sim::msec(8), [&p] { interactiveSpin(p); });
+  });
+}
+
+}  // namespace
+
+void CpuLoadGenerator::addInteractiveWorkers(int count) {
+  for (int i = 0; i < count; ++i) {
+    ++spawned_;
+    pool_.push_back(host_.spawn(prefix_ + "-i" + std::to_string(spawned_),
+                                [](osim::Process& p) { interactiveSpin(p); }));
+  }
+}
+
+void CpuLoadGenerator::setWorkers(int count) {
+  if (count < 0) count = 0;
+  while (workers() < count) {
+    ++spawned_;
+    pool_.push_back(host_.spawn(prefix_ + "-" + std::to_string(spawned_),
+                                [](osim::Process& p) { spin(p); }));
+  }
+  if (workers() > count) {
+    int excess = workers() - count;
+    for (auto it = pool_.rbegin(); it != pool_.rend() && excess > 0; ++it) {
+      if (!(*it)->terminated()) {
+        host_.kill((*it)->pid());
+        --excess;
+      }
+    }
+  }
+}
+
+int CpuLoadGenerator::workers() const {
+  int n = 0;
+  for (const auto& p : pool_) {
+    if (!p->terminated()) ++n;
+  }
+  return n;
+}
+
+sim::SimDuration CpuLoadGenerator::cpuConsumed() const {
+  sim::SimDuration total = 0;
+  for (const auto& p : pool_) total += p->cpuTime();
+  return total;
+}
+
+namespace {
+
+// Touch memory continuously but gently (low CPU demand).
+void hogLoop(osim::Process& p) {
+  if (p.terminated()) return;
+  p.compute(sim::msec(5), [&p] {
+    p.sleepFor(sim::msec(45), [&p] { hogLoop(p); });
+  });
+}
+
+}  // namespace
+
+MemoryHog::MemoryHog(osim::Host& host, std::int64_t workingSetPages,
+                     std::string name) {
+  proc_ = host.spawn(std::move(name), [](osim::Process& p) { hogLoop(p); });
+  proc_->setWorkingSetPages(workingSetPages);
+}
+
+void MemoryHog::stop() {
+  if (proc_ != nullptr && !proc_->terminated()) {
+    proc_->host().kill(proc_->pid());
+  }
+}
+
+}  // namespace softqos::apps

@@ -1,0 +1,56 @@
+// Competing workload generators: CPU-bound spinner processes (each
+// contributes ~1.0 to the load average) and a memory hog.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "osim/host.hpp"
+
+namespace softqos::apps {
+
+/// Maintains a pool of always-runnable CPU-bound processes on one host.
+/// setWorkers() adjusts the pool at run time (load steps in experiments).
+class CpuLoadGenerator {
+ public:
+  CpuLoadGenerator(osim::Host& host, std::string namePrefix = "loadgen");
+
+  CpuLoadGenerator(const CpuLoadGenerator&) = delete;
+  CpuLoadGenerator& operator=(const CpuLoadGenerator&) = delete;
+
+  void setWorkers(int count);
+  [[nodiscard]] int workers() const;
+
+  /// Interactive competitors: ~75% CPU demand each, with frequent short
+  /// sleeps so the dispatch table keeps them at high levels (they compete
+  /// with interactive victims where batch spinners would not).
+  void addInteractiveWorkers(int count);
+
+  /// Total CPU time the pool has consumed (for utilization assertions).
+  [[nodiscard]] sim::SimDuration cpuConsumed() const;
+
+ private:
+  static void spin(osim::Process& p);
+
+  osim::Host& host_;
+  std::string prefix_;
+  std::vector<std::shared_ptr<osim::Process>> pool_;
+  int spawned_ = 0;
+};
+
+/// A process with a large declared working set: creates memory pressure so
+/// the Memory Resource Manager has something to arbitrate.
+class MemoryHog {
+ public:
+  MemoryHog(osim::Host& host, std::int64_t workingSetPages,
+            std::string name = "memhog");
+
+  [[nodiscard]] osim::Pid pid() const { return proc_->pid(); }
+  void stop();
+
+ private:
+  std::shared_ptr<osim::Process> proc_;
+};
+
+}  // namespace softqos::apps

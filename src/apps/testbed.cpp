@@ -1,0 +1,115 @@
+#include "apps/testbed.hpp"
+
+#include "net/nic.hpp"
+
+namespace softqos::apps {
+
+namespace {
+
+net::ChannelConfig channelMbit(double mbit) {
+  net::ChannelConfig cfg;
+  cfg.bytesPerSecond = mbit * 1e6 / 8.0;
+  cfg.propagationDelay = sim::msec(1);
+  cfg.queueCapacityBytes = 96 * 1024;
+  return cfg;
+}
+
+}  // namespace
+
+Testbed::Testbed(TestbedConfig config)
+    : sim(config.seed),
+      network(sim),
+      clientHost(sim, "client-host"),
+      serverHost(sim, "server-host"),
+      mgmtHost(sim, "mgmt-host"),
+      swA(network, "switch-a"),
+      swB(network, "switch-b"),
+      swC(network, "switch-c"),
+      sink(network, "traffic-sink"),
+      cross(network, "cross-traffic",
+            net::TrafficConfig{.bytesPerSecond = 0,
+                               .packetBytes = 1500,
+                               .onOff = false,
+                               .onMean = sim::msec(500),
+                               .offMean = sim::msec(500)}),
+      qorms(sim, network),
+      clientLoad(clientHost, "client-load"),
+      serverLoad(serverHost, "server-load"),
+      config_(std::move(config)) {
+  net::Nic& clientNic = network.attachHost(clientHost);
+  net::Nic& serverNic = network.attachHost(serverHost);
+  net::Nic& mgmtNic = network.attachHost(mgmtHost);
+
+  network.link(clientNic, swA, channelMbit(config_.edgeMbit));
+  // The management host reaches both switches directly (a management VLAN):
+  // manager-to-manager RPC must not share the experiment bottleneck, or a
+  // congested fabric would make every healthy server look dead.
+  network.link(mgmtNic, swA, channelMbit(config_.edgeMbit));
+  network.link(mgmtNic, swB, channelMbit(config_.edgeMbit));
+  network.link(serverNic, swB, channelMbit(config_.edgeMbit));
+  network.link(swA, swB, channelMbit(config_.bottleneckMbit));
+  if (config_.redundantPath) {
+    // A longer but well-provisioned alternate route the domain manager can
+    // fail over to when it diagnoses congestion on the primary link.
+    network.link(swA, swC, channelMbit(config_.edgeMbit));
+    network.link(swC, swB, channelMbit(config_.edgeMbit));
+  }
+  // Cross traffic is injected at swB and sinks behind swA, sharing the
+  // server->client direction of the bottleneck with the video stream.
+  network.link(cross, swB, channelMbit(config_.edgeMbit));
+  network.link(sink, swA, channelMbit(config_.edgeMbit));
+
+  if (config_.withManagers) {
+    manager::HostManagerConfig hmCfg;
+    hmCfg.domainManagerHost = mgmtHost.name();
+    hmCfg.domainManagerPort = 7100;
+    clientHm = &qorms.createHostManager(clientHost, hmCfg);
+    serverHm = &qorms.createHostManager(serverHost, hmCfg);
+    dm = &qorms.createDomainManager(mgmtHost, "domain-a",
+                                    {clientHost.name(), serverHost.name(),
+                                     mgmtHost.name()});
+
+    seedVideoModel(qorms.repository());
+    qorms.admin().addPolicyText(
+        videoPolicyText("NotifyQoSViolation", config_.policyTargetFps,
+                        config_.policyTolUp, config_.policyTolDown,
+                        config_.policyJitterMax),
+        "VideoConference", "");
+  }
+}
+
+VideoSession& Testbed::startVideo(const std::string& role) {
+  VideoConfig vc = config_.video;
+  video = std::make_unique<VideoSession>(sim, network, serverHost, clientHost,
+                                         "video", vc);
+  if (config_.withManagers) {
+    video->instrument(qorms.agent(), "VideoConference", role);
+    dm->registerService("VideoApplication", serverHost.name(),
+                        video->serverPid());
+    serverHm->setRestartHandler(
+        [this](osim::Pid) { return video->respawnServer(); });
+  }
+  return *video;
+}
+
+void Testbed::setCrossTraffic(double mbit) {
+  if (mbit <= 0) {
+    cross.stop();
+    return;
+  }
+  cross.setRate(mbit * 1e6 / 8.0);
+  if (!cross.running()) cross.start(sink.id());
+}
+
+double Testbed::measureFps(sim::SimDuration window) {
+  const std::uint64_t before = video ? video->framesDisplayed() : 0;
+  sim.runUntil(sim.now() + window);
+  const std::uint64_t after = video ? video->framesDisplayed() : 0;
+  return static_cast<double>(after - before) / sim::toSeconds(window);
+}
+
+net::Channel* Testbed::bottleneck() {
+  return network.channel(swB.id(), swA.id());
+}
+
+}  // namespace softqos::apps

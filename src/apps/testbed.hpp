@@ -1,0 +1,84 @@
+// The canonical two-host testbed used by the examples, integration tests and
+// benchmarks: a video client host and a video server host joined by two
+// switches, a management host seating the QoS Domain Manager, competing CPU
+// load on the client, and optional cross traffic congesting the inter-switch
+// link.
+//
+//   clientHost --- swA ========== swB --- serverHost
+//       |           |  (bottleneck)  |
+//   mgmtHost -------+            sink/cross
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "apps/loadgen.hpp"
+#include "apps/video.hpp"
+#include "apps/video_model.hpp"
+#include "distribution/qorms.hpp"
+#include "net/switch.hpp"
+#include "net/traffic.hpp"
+
+namespace softqos::apps {
+
+struct TestbedConfig {
+  std::uint64_t seed = 1;
+  double bottleneckMbit = 10.0;   // inter-switch link
+  double edgeMbit = 100.0;        // host access links
+  bool redundantPath = false;     // add swC as an alternate swA<->swB route
+  VideoConfig video;
+  bool withManagers = true;       // false: "normal Solaris scheduling"
+  double policyTargetFps = 28.0;
+  double policyTolUp = 4.0;
+  double policyTolDown = 3.0;
+  double policyJitterMax = 1.25;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig config = {});
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  // Exposed plumbing (constructed in this order).
+  sim::Simulation sim;
+  net::Network network;
+  osim::Host clientHost;
+  osim::Host serverHost;
+  osim::Host mgmtHost;
+  net::Switch swA;
+  net::Switch swB;
+  net::Switch swC;  // only linked when config.redundantPath
+  net::TrafficSink sink;
+  net::TrafficSource cross;
+  distribution::Qorms qorms;
+  CpuLoadGenerator clientLoad;
+  CpuLoadGenerator serverLoad;
+
+  manager::QoSHostManager* clientHm = nullptr;  // set when withManagers
+  manager::QoSHostManager* serverHm = nullptr;
+  manager::QoSDomainManager* dm = nullptr;
+  std::unique_ptr<VideoSession> video;
+
+  [[nodiscard]] const TestbedConfig& config() const { return config_; }
+
+  /// Create the video session (and, with managers enabled, instrument it and
+  /// register the service binding with the domain manager).
+  VideoSession& startVideo(const std::string& role = "silver");
+
+  /// Congest the bottleneck with cross traffic at `mbit` (0 stops it).
+  void setCrossTraffic(double mbit);
+
+  /// Run the simulation for `window` and return the client's delivered
+  /// frames/second over that window.
+  double measureFps(sim::SimDuration window);
+
+  /// The bottleneck channel in the server->client direction.
+  [[nodiscard]] net::Channel* bottleneck();
+
+ private:
+  TestbedConfig config_;
+};
+
+}  // namespace softqos::apps

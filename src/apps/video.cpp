@@ -1,0 +1,210 @@
+#include "apps/video.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace softqos::apps {
+
+VideoSession::VideoSession(sim::Simulation& simulation, net::Network& network,
+                           osim::Host& serverHost, osim::Host& clientHost,
+                           std::string name, VideoConfig config)
+    : sim_(simulation),
+      network_(network),
+      serverHost_(serverHost),
+      clientHost_(clientHost),
+      name_(std::move(name)),
+      config_(config),
+      rng_(simulation.stream("video:" + name_)) {
+  serverSock_ = serverHost_.createSocket(config_.socketCapacityBytes);
+  clientSock_ = clientHost_.createSocket(config_.socketCapacityBytes);
+  network_.connect(serverSock_, serverHost_, config_.serverPort, clientSock_,
+                   clientHost_, config_.clientPort);
+
+  client_ = clientHost_.spawn(name_ + "-client",
+                              [this](osim::Process& p) { clientLoop(p); });
+  client_->setWorkingSetPages(config_.clientWorkingSetPages);
+  startServer();
+}
+
+VideoSession::~VideoSession() = default;
+
+void VideoSession::startServer() {
+  nextDeadline_ = sim_.now();
+  server_ = serverHost_.spawn(name_ + "-server",
+                              [this](osim::Process& p) { serverLoop(p); });
+}
+
+std::int64_t VideoSession::nextFrameBytes() {
+  // 12-frame GOP: I B B P B B P B B P B B, sized relative to the mean.
+  static constexpr double kPattern[12] = {2.5, 0.6, 0.6, 1.2, 0.6, 0.6,
+                                          1.2, 0.6, 0.6, 1.2, 0.6, 0.6};
+  const double scale = kPattern[frameIndex_ % 12];
+  const double noisy = scale * rng_.uniform(0.9, 1.1);
+  return std::max<std::int64_t>(
+      256, static_cast<std::int64_t>(
+               noisy * static_cast<double>(config_.meanFrameBytes)));
+}
+
+sim::SimDuration VideoSession::decodeCost(std::int64_t bytes) const {
+  sim::SimDuration cost = config_.decodeBase + config_.decodePerKiB * bytes / 1024;
+  // Overload adaptation: reduced quality levels decode proportionally
+  // cheaper (coarser inverse quantization / skipped enhancement passes).
+  if (quality_ != nullptr) {
+    switch (quality_->level()) {
+      case 1: cost = cost * 65 / 100; break;
+      case 0: cost = cost * 40 / 100; break;
+      default: break;
+    }
+  }
+  return cost;
+}
+
+void VideoSession::serverLoop(osim::Process& p) {
+  if (p.terminated()) return;
+  const std::int64_t bytes = nextFrameBytes();
+  const std::uint64_t seq = ++frameIndex_;
+  p.compute(config_.serverCpuPerFrame, [this, &p, bytes, seq] {
+    osim::Message m;
+    m.kind = "frame";
+    m.seq = seq;
+    m.bytes = bytes;
+    serverSock_->send(std::move(m));
+    ++framesSent_;
+
+    const auto interval = static_cast<sim::SimDuration>(
+        static_cast<double>(sim::kSecond) / config_.sourceFps);
+    const auto jitterSpan =
+        static_cast<sim::SimDuration>(interval * config_.sendJitterFraction);
+    nextDeadline_ += interval + (jitterSpan > 0
+                                     ? rng_.uniformInt(-jitterSpan, jitterSpan)
+                                     : 0);
+    const sim::SimDuration sleep =
+        std::max<sim::SimDuration>(1, nextDeadline_ - sim_.now());
+    p.sleepFor(sleep, [this, &p] { serverLoop(p); });
+  });
+}
+
+sim::SimDuration VideoSession::frameInterval() const {
+  return static_cast<sim::SimDuration>(static_cast<double>(sim::kSecond) /
+                                       config_.sourceFps);
+}
+
+sim::SimTime VideoSession::presentationTime(std::uint64_t seq) const {
+  return playbackOffset_ +
+         static_cast<sim::SimTime>(seq) * frameInterval();
+}
+
+void VideoSession::clientLoop(osim::Process& p) {
+  if (p.terminated()) return;
+  clientSock_->recv(p, [this, &p](osim::Message m) {
+    if (m.kind == "eof") {
+      p.exitProcess();
+      return;
+    }
+    const std::uint64_t seq = m.seq;
+    if (playbackAnchored_) {
+      const sim::SimTime lateness = sim_.now() - presentationTime(seq);
+      // A sustained run of skips means the whole schedule is stale (an
+      // outage or a deep kernel-buffer backlog): re-anchor the playback
+      // clock at the next decoded frame. Individual late frames are skipped
+      // with a cheap parse — that is also how a full receive buffer drains
+      // faster than the arrival rate.
+      if (consecutiveSkips_ >= config_.reanchorAfterSkips) {
+        playbackAnchored_ = false;
+        consecutiveSkips_ = 0;
+      } else if (lateness > config_.lateDropIntervals * frameInterval()) {
+        ++framesSkipped_;
+        ++consecutiveSkips_;
+        p.compute(config_.skipCost, [this, &p] { clientLoop(p); });
+        return;
+      } else {
+        consecutiveSkips_ = 0;
+      }
+    }
+    // Retrieve -> decode -> display at the presentation time (Example 2's
+    // probe fires after display).
+    p.compute(decodeCost(m.bytes), [this, &p, seq] {
+      if (!playbackAnchored_) {
+        playbackAnchored_ = true;
+        playbackOffset_ = sim_.now() -
+                          static_cast<sim::SimTime>(seq) * frameInterval() +
+                          config_.startupDelayIntervals * frameInterval();
+      }
+      const sim::SimTime due = presentationTime(seq);
+      if (sim_.now() < due) {
+        p.sleepFor(due - sim_.now(), [this, &p, seq] { displayFrame(p, seq); });
+      } else {
+        displayFrame(p, seq);
+      }
+    });
+  });
+}
+
+void VideoSession::displayFrame(osim::Process& p, std::uint64_t /*seq*/) {
+  ++framesDisplayed_;
+  if (fps_ != nullptr) fps_->onFrameDisplayed();
+  if (jitter_ != nullptr) jitter_->onFrameDisplayed();
+  clientLoop(p);
+}
+
+std::size_t VideoSession::instrument(distribution::PolicyAgent& agent,
+                                     const std::string& application,
+                                     const std::string& role) {
+  const auto nominalGap = static_cast<sim::SimDuration>(
+      static_cast<double>(sim::kSecond) / config_.sourceFps);
+
+  // A 2-second window smooths frame-boundary quantization (a 1-second window
+  // counts 29..31 frames for a perfectly healthy 30fps stream).
+  auto fps = std::make_shared<instrument::FrameRateSensor>(
+      sim_, "fps_sensor", "frame_rate", sim::sec(2));
+  auto jitter = std::make_shared<instrument::JitterSensor>(
+      sim_, "jitter_sensor", "jitter_rate", nominalGap);
+  std::shared_ptr<instrument::SourceSensor> buffer =
+      instrument::makeBufferLengthSensor(sim_, "buffer_sensor", "buffer_size",
+                                         clientSock_);
+  fps_ = fps.get();
+  jitter_ = jitter.get();
+  registry_.addSensor(std::move(fps));
+  registry_.addSensor(std::move(jitter));
+  registry_.addSensor(std::move(buffer));
+
+  auto quality = std::make_shared<instrument::QualityLevelActuator>(
+      "quality", 0, 2, 2);
+  quality_ = quality.get();
+  registry_.addActuator(std::move(quality));
+
+  // All knowledge of the QoS Host Manager stays inside the coordinator: the
+  // notify hook is the manager's message queue on the client host.
+  osim::MessageQueue& queue = clientHost_.msgQueue("qos-host-manager");
+  coordinator_ = std::make_unique<instrument::Coordinator>(
+      sim_, clientHost_.name(), client_->pid(), "VideoApplication", registry_,
+      [&queue, pid = client_->pid()](const instrument::ViolationReport& r) {
+        queue.send(r.serialize(), pid);
+      });
+
+  distribution::PolicyAgent::Registration reg;
+  reg.pid = client_->pid();
+  reg.application = application;
+  reg.executable = "VideoApplication";
+  reg.role = role;
+  reg.coordinator = coordinator_.get();
+
+  // Manager -> process control channel (adaptation, run-time retuning).
+  coordinator_->attachControlQueue(
+      clientHost_.msgQueue(instrument::controlQueueKey(client_->pid())));
+
+  return agent.registerProcess(reg);
+}
+
+bool VideoSession::killServer() {
+  if (server_ == nullptr || server_->terminated()) return false;
+  return serverHost_.kill(server_->pid());
+}
+
+osim::Pid VideoSession::respawnServer() {
+  if (server_ != nullptr && !server_->terminated()) return server_->pid();
+  startServer();
+  return server_->pid();
+}
+
+}  // namespace softqos::apps

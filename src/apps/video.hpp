@@ -1,0 +1,136 @@
+// The MPEG-style video application: a server streaming a GOP-patterned frame
+// sequence over the network and an instrumented playback client (retrieve ->
+// decode -> display, with the frame-rate, jitter, and communication-buffer
+// probes of Examples 1/2/5).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "distribution/policy_agent.hpp"
+#include "instrument/coordinator.hpp"
+#include "instrument/registry.hpp"
+#include "instrument/actuator.hpp"
+#include "instrument/sensors.hpp"
+#include "net/network.hpp"
+#include "osim/host.hpp"
+#include "sim/random.hpp"
+
+namespace softqos::apps {
+
+struct VideoConfig {
+  double sourceFps = 30.0;
+  std::int64_t meanFrameBytes = 12000;          // ~2.9 Mbit/s at 30 fps
+  sim::SimDuration serverCpuPerFrame = sim::msec(2);
+  sim::SimDuration decodeBase = sim::msec(12);  // per-frame fixed decode cost
+  sim::SimDuration decodePerKiB = sim::usec(2000);  // size-dependent cost
+  std::int64_t clientWorkingSetPages = 2048;
+  std::int64_t socketCapacityBytes = 262144;
+  int serverPort = 5004;
+  int clientPort = 5005;
+  double sendJitterFraction = 0.02;  // timing noise on the send pacing
+
+  /// Playback pacing: frames display at their presentation times (decoded
+  /// early -> wait; a little late -> display immediately). Frames later than
+  /// `lateDropIntervals` source intervals are skipped without a full decode;
+  /// a run of `reanchorAfterSkips` consecutive skips resynchronizes the
+  /// playback clock (stale schedule after an outage or a deep backlog).
+  sim::SimDuration startupDelayIntervals = 2;
+  std::int64_t lateDropIntervals = 4;
+  std::int64_t reanchorAfterSkips = 15;
+  sim::SimDuration skipCost = sim::msec(1);
+};
+
+/// One server->client video session. Construction spawns both processes and
+/// plumbs the stream across the network; instrument() attaches the sensors
+/// and coordinator and registers with the Policy Agent.
+class VideoSession {
+ public:
+  VideoSession(sim::Simulation& simulation, net::Network& network,
+               osim::Host& serverHost, osim::Host& clientHost,
+               std::string name, VideoConfig config = {});
+  ~VideoSession();
+
+  VideoSession(const VideoSession&) = delete;
+  VideoSession& operator=(const VideoSession&) = delete;
+
+  /// Attach instrumentation (fps/jitter/buffer sensors, coordinator wired to
+  /// the client host's manager message queue) and register with the agent.
+  /// Returns the number of policies delivered.
+  std::size_t instrument(distribution::PolicyAgent& agent,
+                         const std::string& application,
+                         const std::string& role);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] osim::Process& clientProcess() { return *client_; }
+  [[nodiscard]] osim::Process& serverProcess() { return *server_; }
+  [[nodiscard]] osim::Pid clientPid() const { return client_->pid(); }
+  [[nodiscard]] osim::Pid serverPid() const { return server_->pid(); }
+
+  [[nodiscard]] instrument::SensorRegistry& registry() { return registry_; }
+  [[nodiscard]] instrument::Coordinator* coordinator() {
+    return coordinator_.get();
+  }
+  [[nodiscard]] instrument::FrameRateSensor* fpsSensor() { return fps_; }
+
+  /// The decode-quality actuator ("quality"): level 2 = full quality,
+  /// 1 and 0 progressively cheaper decodes (overload adaptation). Null until
+  /// instrument() runs.
+  [[nodiscard]] instrument::QualityLevelActuator* qualityActuator() {
+    return quality_;
+  }
+
+  [[nodiscard]] std::uint64_t framesSent() const { return framesSent_; }
+  [[nodiscard]] std::uint64_t framesDisplayed() const { return framesDisplayed_; }
+  [[nodiscard]] std::uint64_t framesSkipped() const { return framesSkipped_; }
+
+  /// Kill the server process (fault injection). Returns false if already dead.
+  bool killServer();
+
+  /// Respawn the server (restart adaptation); returns the new pid.
+  osim::Pid respawnServer();
+
+  [[nodiscard]] const VideoConfig& config() const { return config_; }
+  [[nodiscard]] std::shared_ptr<osim::Socket> clientSocket() { return clientSock_; }
+
+ private:
+  void serverLoop(osim::Process& p);
+  void clientLoop(osim::Process& p);
+  void displayFrame(osim::Process& p, std::uint64_t seq);
+  [[nodiscard]] std::int64_t nextFrameBytes();
+  [[nodiscard]] sim::SimDuration decodeCost(std::int64_t bytes) const;
+  [[nodiscard]] sim::SimDuration frameInterval() const;
+  [[nodiscard]] sim::SimTime presentationTime(std::uint64_t seq) const;
+  void startServer();
+
+  sim::Simulation& sim_;
+  net::Network& network_;
+  osim::Host& serverHost_;
+  osim::Host& clientHost_;
+  std::string name_;
+  VideoConfig config_;
+  sim::RandomStream rng_;
+
+  std::shared_ptr<osim::Socket> serverSock_;
+  std::shared_ptr<osim::Socket> clientSock_;
+  std::shared_ptr<osim::Process> server_;
+  std::shared_ptr<osim::Process> client_;
+
+  instrument::SensorRegistry registry_;
+  std::unique_ptr<instrument::Coordinator> coordinator_;
+  instrument::FrameRateSensor* fps_ = nullptr;
+  instrument::JitterSensor* jitter_ = nullptr;
+  instrument::QualityLevelActuator* quality_ = nullptr;
+
+  std::uint64_t frameIndex_ = 0;
+  std::uint64_t framesSent_ = 0;
+  std::uint64_t framesDisplayed_ = 0;
+  std::uint64_t framesSkipped_ = 0;
+  sim::SimTime nextDeadline_ = 0;
+  bool playbackAnchored_ = false;
+  sim::SimTime playbackOffset_ = 0;  // presentation(seq) = offset + seq*gap
+  std::int64_t consecutiveSkips_ = 0;
+};
+
+}  // namespace softqos::apps

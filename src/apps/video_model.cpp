@@ -1,0 +1,51 @@
+#include "apps/video_model.hpp"
+
+#include <sstream>
+
+namespace softqos::apps {
+
+void seedVideoModel(distribution::RepositoryService& repository) {
+  repository.addSensor(policy::SensorInfo{
+      "fps_sensor", {"frame_rate"}, "frameDisplayedProbe"});
+  repository.addSensor(policy::SensorInfo{
+      "jitter_sensor", {"jitter_rate"}, "frameDisplayedProbe"});
+  repository.addSensor(policy::SensorInfo{
+      "buffer_sensor", {"buffer_size"}, "socketBufferProbe"});
+
+  policy::ExecutableInfo exec;
+  exec.name = "VideoApplication";
+  exec.path = "/opt/video/bin/vplay";
+  exec.sensorIds = {"fps_sensor", "jitter_sensor", "buffer_sensor"};
+  repository.addExecutable(exec);
+
+  policy::ApplicationInfo app;
+  app.name = "VideoConference";
+  app.executables = {"VideoApplication"};
+  repository.addApplication(app);
+
+  repository.addRole(policy::UserRole{"gold", 3});
+  repository.addRole(policy::UserRole{"silver", 1});
+}
+
+std::string videoPolicyText(const std::string& policyName, double targetFps,
+                            double tolUp, double tolDown, double jitterMax) {
+  std::ostringstream out;
+  out << "oblig " << policyName << " {\n"
+      << "  subject (...)/VideoApplication/qosl_coordinator\n"
+      << "  target fps_sensor,jitter_sensor,buffer_sensor,(...)QoSHostManager\n"
+      << "  on not (frame_rate = " << targetFps << "(+" << tolUp << ")(-"
+      << tolDown << ") AND jitter_rate < " << jitterMax << ")\n"
+      << "  do fps_sensor->read(out frame_rate);\n"
+      << "     jitter_sensor->read(out jitter_rate);\n"
+      << "     buffer_sensor->read(out buffer_size);\n"
+      << "     (...)/QoSHostManager->notify(frame_rate, jitter_rate, "
+         "buffer_size)\n"
+      << "}\n";
+  return out.str();
+}
+
+std::string defaultVideoPolicyText() {
+  return videoPolicyText("NotifyQoSViolation", 28.0, 4.0, 3.0, 1.25);
+}
+
+}  // namespace softqos::apps

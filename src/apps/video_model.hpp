@@ -1,0 +1,27 @@
+// Repository seeding for the video application (the information-model data
+// an administrator would have loaded): sensors, executable, application,
+// user roles, and the Example 1 policy text.
+#pragma once
+
+#include <string>
+
+#include "distribution/repository.hpp"
+
+namespace softqos::apps {
+
+/// Register the VideoApplication executable, its three sensors (frame rate,
+/// jitter, communication buffer), the VideoConference application and the
+/// gold/silver user roles.
+void seedVideoModel(distribution::RepositoryService& repository);
+
+/// The Example 1 obligation policy, parameterized:
+///   on not (frame_rate = <target>(+<tolUp>)(-<tolDown>)
+///           AND jitter_rate < <jitterMax>)
+/// with the canonical do-list (read fps/jitter/buffer, notify the manager).
+std::string videoPolicyText(const std::string& policyName, double targetFps,
+                            double tolUp, double tolDown, double jitterMax);
+
+/// Default Figure 3 policy: frame_rate = 28(+4)(-3), jitter < 1.25.
+std::string defaultVideoPolicyText();
+
+}  // namespace softqos::apps

@@ -1,0 +1,115 @@
+#include "apps/webserver.hpp"
+
+#include <sstream>
+
+namespace softqos::apps {
+
+WebServerApp::WebServerApp(sim::Simulation& simulation, osim::Host& host,
+                           std::string name, WebServerConfig config)
+    : sim_(simulation),
+      host_(host),
+      name_(std::move(name)),
+      config_(config),
+      rng_(simulation.stream("web:" + name_)) {
+  worker_ = host_.spawn(name_ + "-worker",
+                        [this](osim::Process& p) { workerLoop(p); });
+  worker_->setWorkingSetPages(config_.workingSetPages);
+}
+
+WebServerApp::~WebServerApp() { stop(); }
+
+void WebServerApp::start() {
+  if (arrivalEvent_ != sim::kInvalidEvent) return;
+  scheduleArrival();
+}
+
+void WebServerApp::stop() {
+  if (arrivalEvent_ == sim::kInvalidEvent) return;
+  sim_.cancel(arrivalEvent_);
+  arrivalEvent_ = sim::kInvalidEvent;
+}
+
+void WebServerApp::scheduleArrival() {
+  arrivalEvent_ = sim_.after(rng_.expGap(config_.meanInterArrival), [this] {
+    queue_.push_back(sim_.now());
+    if (worker_ != nullptr) worker_->signal();
+    scheduleArrival();
+  });
+}
+
+void WebServerApp::workerLoop(osim::Process& p) {
+  if (p.terminated()) return;
+  if (queue_.empty()) {
+    p.waitSignal([this, &p] { workerLoop(p); });
+    return;
+  }
+  const sim::SimTime arrivedAt = queue_.front();
+  queue_.pop_front();
+  const sim::SimDuration cost = rng_.expGap(config_.meanServiceCpu);
+  p.compute(cost, [this, &p, arrivedAt] {
+    ++served_;
+    lastResponseMs_ = sim::toMillis(sim_.now() - arrivedAt);
+    if (responseSensor_ != nullptr) responseSensor_->set(lastResponseMs_);
+    workerLoop(p);
+  });
+}
+
+std::size_t WebServerApp::instrument(distribution::PolicyAgent& agent,
+                                     const std::string& application,
+                                     const std::string& role) {
+  auto response = std::make_shared<instrument::GaugeSensor>(
+      sim_, "response_sensor", "response_time");
+  auto queueLen = std::make_shared<instrument::SourceSensor>(
+      sim_, "queue_sensor", "queue_length",
+      [this] { return static_cast<double>(queue_.size()); });
+  responseSensor_ = response.get();
+  registry_.addSensor(std::move(response));
+  registry_.addSensor(std::move(queueLen));
+
+  osim::MessageQueue& queue = host_.msgQueue("qos-host-manager");
+  coordinator_ = std::make_unique<instrument::Coordinator>(
+      sim_, host_.name(), worker_->pid(), "WebServer", registry_,
+      [&queue, pid = worker_->pid()](const instrument::ViolationReport& r) {
+        queue.send(r.serialize(), pid);
+      });
+
+  distribution::PolicyAgent::Registration reg;
+  reg.pid = worker_->pid();
+  reg.application = application;
+  reg.executable = "WebServer";
+  reg.role = role;
+  reg.coordinator = coordinator_.get();
+  return agent.registerProcess(reg);
+}
+
+void WebServerApp::seedModel(distribution::RepositoryService& repository) {
+  repository.addSensor(policy::SensorInfo{
+      "response_sensor", {"response_time"}, "responseProbe"});
+  repository.addSensor(policy::SensorInfo{
+      "queue_sensor", {"queue_length"}, "queueProbe"});
+  policy::ExecutableInfo exec;
+  exec.name = "WebServer";
+  exec.path = "/opt/httpd/bin/httpd";
+  exec.sensorIds = {"response_sensor", "queue_sensor"};
+  repository.addExecutable(exec);
+  policy::ApplicationInfo app;
+  app.name = "WebService";
+  app.executables = {"WebServer"};
+  repository.addApplication(app);
+}
+
+std::string WebServerApp::policyText(const std::string& name,
+                                     double maxMillis) {
+  std::ostringstream out;
+  out << "oblig " << name << " {\n"
+      << "  subject (...)/WebServer/qosl_coordinator\n"
+      << "  target response_sensor,queue_sensor,(...)QoSHostManager\n"
+      << "  on not (response_time < " << maxMillis << ")\n"
+      << "  do response_sensor->read(out response_time);\n"
+      << "     queue_sensor->read(out queue_length);\n"
+      << "     (...)/QoSHostManager->notify(response_time, queue_length)\n"
+      << "}\n";
+  return out.str();
+}
+
+}  // namespace softqos::apps

@@ -1,0 +1,79 @@
+// An instrumented web-server-like application (Section 9 reports
+// instrumenting the Apache web server): Poisson request arrivals, a
+// single-threaded worker, and a response-time QoS policy.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "distribution/policy_agent.hpp"
+#include "instrument/coordinator.hpp"
+#include "instrument/registry.hpp"
+#include "instrument/sensors.hpp"
+#include "osim/host.hpp"
+#include "sim/random.hpp"
+
+namespace softqos::apps {
+
+struct WebServerConfig {
+  sim::SimDuration meanInterArrival = sim::msec(50);  // ~20 req/s
+  sim::SimDuration meanServiceCpu = sim::msec(15);
+  std::int64_t workingSetPages = 1024;
+};
+
+class WebServerApp {
+ public:
+  WebServerApp(sim::Simulation& simulation, osim::Host& host, std::string name,
+               WebServerConfig config = {});
+  ~WebServerApp();
+
+  WebServerApp(const WebServerApp&) = delete;
+  WebServerApp& operator=(const WebServerApp&) = delete;
+
+  /// Attach sensors (response_time gauge, queue_length source) and register.
+  std::size_t instrument(distribution::PolicyAgent& agent,
+                         const std::string& application,
+                         const std::string& role);
+
+  /// Seed the repository with this app's model (executable + sensors).
+  static void seedModel(distribution::RepositoryService& repository);
+
+  /// A response-time policy: on not (response_time < maxMillis).
+  static std::string policyText(const std::string& name, double maxMillis);
+
+  void start();  // begin request arrivals
+  void stop();   // stop arrivals (worker drains)
+
+  [[nodiscard]] osim::Pid pid() const { return worker_->pid(); }
+  [[nodiscard]] std::uint64_t served() const { return served_; }
+  [[nodiscard]] double lastResponseMillis() const { return lastResponseMs_; }
+  [[nodiscard]] std::size_t queueLength() const { return queue_.size(); }
+  [[nodiscard]] instrument::Coordinator* coordinator() {
+    return coordinator_.get();
+  }
+
+ private:
+  void scheduleArrival();
+  void workerLoop(osim::Process& p);
+
+  sim::Simulation& sim_;
+  osim::Host& host_;
+  std::string name_;
+  WebServerConfig config_;
+  sim::RandomStream rng_;
+
+  std::shared_ptr<osim::Process> worker_;
+  std::deque<sim::SimTime> queue_;  // arrival timestamps
+  sim::EventId arrivalEvent_ = sim::kInvalidEvent;
+
+  instrument::SensorRegistry registry_;
+  std::unique_ptr<instrument::Coordinator> coordinator_;
+  instrument::GaugeSensor* responseSensor_ = nullptr;
+
+  std::uint64_t served_ = 0;
+  double lastResponseMs_ = 0.0;
+};
+
+}  // namespace softqos::apps

@@ -1,0 +1,162 @@
+#include "distribution/admin.hpp"
+
+#include <algorithm>
+
+#include "ldapdir/ldif.hpp"
+
+namespace softqos::distribution {
+
+AdminTool::AdminTool(RepositoryService& repository) : repository_(repository) {}
+
+AdminTool::CheckResult AdminTool::checkPolicy(
+    const policy::PolicySpec& spec) const {
+  CheckResult result;
+  const auto fail = [&result](std::string problem) {
+    result.ok = false;
+    result.problems.push_back(std::move(problem));
+  };
+
+  if (spec.name.empty()) fail("policy has no name");
+  if (spec.conditions.empty()) fail("policy has no conditions");
+
+  const auto exec = repository_.findExecutable(spec.executable);
+  if (!exec.has_value()) {
+    fail("policy applies to unknown executable '" + spec.executable + "'");
+    return result;
+  }
+
+  // Gather the executable's sensor inventory.
+  std::vector<policy::SensorInfo> sensors;
+  for (const std::string& sensorId : exec->sensorIds) {
+    const auto sensor = repository_.findSensor(sensorId);
+    if (sensor.has_value()) {
+      sensors.push_back(*sensor);
+    } else {
+      fail("executable references unknown sensor '" + sensorId + "'");
+    }
+  }
+  const auto monitored = [&](const std::string& attribute) {
+    return std::any_of(sensors.begin(), sensors.end(),
+                       [&](const policy::SensorInfo& s) {
+                         return s.monitors(attribute);
+                       });
+  };
+  const auto isSensor = [&](const std::string& id) {
+    return std::any_of(sensors.begin(), sensors.end(),
+                       [&](const policy::SensorInfo& s) { return s.id == id; });
+  };
+
+  // Check 1: every condition attribute has a sensor collecting it.
+  for (const policy::PolicyCondition& cond : spec.conditions) {
+    if (!monitored(cond.attribute)) {
+      fail("no sensor of executable '" + spec.executable +
+           "' monitors attribute '" + cond.attribute + "'");
+    }
+  }
+
+  // Check 2: actions are sensor method invocations or a host-manager notify
+  // with non-empty, sensor-derived data.
+  std::vector<std::string> sensorReadOutputs;
+  for (const policy::PolicyAction& action : spec.actions) {
+    switch (action.kind) {
+      case policy::PolicyAction::Kind::kSensorRead:
+        if (!isSensor(action.target)) {
+          fail("action reads unknown sensor '" + action.target + "'");
+        }
+        for (const std::string& arg : action.arguments) {
+          sensorReadOutputs.push_back(arg);
+        }
+        break;
+      case policy::PolicyAction::Kind::kNotifyHostManager: {
+        if (action.arguments.empty()) {
+          fail("notification to the QoS Host Manager carries no data");
+          break;
+        }
+        for (const std::string& arg : action.arguments) {
+          if (std::find(sensorReadOutputs.begin(), sensorReadOutputs.end(),
+                        arg) == sensorReadOutputs.end()) {
+            fail("notification argument '" + arg +
+                 "' is not produced by a preceding sensor read");
+          }
+        }
+        break;
+      }
+      case policy::PolicyAction::Kind::kActuatorInvoke:
+        // Actuators are part of the executable's instrumentation; the
+        // repository does not model them, so only sanity-check the target.
+        if (action.target.empty()) fail("actuator action has empty target");
+        break;
+    }
+  }
+  return result;
+}
+
+AdminTool::CheckResult AdminTool::addPolicy(const policy::PolicySpec& spec) {
+  CheckResult result = checkPolicy(spec);
+  if (!result.ok) return result;
+  const ldapdir::LdapResult r = repository_.addPolicy(spec);
+  if (r != ldapdir::LdapResult::kSuccess) {
+    result.ok = false;
+    result.problems.push_back("repository rejected policy: " +
+                              ldapdir::ldapResultName(r));
+  }
+  return result;
+}
+
+AdminTool::CheckResult AdminTool::addPolicyText(const std::string& obligText,
+                                                const std::string& application,
+                                                const std::string& role) {
+  policy::PolicySpec spec;
+  try {
+    spec = policy::parseObligation(obligText);
+  } catch (const policy::PolicyParseError& e) {
+    CheckResult result;
+    result.ok = false;
+    result.problems.push_back(std::string("parse error: ") + e.what());
+    return result;
+  }
+  spec.application = application;
+  spec.userRole = role;
+  return addPolicy(spec);
+}
+
+bool AdminTool::removePolicy(const std::string& name) {
+  return repository_.removePolicy(name);
+}
+
+namespace {
+
+bool setEnabled(RepositoryService& repository, const std::string& name,
+                bool enabled) {
+  ldapdir::Modification mod;
+  mod.op = ldapdir::Modification::Op::kReplace;
+  mod.attr = "enabled";
+  mod.values = {enabled ? "TRUE" : "FALSE"};
+  return repository.directory().modify(policy::dit::policies().child("cn", name),
+                                       {mod}) == ldapdir::LdapResult::kSuccess;
+}
+
+}  // namespace
+
+bool AdminTool::disablePolicy(const std::string& name) {
+  return setEnabled(repository_, name, false);
+}
+
+bool AdminTool::enablePolicy(const std::string& name) {
+  return setEnabled(repository_, name, true);
+}
+
+std::vector<std::string> AdminTool::listPolicies() const {
+  return repository_.policyNames();
+}
+
+std::string AdminTool::policyLdif(const policy::PolicySpec& spec) const {
+  std::string out;
+  for (const ldapdir::Entry& e : policy::policyToEntries(spec)) {
+    out += ldapdir::toLdif(e);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace softqos::distribution

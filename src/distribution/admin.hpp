@@ -1,0 +1,55 @@
+// The policy administration application (Sections 6.2 and 7): authorized
+// administrators add/remove/browse policies. Before upload the tool performs
+// the paper's information-integrity checks:
+//   1. the policy applies to an executable whose sensors can monitor every
+//      attribute the policy's conditions reference;
+//   2. every action is either a method invocation on one of those sensors or
+//      a notification to the QoS Host Manager whose payload is non-empty and
+//      based on data returned by sensors.
+// Valid policies are translated to LDIF and uploaded to the repository.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "distribution/repository.hpp"
+#include "policy/parser.hpp"
+
+namespace softqos::distribution {
+
+class AdminTool {
+ public:
+  explicit AdminTool(RepositoryService& repository);
+
+  struct CheckResult {
+    bool ok = true;
+    std::vector<std::string> problems;
+  };
+
+  /// The integrity checks, without writing anything.
+  [[nodiscard]] CheckResult checkPolicy(const policy::PolicySpec& spec) const;
+
+  /// Check, translate to LDIF, and upload. On failure nothing is written and
+  /// the problems are returned.
+  CheckResult addPolicy(const policy::PolicySpec& spec);
+
+  /// Parse the obligation notation (Example 1), fill in applicability, then
+  /// addPolicy. Parse errors are reported as problems.
+  CheckResult addPolicyText(const std::string& obligText,
+                            const std::string& application,
+                            const std::string& role);
+
+  bool removePolicy(const std::string& name);
+  bool disablePolicy(const std::string& name);
+  bool enablePolicy(const std::string& name);
+
+  [[nodiscard]] std::vector<std::string> listPolicies() const;
+
+  /// The LDIF the tool uploads for this policy (browsing / audit).
+  [[nodiscard]] std::string policyLdif(const policy::PolicySpec& spec) const;
+
+ private:
+  RepositoryService& repository_;
+};
+
+}  // namespace softqos::distribution

@@ -1,0 +1,105 @@
+#include "distribution/policy_agent.hpp"
+
+namespace softqos::distribution {
+
+PolicyAgent::PolicyAgent(sim::Simulation& simulation,
+                         RepositoryService& repository)
+    : sim_(simulation), repository_(repository) {}
+
+std::vector<policy::CompiledPolicy> PolicyAgent::compileFor(
+    const Registration& reg) {
+  const auto exec = repository_.findExecutable(reg.executable);
+  if (!exec.has_value()) {
+    throw PolicyAgentError("unknown executable: " + reg.executable);
+  }
+
+  // Resolve attribute -> sensor through the executable's sensor inventory.
+  std::vector<policy::SensorInfo> sensors;
+  for (const std::string& sensorId : exec->sensorIds) {
+    const auto sensor = repository_.findSensor(sensorId);
+    if (sensor.has_value()) sensors.push_back(*sensor);
+  }
+  const auto sensorForAttribute = [&](const std::string& attribute) {
+    for (const policy::SensorInfo& s : sensors) {
+      if (s.monitors(attribute)) return s.id;
+    }
+    return std::string{};
+  };
+
+  std::vector<policy::CompiledPolicy> compiled;
+  for (const policy::PolicySpec& spec :
+       repository_.policiesFor(reg.application, reg.executable, reg.role)) {
+    try {
+      compiled.push_back(
+          policy::compilePolicy(spec, sensorForAttribute, nextComparisonId_));
+    } catch (const policy::CompileError& e) {
+      throw PolicyAgentError(e.what());
+    }
+  }
+  return compiled;
+}
+
+std::size_t PolicyAgent::registerProcess(const Registration& registration) {
+  if (registration.coordinator == nullptr) {
+    throw PolicyAgentError("registration without a coordinator");
+  }
+  std::vector<policy::CompiledPolicy> compiled = compileFor(registration);
+  registration.coordinator->setUserRole(registration.role);
+  registration.coordinator->installPolicies(compiled);
+  sessions_[registration.pid] = registration;
+  ++registrations_;
+  sim_.debug("policy-agent", "registered pid " +
+                                 std::to_string(registration.pid) + " (" +
+                                 registration.executable + "), " +
+                                 std::to_string(compiled.size()) + " policies");
+  return compiled.size();
+}
+
+void PolicyAgent::deregisterProcess(std::uint32_t pid) { sessions_.erase(pid); }
+
+std::size_t PolicyAgent::refresh(std::uint32_t pid) {
+  const auto it = sessions_.find(pid);
+  if (it == sessions_.end()) return 0;
+  const Registration& reg = it->second;
+  std::vector<policy::CompiledPolicy> compiled = compileFor(reg);
+  // Replace the whole set: drop policies that no longer apply, then install.
+  reg.coordinator->clearPolicies();
+  reg.coordinator->installPolicies(compiled);
+  ++pushes_;
+  return compiled.size();
+}
+
+void PolicyAgent::enableAutoPush() {
+  if (autoPush_) return;
+  autoPush_ = true;
+  repository_.directory().addChangeListener([this](const ldapdir::Dn& dn) {
+    const bool policyChange = dn.isDescendantOf(policy::dit::policies()) ||
+                              dn.isDescendantOf(policy::dit::conditions()) ||
+                              dn.isDescendantOf(policy::dit::actions());
+    if (!policyChange) return;
+    // Refresh on the next event-loop turn so a multi-entry upload (policy +
+    // inline conditions) is pushed once in a consistent state.
+    if (refreshPending_) return;
+    refreshPending_ = true;
+    sim_.after(0, [this] {
+      refreshPending_ = false;
+      std::vector<std::uint32_t> pids;
+      pids.reserve(sessions_.size());
+      for (const auto& [pid, reg] : sessions_) {
+        (void)reg;
+        pids.push_back(pid);
+      }
+      for (const std::uint32_t pid : pids) {
+        try {
+          refresh(pid);
+        } catch (const PolicyAgentError& e) {
+          sim_.warn("policy-agent",
+                    "auto-push to pid " + std::to_string(pid) + " failed: " +
+                        e.what());
+        }
+      }
+    });
+  });
+}
+
+}  // namespace softqos::distribution

@@ -1,0 +1,77 @@
+// The Policy Agent (Section 6.2): processes register at startup with their
+// pid, application, executable and user-role identifiers; the agent maps the
+// registration to the applicable policies, compiles them against the
+// executable's sensor inventory, and delivers them to the process
+// coordinator. With auto-push enabled, repository changes re-deliver the
+// (new) policy set to every affected running session — policies change
+// without recompilation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "distribution/repository.hpp"
+#include "instrument/coordinator.hpp"
+#include "policy/compile.hpp"
+#include "sim/simulation.hpp"
+
+namespace softqos::distribution {
+
+class PolicyAgentError : public std::runtime_error {
+ public:
+  explicit PolicyAgentError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+class PolicyAgent {
+ public:
+  PolicyAgent(sim::Simulation& simulation, RepositoryService& repository);
+
+  PolicyAgent(const PolicyAgent&) = delete;
+  PolicyAgent& operator=(const PolicyAgent&) = delete;
+
+  struct Registration {
+    std::uint32_t pid = 0;
+    std::string application;
+    std::string executable;
+    std::string role;
+    instrument::Coordinator* coordinator = nullptr;  // must outlive the session
+  };
+
+  /// Register a starting process; compiles and installs its policies.
+  /// Returns the number of policies delivered. Throws PolicyAgentError if
+  /// the executable is unknown or a policy references an attribute no
+  /// sensor of the executable can monitor.
+  std::size_t registerProcess(const Registration& registration);
+
+  /// Remove a session (process exit); its policies stay installed on the
+  /// dead coordinator but no further pushes are delivered.
+  void deregisterProcess(std::uint32_t pid);
+
+  /// Re-deliver the applicable policy set to one session (run-time change).
+  std::size_t refresh(std::uint32_t pid);
+
+  /// Subscribe to repository changes: any change under ou=policies (or to
+  /// reusable conditions/actions) refreshes every session.
+  void enableAutoPush();
+
+  [[nodiscard]] std::size_t sessionCount() const { return sessions_.size(); }
+  [[nodiscard]] std::uint64_t registrations() const { return registrations_; }
+  [[nodiscard]] std::uint64_t pushes() const { return pushes_; }
+
+ private:
+  std::vector<policy::CompiledPolicy> compileFor(const Registration& reg);
+
+  sim::Simulation& sim_;
+  RepositoryService& repository_;
+  std::map<std::uint32_t, Registration> sessions_;
+  int nextComparisonId_ = 1;
+  std::uint64_t registrations_ = 0;
+  std::uint64_t pushes_ = 0;
+  bool autoPush_ = false;
+  bool refreshPending_ = false;  // coalesces bursts of repository changes
+};
+
+}  // namespace softqos::distribution

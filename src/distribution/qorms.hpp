@@ -1,0 +1,61 @@
+// The Quality of Resource Management System (Figure 1's outer box): one
+// management process per deployment owning the policy repository, the policy
+// agent, the admin application and the domain managers, with system-wide
+// dynamic rule distribution.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "distribution/admin.hpp"
+#include "distribution/policy_agent.hpp"
+#include "distribution/repository.hpp"
+#include "manager/domain_manager.hpp"
+#include "manager/host_manager.hpp"
+#include "net/network.hpp"
+#include "sim/simulation.hpp"
+
+namespace softqos::distribution {
+
+class Qorms {
+ public:
+  Qorms(sim::Simulation& simulation, net::Network& network);
+
+  Qorms(const Qorms&) = delete;
+  Qorms& operator=(const Qorms&) = delete;
+
+  [[nodiscard]] RepositoryService& repository() { return repository_; }
+  [[nodiscard]] PolicyAgent& agent() { return agent_; }
+  [[nodiscard]] AdminTool& admin() { return admin_; }
+
+  /// Create the QoS Host Manager for a host (one per host).
+  manager::QoSHostManager& createHostManager(
+      osim::Host& host, manager::HostManagerConfig config = {});
+
+  /// Create a QoS Domain Manager seated on `seat`, covering `hosts`.
+  manager::QoSDomainManager& createDomainManager(
+      osim::Host& seat, const std::string& name,
+      const std::vector<std::string>& hosts,
+      manager::DomainManagerConfig config = {});
+
+  [[nodiscard]] std::vector<manager::QoSHostManager*> hostManagers();
+  [[nodiscard]] std::vector<manager::QoSDomainManager*> domainManagers();
+  [[nodiscard]] manager::QoSHostManager* hostManagerFor(
+      const std::string& hostName);
+
+  /// System-wide dynamic rule distribution (Section 9).
+  void distributeHostRules(const std::string& ruleText);
+  void distributeDomainRules(const std::string& ruleText);
+
+ private:
+  sim::Simulation& sim_;
+  net::Network& network_;
+  RepositoryService repository_;
+  PolicyAgent agent_;
+  AdminTool admin_;
+  std::vector<std::unique_ptr<manager::QoSHostManager>> hostManagers_;
+  std::vector<std::unique_ptr<manager::QoSDomainManager>> domainManagers_;
+};
+
+}  // namespace softqos::distribution

@@ -1,0 +1,151 @@
+#include "distribution/repository.hpp"
+
+namespace softqos::distribution {
+
+using ldapdir::Dn;
+using ldapdir::Entry;
+using ldapdir::Filter;
+using ldapdir::LdapResult;
+using ldapdir::SearchScope;
+
+RepositoryService::RepositoryService(bool enforceSchema)
+    : directory_(Dn::parse("o=uwo"), ldapdir::informationModelSchema(),
+                 enforceSchema) {
+  for (const Entry& e : policy::dit::containerEntries()) {
+    directory_.add(e);
+  }
+}
+
+LdapResult RepositoryService::addApplication(const policy::ApplicationInfo& app) {
+  return directory_.add(policy::toEntry(app));
+}
+
+LdapResult RepositoryService::addExecutable(const policy::ExecutableInfo& exec) {
+  return directory_.add(policy::toEntry(exec));
+}
+
+LdapResult RepositoryService::addSensor(const policy::SensorInfo& sensor) {
+  return directory_.add(policy::toEntry(sensor));
+}
+
+LdapResult RepositoryService::addRole(const policy::UserRole& role) {
+  return directory_.add(policy::toEntry(role));
+}
+
+LdapResult RepositoryService::addPolicy(const policy::PolicySpec& spec) {
+  // Refuse early if the policy entry exists (the inline condition/action
+  // entries would otherwise be half-written).
+  if (directory_.lookup(policy::dit::policies().child("cn", spec.name)) !=
+      nullptr) {
+    return LdapResult::kEntryAlreadyExists;
+  }
+  std::vector<Entry> entries = policy::policyToEntries(spec);
+  std::vector<Dn> written;
+  for (const Entry& e : entries) {
+    const LdapResult r = directory_.add(e);
+    if (r != LdapResult::kSuccess && r != LdapResult::kEntryAlreadyExists) {
+      for (const Dn& dn : written) directory_.remove(dn);  // roll back
+      return r;
+    }
+    if (r == LdapResult::kSuccess) written.push_back(e.dn());
+  }
+  return LdapResult::kSuccess;
+}
+
+bool RepositoryService::removePolicy(const std::string& name) {
+  const Dn dn = policy::dit::policies().child("cn", name);
+  const Entry* entry = directory_.lookup(dn);
+  if (entry == nullptr) return false;
+
+  // Drop inline condition/action entries created for this policy (their cn
+  // carries the policy-name prefix); shared reusable entries stay.
+  std::vector<Dn> toRemove;
+  for (const char* attr : {"conditionref", "actionref"}) {
+    if (const auto* refs = entry->values(attr)) {
+      for (const std::string& ref : *refs) {
+        if (ref.rfind(name + "-", 0) == 0) {
+          toRemove.push_back(attr == std::string("conditionref")
+                                 ? policy::dit::conditions().child("cn", ref)
+                                 : policy::dit::actions().child("cn", ref));
+        }
+      }
+    }
+  }
+  directory_.remove(dn);
+  for (const Dn& d : toRemove) directory_.remove(d);
+  return true;
+}
+
+std::optional<policy::ApplicationInfo> RepositoryService::findApplication(
+    const std::string& name) const {
+  const Entry* e = directory_.lookup(policy::dit::applications().child("cn", name));
+  if (e == nullptr) return std::nullopt;
+  return policy::applicationFromEntry(*e);
+}
+
+std::optional<policy::ExecutableInfo> RepositoryService::findExecutable(
+    const std::string& name) const {
+  const Entry* e = directory_.lookup(policy::dit::executables().child("cn", name));
+  if (e == nullptr) return std::nullopt;
+  return policy::executableFromEntry(*e);
+}
+
+std::optional<policy::SensorInfo> RepositoryService::findSensor(
+    const std::string& id) const {
+  const Entry* e = directory_.lookup(policy::dit::sensors().child("cn", id));
+  if (e == nullptr) return std::nullopt;
+  return policy::sensorFromEntry(*e);
+}
+
+std::optional<policy::UserRole> RepositoryService::findRole(
+    const std::string& name) const {
+  const Entry* e = directory_.lookup(policy::dit::roles().child("cn", name));
+  if (e == nullptr) return std::nullopt;
+  return policy::roleFromEntry(*e);
+}
+
+std::optional<policy::PolicySpec> RepositoryService::findPolicy(
+    const std::string& name) const {
+  const Entry* e = directory_.lookup(policy::dit::policies().child("cn", name));
+  if (e == nullptr) return std::nullopt;
+  return policy::policyFromEntry(*e, directory_);
+}
+
+std::vector<std::string> RepositoryService::policyNames() const {
+  std::vector<std::string> out;
+  for (const Entry* e :
+       directory_.search(policy::dit::policies(), SearchScope::kOneLevel,
+                         Filter::parse("(objectClass=qosPolicy)"))) {
+    out.push_back(e->firstValue("cn").value_or(""));
+  }
+  return out;
+}
+
+std::vector<policy::PolicySpec> RepositoryService::policiesFor(
+    const std::string& application, const std::string& executable,
+    const std::string& role) const {
+  const Filter filter = Filter::parse(
+      "(&(objectClass=qosPolicy)(executableRef=" + executable +
+      ")(!(enabled=FALSE)))");
+  std::vector<policy::PolicySpec> out;
+  for (const Entry* e : directory_.search(policy::dit::policies(),
+                                          SearchScope::kOneLevel, filter)) {
+    policy::PolicySpec spec = policy::policyFromEntry(*e, directory_);
+    const bool appMatches = spec.application.empty() ||
+                            spec.application == "*" ||
+                            spec.application == application;
+    const bool roleMatches = spec.userRole.empty() || spec.userRole == role;
+    if (appMatches && roleMatches) out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+ldapdir::LdifApplyStats RepositoryService::uploadLdif(const std::string& text) {
+  return ldapdir::applyLdif(directory_, text);
+}
+
+std::string RepositoryService::exportLdif() const {
+  return ldapdir::toLdif(directory_);
+}
+
+}  // namespace softqos::distribution

@@ -1,0 +1,66 @@
+// The Repository Service (Section 6.2): storage and retrieval of the
+// information-model data, backed by the LDAP-style directory.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ldapdir/directory.hpp"
+#include "ldapdir/ldif.hpp"
+#include "policy/ldap_mapping.hpp"
+#include "policy/model.hpp"
+
+namespace softqos::distribution {
+
+class RepositoryService {
+ public:
+  explicit RepositoryService(bool enforceSchema = true);
+
+  RepositoryService(const RepositoryService&) = delete;
+  RepositoryService& operator=(const RepositoryService&) = delete;
+
+  [[nodiscard]] ldapdir::Directory& directory() { return directory_; }
+  [[nodiscard]] const ldapdir::Directory& directory() const { return directory_; }
+
+  // ---- Model CRUD ----
+  ldapdir::LdapResult addApplication(const policy::ApplicationInfo& app);
+  ldapdir::LdapResult addExecutable(const policy::ExecutableInfo& exec);
+  ldapdir::LdapResult addSensor(const policy::SensorInfo& sensor);
+  ldapdir::LdapResult addRole(const policy::UserRole& role);
+
+  /// Store a policy (and its inline condition/action entries). Fails without
+  /// side effects if the policy entry already exists.
+  ldapdir::LdapResult addPolicy(const policy::PolicySpec& spec);
+  bool removePolicy(const std::string& name);
+
+  [[nodiscard]] std::optional<policy::ApplicationInfo> findApplication(
+      const std::string& name) const;
+  [[nodiscard]] std::optional<policy::ExecutableInfo> findExecutable(
+      const std::string& name) const;
+  [[nodiscard]] std::optional<policy::SensorInfo> findSensor(
+      const std::string& id) const;
+  [[nodiscard]] std::optional<policy::UserRole> findRole(
+      const std::string& name) const;
+  [[nodiscard]] std::optional<policy::PolicySpec> findPolicy(
+      const std::string& name) const;
+
+  [[nodiscard]] std::vector<std::string> policyNames() const;
+
+  /// Policies applicable to a registering process (Section 6.2): enabled,
+  /// matching executable, application (exact or wildcard) and user role
+  /// (role-specific policies apply only to that role; role-less policies
+  /// apply to everyone).
+  [[nodiscard]] std::vector<policy::PolicySpec> policiesFor(
+      const std::string& application, const std::string& executable,
+      const std::string& role) const;
+
+  // ---- LDIF interchange ----
+  ldapdir::LdifApplyStats uploadLdif(const std::string& text);
+  [[nodiscard]] std::string exportLdif() const;
+
+ private:
+  ldapdir::Directory directory_;
+};
+
+}  // namespace softqos::distribution

@@ -1,0 +1,20 @@
+#include "instrument/actuator.hpp"
+
+#include <algorithm>
+
+namespace softqos::instrument {
+
+void QualityLevelActuator::invoke(const std::vector<std::string>& args) {
+  countInvocation();
+  int delta = 0;
+  if (!args.empty()) {
+    if (args[0] == "down") {
+      delta = -1;
+    } else if (args[0] == "up") {
+      delta = 1;
+    }
+  }
+  level_ = std::clamp(level_ + delta, minLevel_, maxLevel_);
+}
+
+}  // namespace softqos::instrument

@@ -1,0 +1,76 @@
+// Actuators encapsulate control functions over the instrumented process
+// (Section 5.1). The framework uses them for application-level adaptation
+// (quality reduction, frame dropping) as an alternative to resource
+// adjustment.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace softqos::instrument {
+
+class Actuator {
+ public:
+  explicit Actuator(std::string id) : id_(std::move(id)) {}
+  virtual ~Actuator() = default;
+
+  Actuator(const Actuator&) = delete;
+  Actuator& operator=(const Actuator&) = delete;
+
+  [[nodiscard]] const std::string& id() const { return id_; }
+
+  /// Exert control; arguments come from the policy action's argument list.
+  virtual void invoke(const std::vector<std::string>& args) = 0;
+
+  [[nodiscard]] std::uint64_t invocations() const { return invocations_; }
+
+ protected:
+  void countInvocation() { ++invocations_; }
+
+ private:
+  std::string id_;
+  std::uint64_t invocations_ = 0;
+};
+
+/// Adapts an arbitrary callback as an actuator (the common case: the probe
+/// author wires a lambda touching application state).
+class CallbackActuator : public Actuator {
+ public:
+  using Fn = std::function<void(const std::vector<std::string>&)>;
+
+  CallbackActuator(std::string id, Fn fn)
+      : Actuator(std::move(id)), fn_(std::move(fn)) {}
+
+  void invoke(const std::vector<std::string>& args) override {
+    countInvocation();
+    if (fn_) fn_(args);
+  }
+
+ private:
+  Fn fn_;
+};
+
+/// A discrete quality-level actuator: invoke("down") / invoke("up") steps a
+/// level in [minLevel, maxLevel]; the application polls level() to adapt
+/// (e.g. decode resolution).
+class QualityLevelActuator : public Actuator {
+ public:
+  QualityLevelActuator(std::string id, int minLevel, int maxLevel, int start)
+      : Actuator(std::move(id)),
+        minLevel_(minLevel),
+        maxLevel_(maxLevel),
+        level_(start) {}
+
+  void invoke(const std::vector<std::string>& args) override;
+
+  [[nodiscard]] int level() const { return level_; }
+
+ private:
+  int minLevel_;
+  int maxLevel_;
+  int level_;
+};
+
+}  // namespace softqos::instrument

@@ -1,0 +1,90 @@
+#include "instrument/control.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace softqos::instrument {
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(delim, start);
+    if (pos == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+}  // namespace
+
+std::string controlQueueKey(std::uint32_t pid) {
+  return "qosl-ctl-" + std::to_string(pid);
+}
+
+std::string ControlCommand::serialize() const {
+  std::ostringstream out;
+  out << "CTL|";
+  switch (kind) {
+    case Kind::kAdapt:
+      out << "adapt|" << target;
+      for (const std::string& a : args) out << "|" << a;
+      break;
+    case Kind::kSetThreshold:
+      out << "set-threshold|" << comparisonId << "|" << value;
+      break;
+    case Kind::kEnableSensor:
+      out << "enable-sensor|" << target << "|" << (enable ? 1 : 0);
+      break;
+    case Kind::kSetTick:
+      out << "set-tick|" << target << "|" << tickMicros;
+      break;
+    case Kind::kRemovePolicy:
+      out << "remove-policy|" << target;
+      break;
+  }
+  return out.str();
+}
+
+bool ControlCommand::parse(const std::string& text, ControlCommand& out) {
+  const auto parts = split(text, '|');
+  if (parts.size() < 2 || parts[0] != "CTL") return false;
+  const std::string& verb = parts[1];
+  if (verb == "adapt" && parts.size() >= 3) {
+    out.kind = Kind::kAdapt;
+    out.target = parts[2];
+    out.args.assign(parts.begin() + 3, parts.end());
+    return true;
+  }
+  if (verb == "set-threshold" && parts.size() == 4) {
+    out.kind = Kind::kSetThreshold;
+    out.comparisonId = std::atoi(parts[2].c_str());
+    out.value = std::strtod(parts[3].c_str(), nullptr);
+    return true;
+  }
+  if (verb == "enable-sensor" && parts.size() == 4) {
+    out.kind = Kind::kEnableSensor;
+    out.target = parts[2];
+    out.enable = parts[3] != "0";
+    return true;
+  }
+  if (verb == "set-tick" && parts.size() == 4) {
+    out.kind = Kind::kSetTick;
+    out.target = parts[2];
+    out.tickMicros = std::atoll(parts[3].c_str());
+    return true;
+  }
+  if (verb == "remove-policy" && parts.size() == 3) {
+    out.kind = Kind::kRemovePolicy;
+    out.target = parts[2];
+    return true;
+  }
+  return false;
+}
+
+}  // namespace softqos::instrument

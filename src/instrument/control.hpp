@@ -1,0 +1,47 @@
+// The manager -> process control channel.
+//
+// The paper's enforcement loop is one-directional (coordinator notifies the
+// manager); Sections 9/10 call for the reverse direction too: thresholds
+// changed while an application executes, and application-level *adaptation*
+// when resources alone cannot satisfy a policy (overload handling). This
+// module gives the coordinator a control endpoint on a per-process message
+// queue; managers send small commands:
+//
+//   CTL|adapt|<actuatorId>|<arg>...        invoke an actuator
+//   CTL|set-threshold|<comparisonId>|<v>   retune an installed comparison
+//   CTL|enable-sensor|<sensorId>|<0|1>     toggle a sensor
+//   CTL|set-tick|<sensorId>|<microsec>     change a sensor's tick interval
+//   CTL|remove-policy|<policyId>           drop a policy locally
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace softqos::instrument {
+
+/// One parsed control command.
+struct ControlCommand {
+  enum class Kind {
+    kAdapt,
+    kSetThreshold,
+    kEnableSensor,
+    kSetTick,
+    kRemovePolicy,
+  };
+  Kind kind = Kind::kAdapt;
+  std::string target;               // actuator / sensor / policy id
+  int comparisonId = 0;             // kSetThreshold
+  double value = 0.0;               // kSetThreshold
+  bool enable = true;               // kEnableSensor
+  std::int64_t tickMicros = 0;      // kSetTick
+  std::vector<std::string> args;    // kAdapt
+
+  [[nodiscard]] std::string serialize() const;
+  static bool parse(const std::string& text, ControlCommand& out);
+};
+
+/// The conventional control-queue key for a process.
+std::string controlQueueKey(std::uint32_t pid);
+
+}  // namespace softqos::instrument

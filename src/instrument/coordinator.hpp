@@ -1,0 +1,128 @@
+// The per-process coordinator (Section 5.2): tracks adherence to the
+// policies associated with the application process, maps sensor alarms to
+// boolean variables, evaluates each policy's boolean expression, and — on a
+// violation — executes the policy's do-list (sensor reads, notification to
+// the QoS Host Manager). All knowledge of the QoS Host Manager is confined
+// here, hiding it from the rest of the instrumentation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "instrument/control.hpp"
+#include "instrument/registry.hpp"
+#include "instrument/report.hpp"
+#include "osim/msgqueue.hpp"
+#include "policy/compile.hpp"
+#include "sim/simulation.hpp"
+
+namespace softqos::instrument {
+
+class InstrumentError : public std::runtime_error {
+ public:
+  explicit InstrumentError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+class Coordinator {
+ public:
+  /// `notify` delivers a report to the QoS Host Manager (typically a message
+  /// queue send); the coordinator neither knows nor cares what is behind it.
+  using NotifyFn = std::function<void(const ViolationReport&)>;
+
+  Coordinator(sim::Simulation& simulation, std::string hostName,
+              std::uint32_t pid, std::string executable,
+              SensorRegistry& registry, NotifyFn notify);
+
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  void setUserRole(std::string role) { userRole_ = std::move(role); }
+  [[nodiscard]] const std::string& userRole() const { return userRole_; }
+
+  /// While a policy stays violated, its do-list re-runs (fresh sensor reads,
+  /// fresh notification) every `interval` — the iterative feedback the
+  /// Section 2 strategy needs to search for a suitable allocation. Zero
+  /// disables repetition (single notification per violation episode).
+  void setRepeatInterval(sim::SimDuration interval) { repeatInterval_ = interval; }
+  [[nodiscard]] sim::SimDuration repeatInterval() const { return repeatInterval_; }
+
+  /// Install compiled policies (Section 5.2: the coordinator builds a policy
+  /// object per policy, generates a boolean variable per comparison, and
+  /// initializes the sensors with thresholds and comparison ids). Throws
+  /// InstrumentError when a referenced sensor is absent.
+  void installPolicies(const std::vector<policy::CompiledPolicy>& policies);
+
+  /// Remove one policy (its comparisons are uninstalled from sensors).
+  bool removePolicy(const std::string& policyId);
+  void clearPolicies();
+
+  [[nodiscard]] std::size_t policyCount() const { return policies_.size(); }
+  [[nodiscard]] bool hasPolicy(const std::string& policyId) const;
+
+  /// Current violation state of one policy (false when unknown id).
+  [[nodiscard]] bool isViolated(const std::string& policyId) const;
+
+  /// Alarm entry point (wired as the sensors' alarm handler).
+  void onAlarm(Sensor& sensor, int comparisonId, bool holds);
+
+  /// Attach the manager->process control channel (a per-process message
+  /// queue): managers can invoke actuators (application adaptation under
+  /// overload), retune thresholds while the application executes, toggle
+  /// sensors and drop policies — all without recompilation.
+  void attachControlQueue(osim::MessageQueue& queue);
+
+  /// Execute one control command (also the queue handler). Returns false
+  /// for unknown targets/commands.
+  bool executeControl(const ControlCommand& command);
+
+  [[nodiscard]] std::uint64_t controlCommandsExecuted() const {
+    return controlsExecuted_;
+  }
+  [[nodiscard]] std::uint64_t controlCommandsRejected() const {
+    return controlsRejected_;
+  }
+
+  [[nodiscard]] std::uint64_t violationsReported() const { return violations_; }
+  [[nodiscard]] std::uint64_t clearsReported() const { return clears_; }
+
+ private:
+  struct PolicyObject {
+    policy::CompiledPolicy compiled;
+    std::vector<bool> vars;  // one per comparison; optimistic (true) start
+    bool violated = false;
+    sim::EventId repeatEvent = sim::kInvalidEvent;
+  };
+
+  void wirePolicy(PolicyObject& po);
+  void unwirePolicy(PolicyObject& po);
+  void scheduleRepeat(PolicyObject& po);
+  void sendTransitionReport(PolicyObject& po);
+  void evaluate(PolicyObject& po);
+  void executeDoList(PolicyObject& po, ViolationReport& report,
+                     bool runActuators);
+
+  sim::Simulation& sim_;
+  std::string hostName_;
+  std::uint32_t pid_;
+  std::string executable_;
+  std::string userRole_;
+  SensorRegistry& registry_;
+  NotifyFn notify_;
+
+  std::vector<std::unique_ptr<PolicyObject>> policies_;
+  std::map<int, std::pair<PolicyObject*, int>> byComparison_;  // id -> (policy, var)
+  sim::SimDuration repeatInterval_ = sim::msec(500);
+  std::uint64_t violations_ = 0;
+  std::uint64_t clears_ = 0;
+  std::uint64_t controlsExecuted_ = 0;
+  std::uint64_t controlsRejected_ = 0;
+};
+
+}  // namespace softqos::instrument

@@ -1,0 +1,75 @@
+#include "instrument/proactive.hpp"
+
+namespace softqos::instrument {
+
+TrendMonitor::TrendMonitor(sim::Simulation& simulation, Sensor& sensor,
+                           policy::PolicyCmp op, double threshold,
+                           Config config, PredictHandler onPredictedViolation)
+    : sim_(simulation),
+      sensor_(sensor),
+      op_(op),
+      threshold_(threshold),
+      config_(config),
+      handler_(std::move(onPredictedViolation)) {}
+
+TrendMonitor::~TrendMonitor() { stop(); }
+
+void TrendMonitor::start() {
+  if (event_ != sim::kInvalidEvent) return;
+  event_ = sim_.after(config_.sampleInterval, [this] { sample(); });
+}
+
+void TrendMonitor::stop() {
+  if (event_ == sim::kInvalidEvent) return;
+  sim_.cancel(event_);
+  event_ = sim::kInvalidEvent;
+}
+
+void TrendMonitor::sample() {
+  event_ = sim_.after(config_.sampleInterval, [this] { sample(); });
+  ++samples_;
+
+  const double current = sensor_.currentValue();
+  window_.emplace_back(sim_.now(), current);
+  while (window_.size() > config_.windowSamples) window_.pop_front();
+
+  if (window_.size() < 3) {
+    predicted_ = current;
+    return;
+  }
+
+  // Least-squares slope over the window (time in seconds relative to the
+  // window start, to keep the arithmetic well-conditioned).
+  const double t0 = static_cast<double>(window_.front().first);
+  double sumT = 0;
+  double sumV = 0;
+  double sumTT = 0;
+  double sumTV = 0;
+  const double n = static_cast<double>(window_.size());
+  for (const auto& [t, v] : window_) {
+    const double ts = (static_cast<double>(t) - t0) / sim::kSecond;
+    sumT += ts;
+    sumV += v;
+    sumTT += ts * ts;
+    sumTV += ts * v;
+  }
+  const double denom = n * sumTT - sumT * sumT;
+  slopePerSecond_ = denom != 0.0 ? (n * sumTV - sumT * sumV) / denom : 0.0;
+  predicted_ = current + slopePerSecond_ * sim::toSeconds(config_.horizon);
+
+  const policy::PrimitiveComparison cmp{sensor_.attribute(), op_, threshold_};
+  const bool currentOk = cmp.holds(current);
+  const bool predictedOk = cmp.holds(predicted_);
+
+  if (currentOk && !predictedOk) {
+    if (armed_) {
+      armed_ = false;
+      ++fired_;
+      if (handler_) handler_(current, predicted_);
+    }
+  } else if (predictedOk) {
+    armed_ = true;  // episode over: re-arm
+  }
+}
+
+}  // namespace softqos::instrument

@@ -1,0 +1,75 @@
+// Proactive quality of service (paper Section 10, future work iv): "where
+// potential problems are detected and handled before they actually occur".
+//
+// A TrendMonitor samples a sensor periodically, fits a least-squares line
+// over a sliding window, and extrapolates `horizon` ahead. When the
+// *predicted* value violates the threshold while the *current* value still
+// complies, it fires a predicted-violation callback — giving managers a
+// head start on the allocation search.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "instrument/sensor.hpp"
+#include "policy/condition.hpp"
+#include "sim/simulation.hpp"
+
+namespace softqos::instrument {
+
+class TrendMonitor {
+ public:
+  struct Config {
+    sim::SimDuration sampleInterval = sim::msec(250);
+    std::size_t windowSamples = 8;       // regression window
+    sim::SimDuration horizon = sim::sec(2);  // prediction lookahead
+  };
+
+  /// Fired once per predicted-violation episode (re-armed when the
+  /// prediction returns to compliance).
+  using PredictHandler = std::function<void(double current, double predicted)>;
+
+  /// Watch `sensor` against `op threshold` (the *requirement*, violated when
+  /// the comparison stops holding).
+  TrendMonitor(sim::Simulation& simulation, Sensor& sensor,
+               policy::PolicyCmp op, double threshold, Config config,
+               PredictHandler onPredictedViolation);
+  ~TrendMonitor();
+
+  TrendMonitor(const TrendMonitor&) = delete;
+  TrendMonitor& operator=(const TrendMonitor&) = delete;
+
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const { return event_ != sim::kInvalidEvent; }
+
+  /// Latest extrapolated value (current value until the window fills).
+  [[nodiscard]] double predictedValue() const { return predicted_; }
+
+  /// Slope of the fitted trend, in value units per second.
+  [[nodiscard]] double slopePerSecond() const { return slopePerSecond_; }
+
+  [[nodiscard]] std::uint64_t predictionsFired() const { return fired_; }
+  [[nodiscard]] std::uint64_t samplesTaken() const { return samples_; }
+
+ private:
+  void sample();
+
+  sim::Simulation& sim_;
+  Sensor& sensor_;
+  policy::PolicyCmp op_;
+  double threshold_;
+  Config config_;
+  PredictHandler handler_;
+
+  std::deque<std::pair<sim::SimTime, double>> window_;
+  double predicted_ = 0.0;
+  double slopePerSecond_ = 0.0;
+  bool armed_ = true;  // one firing per episode
+  sim::EventId event_ = sim::kInvalidEvent;
+  std::uint64_t fired_ = 0;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace softqos::instrument

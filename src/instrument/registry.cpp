@@ -1,0 +1,37 @@
+#include "instrument/registry.hpp"
+
+#include <algorithm>
+
+namespace softqos::instrument {
+
+void SensorRegistry::addSensor(std::shared_ptr<Sensor> sensor) {
+  const std::string id = sensor->id();
+  if (!sensors_.contains(id)) order_.push_back(id);
+  sensors_[id] = std::move(sensor);
+}
+
+void SensorRegistry::addActuator(std::shared_ptr<Actuator> actuator) {
+  actuators_[actuator->id()] = std::move(actuator);
+}
+
+Sensor* SensorRegistry::sensor(const std::string& id) const {
+  const auto it = sensors_.find(id);
+  return it == sensors_.end() ? nullptr : it->second.get();
+}
+
+Actuator* SensorRegistry::actuator(const std::string& id) const {
+  const auto it = actuators_.find(id);
+  return it == actuators_.end() ? nullptr : it->second.get();
+}
+
+Sensor* SensorRegistry::sensorForAttribute(const std::string& attribute) const {
+  for (const std::string& id : order_) {
+    Sensor* s = sensor(id);
+    if (s != nullptr && s->attribute() == attribute) return s;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> SensorRegistry::sensorIds() const { return order_; }
+
+}  // namespace softqos::instrument

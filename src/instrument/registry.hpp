@@ -1,0 +1,38 @@
+// Per-process registry of instrumentation components. Probes and the
+// coordinator look sensors/actuators up by id; policy compilation resolves
+// attributes to the sensor monitoring them.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "instrument/actuator.hpp"
+#include "instrument/sensor.hpp"
+
+namespace softqos::instrument {
+
+class SensorRegistry {
+ public:
+  /// Register a sensor; the registry shares ownership. Re-registering an id
+  /// replaces the previous sensor.
+  void addSensor(std::shared_ptr<Sensor> sensor);
+  void addActuator(std::shared_ptr<Actuator> actuator);
+
+  [[nodiscard]] Sensor* sensor(const std::string& id) const;
+  [[nodiscard]] Actuator* actuator(const std::string& id) const;
+
+  /// First registered sensor whose attribute matches (registration order).
+  [[nodiscard]] Sensor* sensorForAttribute(const std::string& attribute) const;
+
+  [[nodiscard]] std::vector<std::string> sensorIds() const;
+  [[nodiscard]] std::size_t sensorCount() const { return sensors_.size(); }
+
+ private:
+  std::map<std::string, std::shared_ptr<Sensor>> sensors_;
+  std::vector<std::string> order_;  // registration order for attribute lookup
+  std::map<std::string, std::shared_ptr<Actuator>> actuators_;
+};
+
+}  // namespace softqos::instrument

@@ -1,0 +1,76 @@
+#include "instrument/report.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace softqos::instrument {
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char delim,
+                               std::size_t maxParts) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    if (maxParts != 0 && out.size() + 1 == maxParts) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    const std::size_t pos = s.find(delim, start);
+    if (pos == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+}  // namespace
+
+std::optional<double> ViolationReport::metric(const std::string& name) const {
+  for (const auto& [k, v] : metrics) {
+    if (k == name) return v;
+  }
+  return std::nullopt;
+}
+
+std::string ViolationReport::serialize() const {
+  std::ostringstream out;
+  out << "QOSRPT|" << policyId << "|" << pid << "|" << hostName << "|"
+      << executable << "|" << userRole << "|" << (violated ? "V" : "C") << "|";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    if (i != 0) out << ";";
+    out << metrics[i].first << "=" << metrics[i].second;
+  }
+  return out.str();
+}
+
+std::optional<ViolationReport> ViolationReport::parse(const std::string& text) {
+  const auto parts = split(text, '|', 8);
+  if (parts.size() != 8 || parts[0] != "QOSRPT") return std::nullopt;
+  ViolationReport r;
+  r.policyId = parts[1];
+  r.pid = static_cast<std::uint32_t>(std::strtoul(parts[2].c_str(), nullptr, 10));
+  r.hostName = parts[3];
+  r.executable = parts[4];
+  r.userRole = parts[5];
+  if (parts[6] == "V") {
+    r.violated = true;
+  } else if (parts[6] == "C") {
+    r.violated = false;
+  } else {
+    return std::nullopt;
+  }
+  if (!parts[7].empty()) {
+    for (const std::string& kv : split(parts[7], ';', 0)) {
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos) return std::nullopt;
+      r.metrics.emplace_back(kv.substr(0, eq),
+                             std::strtod(kv.c_str() + eq + 1, nullptr));
+    }
+  }
+  return r;
+}
+
+}  // namespace softqos::instrument

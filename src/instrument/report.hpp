@@ -1,0 +1,32 @@
+// The violation/clear report a coordinator sends to the QoS Host Manager,
+// with a line-oriented wire encoding for message queues and RPC bodies.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace softqos::instrument {
+
+struct ViolationReport {
+  std::string policyId;
+  std::uint32_t pid = 0;
+  std::string hostName;
+  std::string executable;
+  std::string userRole;
+  bool violated = true;  // false: the policy returned to compliance
+  /// Metric values gathered by the policy's sensor-read actions
+  /// (e.g. frame_rate, jitter_rate, buffer_size from Example 1).
+  std::vector<std::pair<std::string, double>> metrics;
+
+  [[nodiscard]] std::optional<double> metric(const std::string& name) const;
+
+  /// Wire format:
+  /// QOSRPT|policy|pid|host|exec|role|V or C|name=value;name=value
+  [[nodiscard]] std::string serialize() const;
+  static std::optional<ViolationReport> parse(const std::string& text);
+};
+
+}  // namespace softqos::instrument

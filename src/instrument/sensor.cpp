@@ -1,0 +1,109 @@
+#include "instrument/sensor.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace softqos::instrument {
+
+Sensor::Sensor(sim::Simulation& simulation, std::string id, std::string attribute)
+    : sim_(simulation), id_(std::move(id)), attribute_(std::move(attribute)) {}
+
+Sensor::~Sensor() {
+  if (tickEvent_ != sim::kInvalidEvent) sim_.cancel(tickEvent_);
+}
+
+void Sensor::setEnabled(bool enabled) {
+  if (enabled_ == enabled) return;
+  enabled_ = enabled;
+  if (!enabled_ && tickEvent_ != sim::kInvalidEvent) {
+    sim_.cancel(tickEvent_);
+    tickEvent_ = sim::kInvalidEvent;
+  }
+  if (enabled_ && tickInterval_ > 0) scheduleTick();
+}
+
+void Sensor::init(const std::string& thresholdText,
+                  const std::string& comparatorText, int comparisonId) {
+  // The sensor is responsible for the string->type conversion (Section 5.2).
+  const double value = std::strtod(thresholdText.c_str(), nullptr);
+  installComparison(policy::parsePolicyCmp(comparatorText), value, comparisonId);
+}
+
+void Sensor::installComparison(policy::PolicyCmp op, double value,
+                               int comparisonId) {
+  removeComparison(comparisonId);
+  comparisons_.push_back(InstalledComparison{comparisonId, op, value, true});
+}
+
+bool Sensor::removeComparison(int comparisonId) {
+  for (auto it = comparisons_.begin(); it != comparisons_.end(); ++it) {
+    if (it->comparisonId == comparisonId) {
+      comparisons_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Sensor::clearComparisons() { comparisons_.clear(); }
+
+bool Sensor::updateThreshold(int comparisonId, double newValue) {
+  for (InstalledComparison& c : comparisons_) {
+    if (c.comparisonId == comparisonId) {
+      c.value = newValue;
+      // Re-evaluate immediately so a threshold change takes effect without
+      // waiting for the next observation.
+      if (enabled_ && observations_ > 0) evaluate(currentValue());
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Sensor::read() const {
+  std::ostringstream out;
+  out << currentValue();
+  return out.str();
+}
+
+void Sensor::setTickInterval(sim::SimDuration interval) {
+  tickInterval_ = interval;
+  if (tickEvent_ != sim::kInvalidEvent) {
+    sim_.cancel(tickEvent_);
+    tickEvent_ = sim::kInvalidEvent;
+  }
+  if (enabled_ && tickInterval_ > 0) scheduleTick();
+}
+
+void Sensor::scheduleTick() {
+  tickEvent_ = sim_.after(tickInterval_, [this] {
+    tickEvent_ = sim::kInvalidEvent;
+    if (!enabled_) return;
+    onTick();
+    evaluate(currentValue());
+    if (tickInterval_ > 0) scheduleTick();
+  });
+}
+
+void Sensor::observe(double value) {
+  if (!enabled_) return;
+  ++observations_;
+  evaluate(value);
+}
+
+void Sensor::evaluate(double value) {
+  for (InstalledComparison& c : comparisons_) {
+    const bool holds =
+        policy::PrimitiveComparison{attribute_, c.op, c.value}.holds(value);
+    if (holds == c.lastHolds) continue;
+    c.lastHolds = holds;
+    if (holds) {
+      ++clears_;
+    } else {
+      ++alarms_;
+    }
+    if (alarmHandler_) alarmHandler_(*this, c.comparisonId, holds);
+  }
+}
+
+}  // namespace softqos::instrument

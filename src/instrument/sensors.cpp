@@ -1,0 +1,114 @@
+#include "instrument/sensors.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace softqos::instrument {
+
+FrameRateSensor::FrameRateSensor(sim::Simulation& simulation, std::string id,
+                                 std::string attribute,
+                                 sim::SimDuration window,
+                                 sim::SimDuration minGap)
+    : Sensor(simulation, std::move(id), std::move(attribute)),
+      window_(window),
+      minGap_(minGap) {
+  setTickInterval(window / 4);
+}
+
+void FrameRateSensor::onFrameDisplayed() {
+  const sim::SimTime now = sim().now();
+  // Spike filter (Example 2 step iii): frames delivered in an unrealistic
+  // burst (a queue flush) would overstate the rate; drop them.
+  if (lastFrameAt_ >= 0 && now - lastFrameAt_ < minGap_) {
+    ++spikes_;
+    return;
+  }
+  lastFrameAt_ = now;
+  ++frames_;
+  timestamps_.push_back(now);
+  prune();
+  observe(currentValue());
+}
+
+void FrameRateSensor::prune() {
+  const sim::SimTime cutoff = sim().now() - window_;
+  while (!timestamps_.empty() && timestamps_.front() < cutoff) {
+    timestamps_.pop_front();
+  }
+}
+
+double FrameRateSensor::currentValue() const {
+  const sim::SimTime cutoff = sim().now() - window_;
+  std::size_t count = 0;
+  for (auto it = timestamps_.rbegin(); it != timestamps_.rend(); ++it) {
+    if (*it < cutoff) break;
+    ++count;
+  }
+  return static_cast<double>(count) / sim::toSeconds(window_);
+}
+
+JitterSensor::JitterSensor(sim::Simulation& simulation, std::string id,
+                           std::string attribute, sim::SimDuration nominalGap,
+                           std::size_t historyLen)
+    : Sensor(simulation, std::move(id), std::move(attribute)),
+      nominalGap_(nominalGap),
+      historyLen_(historyLen) {}
+
+void JitterSensor::onFrameDisplayed() {
+  const sim::SimTime now = sim().now();
+  if (lastFrameAt_ >= 0) {
+    const double gap = static_cast<double>(now - lastFrameAt_);
+    const double nominal = static_cast<double>(nominalGap_);
+    deviations_.push_back(std::abs(gap - nominal) / nominal);
+    while (deviations_.size() > historyLen_) deviations_.pop_front();
+    observe(currentValue());
+  }
+  lastFrameAt_ = now;
+}
+
+double JitterSensor::currentValue() const {
+  if (deviations_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double d : deviations_) sum += d;
+  return sum / static_cast<double>(deviations_.size());
+}
+
+SourceSensor::SourceSensor(sim::Simulation& simulation, std::string id,
+                           std::string attribute,
+                           std::function<double()> source)
+    : Sensor(simulation, std::move(id), std::move(attribute)),
+      source_(std::move(source)) {
+  setTickInterval(sim::msec(100));
+}
+
+CpuShareSensor::CpuShareSensor(sim::Simulation& simulation, std::string id,
+                               std::string attribute,
+                               const osim::Process& process,
+                               sim::SimDuration window)
+    : Sensor(simulation, std::move(id), std::move(attribute)),
+      process_(process) {
+  lastAt_ = simulation.now();
+  lastCpu_ = process.cpuTime();
+  setTickInterval(window);
+}
+
+void CpuShareSensor::onTick() {
+  const sim::SimTime now = sim().now();
+  const sim::SimDuration cpu = process_.cpuTime();
+  const sim::SimDuration wall = now - lastAt_;
+  if (wall > 0) {
+    share_ = static_cast<double>(cpu - lastCpu_) / static_cast<double>(wall);
+  }
+  lastAt_ = now;
+  lastCpu_ = cpu;
+}
+
+std::unique_ptr<SourceSensor> makeBufferLengthSensor(
+    sim::Simulation& simulation, std::string id, std::string attribute,
+    const std::shared_ptr<osim::Socket>& socket) {
+  return std::make_unique<SourceSensor>(
+      simulation, std::move(id), std::move(attribute),
+      [socket] { return static_cast<double>(socket->bufferBytes()); });
+}
+
+}  // namespace softqos::instrument

@@ -1,0 +1,141 @@
+// Concrete sensors: gauges, counters, frame rate (Example 2), jitter, and
+// source-backed sensors such as the socket-buffer sensor of Example 5.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "instrument/sensor.hpp"
+#include "osim/socket.hpp"
+
+namespace softqos::instrument {
+
+/// Stores the last explicitly observed value (probe calls set()).
+class GaugeSensor : public Sensor {
+ public:
+  using Sensor::Sensor;
+
+  /// Probe entry point.
+  void set(double value) {
+    last_ = value;
+    observe(value);
+  }
+
+  [[nodiscard]] double currentValue() const override { return last_; }
+
+ private:
+  double last_ = 0.0;
+};
+
+/// Monotonic event counter (probe increments).
+class CounterSensor : public Sensor {
+ public:
+  using Sensor::Sensor;
+
+  /// Probe entry point.
+  void increment(double delta = 1.0) {
+    count_ += delta;
+    observe(count_);
+  }
+
+  [[nodiscard]] double currentValue() const override { return count_; }
+
+ private:
+  double count_ = 0.0;
+};
+
+/// Frame-rate sensor (paper Example 2): a probe fires after each frame is
+/// retrieved, decoded and displayed; the value is frames per second over a
+/// sliding window. Unusual spikes — bursts of frames closer together than
+/// `minGap` (e.g. a queue flush after a stall) — are filtered out. The
+/// periodic tick (Sensor::setTickInterval) lets the sensor notice a stalled
+/// stream even though no probes fire.
+class FrameRateSensor : public Sensor {
+ public:
+  FrameRateSensor(sim::Simulation& simulation, std::string id,
+                  std::string attribute, sim::SimDuration window = sim::sec(1),
+                  sim::SimDuration minGap = sim::msec(2));
+
+  /// Probe entry point: one frame was displayed.
+  void onFrameDisplayed();
+
+  [[nodiscard]] double currentValue() const override;
+  [[nodiscard]] std::uint64_t framesCounted() const { return frames_; }
+  [[nodiscard]] std::uint64_t spikesFiltered() const { return spikes_; }
+
+ private:
+  void prune();
+
+  sim::SimDuration window_;
+  sim::SimDuration minGap_;
+  std::deque<sim::SimTime> timestamps_;
+  sim::SimTime lastFrameAt_ = -1;
+  std::uint64_t frames_ = 0;
+  std::uint64_t spikes_ = 0;
+};
+
+/// Jitter sensor: mean relative deviation of inter-frame gaps from the
+/// nominal gap, over the last `historyLen` frames. A perfectly periodic
+/// stream scores 0; a stalled/irregular one grows past 1.
+class JitterSensor : public Sensor {
+ public:
+  JitterSensor(sim::Simulation& simulation, std::string id,
+               std::string attribute, sim::SimDuration nominalGap,
+               std::size_t historyLen = 30);
+
+  /// Probe entry point: one frame was displayed.
+  void onFrameDisplayed();
+
+  [[nodiscard]] double currentValue() const override;
+
+ private:
+  sim::SimDuration nominalGap_;
+  std::size_t historyLen_;
+  std::deque<double> deviations_;
+  sim::SimTime lastFrameAt_ = -1;
+};
+
+/// Reads any external observable through a function — the basis for the
+/// communication-buffer sensor (Example 5), CPU-load sensors, etc. The
+/// periodic tick samples the source and evaluates comparisons.
+class SourceSensor : public Sensor {
+ public:
+  SourceSensor(sim::Simulation& simulation, std::string id,
+               std::string attribute, std::function<double()> source);
+
+  [[nodiscard]] double currentValue() const override { return source_(); }
+
+ private:
+  std::function<double()> source_;
+};
+
+/// Example 5: given a socket (file descriptor), reports the length of the
+/// kernel communication buffer in bytes.
+std::unique_ptr<SourceSensor> makeBufferLengthSensor(
+    sim::Simulation& simulation, std::string id, std::string attribute,
+    const std::shared_ptr<osim::Socket>& socket);
+
+/// CPU share of one process over the sampling window (0..1): the observable
+/// behind "the server process might not be getting enough cycles"
+/// (Section 3.1). Sampled on the sensor tick from the kernel's per-process
+/// CPU accounting.
+class CpuShareSensor : public Sensor {
+ public:
+  CpuShareSensor(sim::Simulation& simulation, std::string id,
+                 std::string attribute, const osim::Process& process,
+                 sim::SimDuration window = sim::msec(500));
+
+  [[nodiscard]] double currentValue() const override { return share_; }
+
+ protected:
+  void onTick() override;
+
+ private:
+  const osim::Process& process_;
+  sim::SimDuration lastCpu_ = 0;
+  sim::SimTime lastAt_ = 0;
+  double share_ = 0.0;
+};
+
+}  // namespace softqos::instrument

@@ -1,0 +1,75 @@
+#include "ldapdir/entry.hpp"
+
+#include <algorithm>
+
+namespace softqos::ldapdir {
+
+void Entry::addValue(const std::string& attr, const std::string& value) {
+  auto& vals = attrs_[toLowerAscii(attr)];
+  if (std::find(vals.begin(), vals.end(), value) == vals.end()) {
+    vals.push_back(value);
+  }
+}
+
+void Entry::setValues(const std::string& attr,
+                      std::vector<std::string> values) {
+  if (values.empty()) {
+    attrs_.erase(toLowerAscii(attr));
+    return;
+  }
+  attrs_[toLowerAscii(attr)] = std::move(values);
+}
+
+bool Entry::removeValue(const std::string& attr, const std::string& value) {
+  const auto key = toLowerAscii(attr);
+  const auto it = attrs_.find(key);
+  if (it == attrs_.end()) return false;
+  auto& vals = it->second;
+  const auto pos = std::find(vals.begin(), vals.end(), value);
+  if (pos == vals.end()) return false;
+  vals.erase(pos);
+  if (vals.empty()) attrs_.erase(it);
+  return true;
+}
+
+bool Entry::removeAttribute(const std::string& attr) {
+  return attrs_.erase(toLowerAscii(attr)) != 0;
+}
+
+bool Entry::hasAttribute(const std::string& attr) const {
+  return attrs_.contains(toLowerAscii(attr));
+}
+
+bool Entry::hasValue(const std::string& attr, const std::string& value) const {
+  const auto it = attrs_.find(toLowerAscii(attr));
+  if (it == attrs_.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), value) !=
+         it->second.end();
+}
+
+const std::vector<std::string>* Entry::values(const std::string& attr) const {
+  const auto it = attrs_.find(toLowerAscii(attr));
+  return it == attrs_.end() ? nullptr : &it->second;
+}
+
+std::optional<std::string> Entry::firstValue(const std::string& attr) const {
+  const std::vector<std::string>* vals = values(attr);
+  if (vals == nullptr || vals->empty()) return std::nullopt;
+  return vals->front();
+}
+
+std::vector<std::string> Entry::objectClasses() const {
+  const std::vector<std::string>* vals = values("objectclass");
+  return vals == nullptr ? std::vector<std::string>{} : *vals;
+}
+
+bool Entry::hasObjectClass(const std::string& oc) const {
+  const std::vector<std::string>* vals = values("objectclass");
+  if (vals == nullptr) return false;
+  const std::string want = toLowerAscii(oc);
+  return std::any_of(vals->begin(), vals->end(), [&](const std::string& v) {
+    return toLowerAscii(v) == want;
+  });
+}
+
+}  // namespace softqos::ldapdir

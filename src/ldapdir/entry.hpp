@@ -1,0 +1,51 @@
+// Directory entries: a DN plus multi-valued, case-insensitively named
+// attributes (objectClass is an ordinary attribute, as in LDAP).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ldapdir/dn.hpp"
+
+namespace softqos::ldapdir {
+
+class Entry {
+ public:
+  Entry() = default;
+  explicit Entry(Dn dn) : dn_(std::move(dn)) {}
+
+  [[nodiscard]] const Dn& dn() const { return dn_; }
+  void setDn(Dn dn) { dn_ = std::move(dn); }
+
+  /// Append a value (duplicates within an attribute are suppressed).
+  void addValue(const std::string& attr, const std::string& value);
+  void setValues(const std::string& attr, std::vector<std::string> values);
+  /// Remove one value; removes the attribute when its last value goes.
+  bool removeValue(const std::string& attr, const std::string& value);
+  bool removeAttribute(const std::string& attr);
+
+  [[nodiscard]] bool hasAttribute(const std::string& attr) const;
+  [[nodiscard]] bool hasValue(const std::string& attr,
+                              const std::string& value) const;
+  [[nodiscard]] const std::vector<std::string>* values(
+      const std::string& attr) const;
+  [[nodiscard]] std::optional<std::string> firstValue(
+      const std::string& attr) const;
+
+  [[nodiscard]] std::vector<std::string> objectClasses() const;
+  [[nodiscard]] bool hasObjectClass(const std::string& oc) const;
+
+  /// Attribute map keyed by normalized name (iteration order is stable).
+  [[nodiscard]] const std::map<std::string, std::vector<std::string>>&
+  attributes() const {
+    return attrs_;
+  }
+
+ private:
+  Dn dn_;
+  std::map<std::string, std::vector<std::string>> attrs_;
+};
+
+}  // namespace softqos::ldapdir

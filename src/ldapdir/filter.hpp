@@ -1,0 +1,40 @@
+// RFC-2254-style search filters:
+//   (&(objectClass=qosPolicy)(appId=video))
+//   (|(role=gold)(role=silver))  (!(enabled=FALSE))
+//   (frameRate>=23)  (cn=fps-*)  (jitter=*)
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ldapdir/entry.hpp"
+
+namespace softqos::ldapdir {
+
+class FilterParseError : public std::runtime_error {
+ public:
+  explicit FilterParseError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+class Filter {
+ public:
+  /// Parse a filter string. Throws FilterParseError on malformed input.
+  static Filter parse(const std::string& text);
+
+  /// A filter matching every entry: "(objectClass=*)" equivalent.
+  static Filter matchAll();
+
+  [[nodiscard]] bool matches(const Entry& entry) const;
+  [[nodiscard]] std::string toString() const;
+
+  /// Implementation node (public so the out-of-line parser can build trees;
+  /// not part of the supported API surface).
+  struct Node;
+
+ private:
+  std::shared_ptr<const Node> root_;
+};
+
+}  // namespace softqos::ldapdir

@@ -1,0 +1,96 @@
+#include "ldapdir/schema.hpp"
+
+#include <algorithm>
+
+namespace softqos::ldapdir {
+
+void Schema::define(ObjectClassDef def) {
+  std::string key = toLowerAscii(def.name);
+  for (std::string& a : def.must) a = toLowerAscii(a);
+  for (std::string& a : def.may) a = toLowerAscii(a);
+  classes_[std::move(key)] = std::move(def);
+}
+
+bool Schema::knows(const std::string& name) const {
+  return classes_.contains(toLowerAscii(name));
+}
+
+const ObjectClassDef* Schema::find(const std::string& name) const {
+  const auto it = classes_.find(toLowerAscii(name));
+  return it == classes_.end() ? nullptr : &it->second;
+}
+
+void Schema::collect(const std::string& name, std::vector<std::string>& must,
+                     std::vector<std::string>& may,
+                     std::vector<std::string>& problems) const {
+  const ObjectClassDef* def = find(name);
+  if (def == nullptr) {
+    problems.push_back("unknown objectClass: " + name);
+    return;
+  }
+  must.insert(must.end(), def->must.begin(), def->must.end());
+  may.insert(may.end(), def->may.begin(), def->may.end());
+  if (!def->parent.empty()) collect(def->parent, must, may, problems);
+}
+
+std::vector<std::string> Schema::validate(const Entry& entry) const {
+  std::vector<std::string> problems;
+  const std::vector<std::string> ocs = entry.objectClasses();
+  if (ocs.empty()) {
+    problems.push_back("entry has no objectClass");
+    return problems;
+  }
+  std::vector<std::string> must;
+  std::vector<std::string> may;
+  for (const std::string& oc : ocs) collect(oc, must, may, problems);
+
+  for (const std::string& m : must) {
+    if (!entry.hasAttribute(m)) {
+      problems.push_back("missing required attribute: " + m);
+    }
+  }
+  const auto allowed = [&](const std::string& attr) {
+    if (attr == "objectclass") return true;
+    return std::find(must.begin(), must.end(), attr) != must.end() ||
+           std::find(may.begin(), may.end(), attr) != may.end();
+  };
+  for (const auto& [attr, values] : entry.attributes()) {
+    (void)values;
+    if (!allowed(attr)) {
+      problems.push_back("attribute not allowed by schema: " + attr);
+    }
+  }
+  return problems;
+}
+
+Schema informationModelSchema() {
+  Schema s;
+  s.define({"top", "", {}, {"description"}});
+  s.define({"container", "top", {"ou"}, {}});
+  s.define({"organization", "top", {"o"}, {}});
+  // An application is composed of at least one executable (Section 6.1).
+  s.define({"qosApplication", "top", {"cn"}, {"executableRef"}});
+  // An executable is instantiated on a host as a process; sensors attach to
+  // executables (many-to-many).
+  s.define({"qosExecutable", "top", {"cn"}, {"sensorRef", "path"}});
+  // A sensor has an identifier and the attributes it can collect.
+  s.define({"qosSensor", "top", {"cn", "monitorsAttribute"}, {"probeName"}});
+  // Reusable policy conditions and actions (Section 6.1).
+  s.define({"qosCondition",
+            "top",
+            {"cn", "conditionAttribute", "comparator", "threshold"},
+            {"toleranceAbove", "toleranceBelow"}});
+  s.define({"qosAction", "top",
+            {"cn", "actionKind"},
+            {"target", "argument", "method"}});
+  // The policy ties an application/executable/role to conditions + actions.
+  s.define({"qosPolicy",
+            "top",
+            {"cn", "applicationRef", "executableRef", "combinator"},
+            {"userRole", "conditionRef", "actionRef", "enabled",
+             "conditionExpr", "subjectPath", "targetPath"}});
+  s.define({"qosUserRole", "top", {"cn"}, {"priorityWeight"}});
+  return s;
+}
+
+}  // namespace softqos::ldapdir

@@ -1,0 +1,45 @@
+// Object-class schema: MUST/MAY attribute checking for the information model.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ldapdir/entry.hpp"
+
+namespace softqos::ldapdir {
+
+struct ObjectClassDef {
+  std::string name;
+  std::string parent;               // optional superclass
+  std::vector<std::string> must;    // required attributes
+  std::vector<std::string> may;     // allowed attributes
+};
+
+class Schema {
+ public:
+  void define(ObjectClassDef def);
+  [[nodiscard]] bool knows(const std::string& name) const;
+  [[nodiscard]] const ObjectClassDef* find(const std::string& name) const;
+
+  /// All problems with `entry`: unknown object classes, missing MUST
+  /// attributes, attributes outside MUST/MAY. Empty vector = valid.
+  /// An entry without any objectClass is reported as a problem.
+  [[nodiscard]] std::vector<std::string> validate(const Entry& entry) const;
+
+  [[nodiscard]] std::size_t size() const { return classes_.size(); }
+
+ private:
+  void collect(const std::string& name, std::vector<std::string>& must,
+               std::vector<std::string>& may,
+               std::vector<std::string>& problems) const;
+
+  std::map<std::string, ObjectClassDef> classes_;  // keyed lower-case
+};
+
+/// The paper's information model (Section 6.1) as an LDAP schema:
+/// qosApplication, qosExecutable, qosSensor, qosPolicy, qosCondition,
+/// qosAction, qosUserRole, plus structural containers.
+Schema informationModelSchema();
+
+}  // namespace softqos::ldapdir

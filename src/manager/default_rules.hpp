@@ -1,0 +1,40 @@
+// The default rule sets of Section 5.3, shipped as parseable text so they
+// can be replaced at run time (dynamic rule distribution, Section 9).
+#pragma once
+
+#include <string>
+
+namespace softqos::manager {
+
+/// Thresholds substituted into the host manager's default rule set.
+struct HostRuleThresholds {
+  double bufferLowBytes = 4096;   // below: frames are not arriving -> remote
+  double fpsSevere = 14.0;        // deficit bands size the CPU boost
+  double fpsModerate = 22.0;
+  double fpsLow = 26.0;           // policy band lower edge
+  double fpsHigh = 30.0;          // policy band upper edge -> over-provisioned
+  double jitterHigh = 1.25;
+  double memSlowdownHigh = 110.0; // slowdown percent indicating paging
+};
+
+/// Host manager rules: boost CPU proportionally to how far the policy is
+/// from being satisfied (Section 5.3: "Additional rules are used to
+/// determine how much to increase CPU priority based on how close the policy
+/// is to being satisfied"); escalate to the domain manager when the
+/// communication buffer is empty; decay when expectations are exceeded
+/// (Section 2); grow memory when the process is paging.
+std::string defaultHostRules(const HostRuleThresholds& t = {});
+
+/// Thresholds substituted into the domain manager's default rule set.
+struct DomainRuleThresholds {
+  double serverLoadHigh = 2.5;  // CPU load average indicating server overload
+  double netUtilHigh = 0.85;    // channel utilization indicating congestion
+};
+
+/// Domain manager rules (Section 5.3): on an escalated alarm, ask the
+/// server-side host manager for CPU load / liveness; diagnose a dead server
+/// process, server overload, or network congestion, and drive the
+/// corresponding corrective action.
+std::string defaultDomainRules(const DomainRuleThresholds& t = {});
+
+}  // namespace softqos::manager

@@ -1,0 +1,263 @@
+#include "manager/domain_manager.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "net/nic.hpp"
+#include "rules/parser.hpp"
+
+namespace softqos::manager {
+
+using rules::Value;
+
+QoSDomainManager::QoSDomainManager(sim::Simulation& simulation,
+                                   osim::Host& seat, net::Network& network,
+                                   std::string name, DomainManagerConfig config)
+    : sim_(simulation),
+      network_(network),
+      name_(std::move(name)),
+      config_(config),
+      engine_("qosdm:" + name_) {
+  registerEngineFunctions();
+  if (config_.loadDefaultRules) loadDefaultRules();
+
+  rpc_ = std::make_unique<net::RpcEndpoint>(network_, seat, config_.rpcPort);
+  rpc_->setHandler("escalate", [this](const std::string& body,
+                                      net::RpcEndpoint::Responder respond) {
+    bool forwarded = false;
+    std::string payload = body;
+    if (payload.rfind("FWD|", 0) == 0) {
+      forwarded = true;
+      payload = payload.substr(4);
+    }
+    const auto report = instrument::ViolationReport::parse(payload);
+    if (!report.has_value()) {
+      respond("ERR:bad-report");
+      return;
+    }
+    handleEscalation(*report, forwarded);
+    respond("OK");
+  });
+}
+
+void QoSDomainManager::addManagedHost(const std::string& hostName) {
+  managedHosts_.insert(hostName);
+}
+
+bool QoSDomainManager::manages(const std::string& hostName) const {
+  return managedHosts_.contains(hostName);
+}
+
+void QoSDomainManager::addPeer(const std::string& seatHostName, int port) {
+  peers_.emplace_back(seatHostName, port);
+}
+
+void QoSDomainManager::registerService(const std::string& clientExecutable,
+                                       const std::string& serverHost,
+                                       osim::Pid serverPid) {
+  services_[clientExecutable] = ServiceBinding{serverHost, serverPid};
+}
+
+void QoSDomainManager::unregisterService(const std::string& clientExecutable) {
+  services_.erase(clientExecutable);
+}
+
+std::vector<std::string> QoSDomainManager::loadRuleText(const std::string& text) {
+  return rules::loadRules(engine_, text);
+}
+
+void QoSDomainManager::loadDefaultRules() {
+  loadRuleText(defaultDomainRules(config_.thresholds));
+}
+
+void QoSDomainManager::distributeHostRules(const std::string& ruleText) {
+  for (const std::string& hostName : managedHosts_) {
+    rpc_->call(hostName, config_.hostManagerPort, "set-rules", ruleText,
+               [this, hostName](bool ok, const std::string& body) {
+                 if (!ok || body.rfind("OK", 0) != 0) {
+                   sim_.warn("qosdm:" + name_,
+                             "rule push to " + hostName + " failed");
+                 }
+               });
+  }
+}
+
+void QoSDomainManager::registerEngineFunctions() {
+  engine_.registerFunction("diagnose", [this](const std::vector<Value>& args) {
+    if (args.size() != 2) return;
+    const std::string kind = args[1].asString();
+    ++diagnoses_[kind];
+    lastDiagnosis_ = kind;
+    sim_.info("qosdm:" + name_, "diagnosis: " + kind);
+  });
+
+  engine_.registerFunction("boost-server", [this](const std::vector<Value>& args) {
+    if (args.size() != 3) return;
+    const std::string serverHost = args[0].asString();
+    const auto pid = static_cast<osim::Pid>(args[1].asInt());
+    const int delta = static_cast<int>(args[2].asInt());
+    std::ostringstream body;
+    body << "pid=" << pid << ";delta=" << delta;
+    ++serverBoosts_;
+    rpc_->call(serverHost, config_.hostManagerPort, "boost", body.str(),
+               [](bool, const std::string&) {});
+  });
+
+  engine_.registerFunction("restart-server",
+                           [this](const std::vector<Value>& args) {
+    if (args.size() != 2) return;
+    const std::string serverHost = args[0].asString();
+    const auto pid = static_cast<osim::Pid>(args[1].asInt());
+    ++restarts_;
+    rpc_->call(serverHost, config_.hostManagerPort, "restart",
+               "pid=" + std::to_string(pid), [](bool, const std::string&) {});
+  });
+
+  engine_.registerFunction("reroute-congested",
+                           [this](const std::vector<Value>&) {
+    rerouteAroundCongestion();
+  });
+
+  engine_.registerFunction("log", [this](const std::vector<Value>& args) {
+    std::ostringstream out;
+    for (const Value& v : args) out << v.toString() << " ";
+    sim_.info("qosdm:" + name_, out.str());
+  });
+}
+
+double QoSDomainManager::sampleMaxChannelUtilization() {
+  double maxUtil = 0.0;
+  hottestChannel_ = {net::kNoNode, net::kNoNode};
+  for (const auto& [key, channel] : network_.channels()) {
+    const double util = channel->utilizationSinceLastPoll();
+    if (util > maxUtil) {
+      maxUtil = util;
+      hottestChannel_ = key;
+    }
+  }
+  return maxUtil;
+}
+
+void QoSDomainManager::rerouteAroundCongestion() {
+  // Adaptation example from Section 3.1: "rerouting traffic around a
+  // congested network switch". Disable the hottest link; keep the change
+  // only if the diagnosed client/server pair remains connected.
+  if (hottestChannel_.first == net::kNoNode) return;
+  net::Nic* client = network_.nicForHost(currentClientHost_);
+  net::Nic* server = network_.nicForHost(currentServerHost_);
+  if (client == nullptr || server == nullptr) return;
+  if (!network_.setLinkEnabled(hottestChannel_.first, hottestChannel_.second,
+                               false)) {
+    return;
+  }
+  if (network_.nextHop(server->id(), client->id()) == net::kNoNode) {
+    network_.setLinkEnabled(hottestChannel_.first, hottestChannel_.second,
+                            true);
+    ++rerouteRollbacks_;
+    sim_.info("qosdm:" + name_,
+              "reroute rolled back: no alternative path exists");
+    return;
+  }
+  ++reroutes_;
+  sim_.info("qosdm:" + name_, "rerouted traffic around congested link");
+}
+
+void QoSDomainManager::handleEscalation(
+    const instrument::ViolationReport& report, bool forwarded) {
+  ++received_;
+
+  const auto it = services_.find(report.executable);
+  if (it == services_.end()) {
+    ++diagnoses_["unknown-service"];
+    lastDiagnosis_ = "unknown-service";
+    return;
+  }
+  const ServiceBinding binding = it->second;
+
+  if (!manages(binding.serverHost)) {
+    // The server lives in another domain: hand the alarm to peers
+    // (hierarchical vs. arbitrary interconnection — Section 9).
+    if (forwarded) return;  // one hop only, to avoid loops
+    for (const auto& [peerHost, peerPort] : peers_) {
+      ++forwards_;
+      rpc_->call(peerHost, peerPort, "escalate", "FWD|" + report.serialize(),
+                 [](bool, const std::string&) {});
+    }
+    return;
+  }
+
+  // Sample the network first (cheap, local), then ask the server-side host
+  // manager for CPU load and liveness (Section 5.3's domain rule).
+  const std::uint64_t eid = nextEscalationId_++;
+  const double maxUtil = sampleMaxChannelUtilization();
+  {
+    rules::SlotMap slots;
+    slots.emplace("id", Value::integer(static_cast<std::int64_t>(eid)));
+    slots.emplace("max-util", Value::real(maxUtil));
+    engine_.facts().assertFact("net-stats", std::move(slots));
+  }
+
+  rpc_->call(
+      binding.serverHost, config_.hostManagerPort, "host-stats",
+      "pid=" + std::to_string(binding.serverPid),
+      [this, eid, report, binding](bool ok, const std::string& body) {
+        bool alive = false;
+        double load = 0.0;
+        double slowdown = 100.0;
+        if (ok) {
+          int aliveInt = 0;
+          std::sscanf(body.c_str(), "load=%lf;alive=%d;slowdown=%lf", &load,
+                      &aliveInt, &slowdown);
+          alive = aliveInt != 0;
+        }
+        // An unreachable host manager is indistinguishable from a dead one;
+        // treat it as a process/host failure.
+        runDiagnosis(eid, report, binding, alive, load, slowdown);
+      });
+}
+
+void QoSDomainManager::runDiagnosis(std::uint64_t escalationId,
+                                    const instrument::ViolationReport& report,
+                                    const ServiceBinding& binding, bool alive,
+                                    double load, double slowdown) {
+  currentClientHost_ = report.hostName;
+  currentServerHost_ = binding.serverHost;
+  const auto eid = static_cast<std::int64_t>(escalationId);
+  {
+    rules::SlotMap slots;
+    slots.emplace("id", Value::integer(eid));
+    slots.emplace("client", Value::symbol(report.hostName));
+    slots.emplace("cpid", Value::integer(report.pid));
+    slots.emplace("exec", Value::symbol(report.executable));
+    slots.emplace("server", Value::symbol(binding.serverHost));
+    slots.emplace("spid", Value::integer(binding.serverPid));
+    slots.emplace("fps", Value::real(report.metric("frame_rate").value_or(0)));
+    slots.emplace("buffer", Value::real(report.metric("buffer_size").value_or(0)));
+    engine_.facts().assertFact("escalation", std::move(slots));
+  }
+  {
+    rules::SlotMap slots;
+    slots.emplace("id", Value::integer(eid));
+    slots.emplace("alive", Value::integer(alive ? 1 : 0));
+    slots.emplace("load", Value::real(load));
+    slots.emplace("slowdown", Value::real(slowdown));
+    engine_.facts().assertFact("server-stats", std::move(slots));
+  }
+
+  engine_.run();
+  retractEscalationFacts(escalationId);
+}
+
+void QoSDomainManager::retractEscalationFacts(std::uint64_t escalationId) {
+  const Value idValue = Value::integer(static_cast<std::int64_t>(escalationId));
+  for (const char* tmpl : {"escalation", "server-stats", "net-stats"}) {
+    std::vector<rules::FactId> toRetract;
+    for (const rules::Fact* f : engine_.facts().byTemplate(tmpl)) {
+      const Value* v = f->slot("id");
+      if (v != nullptr && *v == idValue) toRetract.push_back(f->id);
+    }
+    for (const rules::FactId id : toRetract) engine_.facts().retract(id);
+  }
+}
+
+}  // namespace softqos::manager

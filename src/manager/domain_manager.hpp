@@ -1,0 +1,122 @@
+// The QoS Domain Manager (Section 5.3): locates the source of problems that
+// span hosts. On an escalated alarm it queries the server-side QoS Host
+// Manager (CPU load, liveness, memory), samples switch utilization, asserts
+// the observations as facts and lets its rule base diagnose: process
+// failure, server overload, network congestion, or unknown — then drives the
+// corrective action (restart / remote boost). Escalations for hosts outside
+// its domain are forwarded to peer domain managers (Section 9).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "instrument/report.hpp"
+#include "manager/default_rules.hpp"
+#include "net/rpc.hpp"
+#include "osim/host.hpp"
+#include "rules/engine.hpp"
+#include "sim/simulation.hpp"
+
+namespace softqos::manager {
+
+struct DomainManagerConfig {
+  int rpcPort = 7100;
+  int hostManagerPort = 7001;  // where host managers listen in this domain
+  DomainRuleThresholds thresholds;
+  bool loadDefaultRules = true;
+};
+
+class QoSDomainManager {
+ public:
+  QoSDomainManager(sim::Simulation& simulation, osim::Host& seat,
+                   net::Network& network, std::string name,
+                   DomainManagerConfig config = {});
+
+  QoSDomainManager(const QoSDomainManager&) = delete;
+  QoSDomainManager& operator=(const QoSDomainManager&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] rules::InferenceEngine& engine() { return engine_; }
+
+  /// Domain membership: the hosts whose host managers this manager drives.
+  void addManagedHost(const std::string& hostName);
+  [[nodiscard]] bool manages(const std::string& hostName) const;
+
+  /// Peer domain managers (for problems spanning domains).
+  void addPeer(const std::string& seatHostName, int port);
+
+  /// Service topology (from configuration management, cf. [14] in the
+  /// paper): which host/pid serves a given client executable.
+  void registerService(const std::string& clientExecutable,
+                       const std::string& serverHost, osim::Pid serverPid);
+  void unregisterService(const std::string& clientExecutable);
+
+  std::vector<std::string> loadRuleText(const std::string& text);
+  void loadDefaultRules();
+
+  /// Push a host-manager rule set to every managed host (dynamic rule
+  /// distribution, Section 9).
+  void distributeHostRules(const std::string& ruleText);
+
+  /// Direct entry point (also wired to the "escalate" RPC method).
+  void handleEscalation(const instrument::ViolationReport& report,
+                        bool forwarded);
+
+  // ---- Statistics ----
+  [[nodiscard]] std::uint64_t escalationsReceived() const { return received_; }
+  [[nodiscard]] std::uint64_t forwardsSent() const { return forwards_; }
+  [[nodiscard]] std::uint64_t serverBoostsSent() const { return serverBoosts_; }
+  [[nodiscard]] std::uint64_t restartsRequested() const { return restarts_; }
+  [[nodiscard]] std::uint64_t reroutesPerformed() const { return reroutes_; }
+  [[nodiscard]] std::uint64_t rerouteRollbacks() const { return rerouteRollbacks_; }
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& diagnosisCounts()
+      const {
+    return diagnoses_;
+  }
+  [[nodiscard]] const std::string& lastDiagnosis() const { return lastDiagnosis_; }
+
+ private:
+  struct ServiceBinding {
+    std::string serverHost;
+    osim::Pid serverPid = 0;
+  };
+
+  void registerEngineFunctions();
+  void runDiagnosis(std::uint64_t escalationId,
+                    const instrument::ViolationReport& report,
+                    const ServiceBinding& binding, bool alive, double load,
+                    double slowdown);
+  [[nodiscard]] double sampleMaxChannelUtilization();
+  void retractEscalationFacts(std::uint64_t escalationId);
+  void rerouteAroundCongestion();
+
+  sim::Simulation& sim_;
+  net::Network& network_;
+  std::string name_;
+  DomainManagerConfig config_;
+  rules::InferenceEngine engine_;
+  std::unique_ptr<net::RpcEndpoint> rpc_;
+  std::set<std::string> managedHosts_;
+  std::vector<std::pair<std::string, int>> peers_;
+  std::map<std::string, ServiceBinding> services_;
+
+  std::uint64_t nextEscalationId_ = 1;
+  std::uint64_t received_ = 0;
+  std::uint64_t reroutes_ = 0;
+  std::uint64_t rerouteRollbacks_ = 0;
+  std::pair<net::NodeId, net::NodeId> hottestChannel_{net::kNoNode,
+                                                      net::kNoNode};
+  std::string currentClientHost_;  // context of the escalation being diagnosed
+  std::string currentServerHost_;
+  std::uint64_t forwards_ = 0;
+  std::uint64_t serverBoosts_ = 0;
+  std::uint64_t restarts_ = 0;
+  std::map<std::string, std::uint64_t> diagnoses_;
+  std::string lastDiagnosis_;
+};
+
+}  // namespace softqos::manager

@@ -1,0 +1,283 @@
+#include "manager/host_manager.hpp"
+
+#include <sstream>
+
+#include "rules/parser.hpp"
+
+namespace softqos::manager {
+
+using rules::Value;
+
+QoSHostManager::QoSHostManager(sim::Simulation& simulation, osim::Host& host,
+                               net::Network* network, HostManagerConfig config)
+    : sim_(simulation),
+      host_(host),
+      config_(std::move(config)),
+      engine_("qoshm:" + host.name()),
+      cpuManager_(host),
+      memoryManager_(host) {
+  registerEngineFunctions();
+  if (config_.loadDefaultRules) loadDefaultRules();
+
+  // Coordinators reach the manager through the host message queue.
+  host_.msgQueue(config_.msgQueueKey)
+      .setReceiver([this](const osim::MessageQueue::Datagram& d) {
+        const auto report = instrument::ViolationReport::parse(d.payload);
+        if (report.has_value()) handleReport(*report);
+      });
+
+  if (network != nullptr) {
+    rpc_ = std::make_unique<net::RpcEndpoint>(*network, host_, config_.rpcPort);
+    setupRpcHandlers();
+  }
+}
+
+std::vector<std::string> QoSHostManager::loadRuleText(const std::string& text) {
+  return rules::loadRules(engine_, text);
+}
+
+void QoSHostManager::loadDefaultRules() {
+  loadRuleText(defaultHostRules(config_.thresholds));
+}
+
+void QoSHostManager::registerEngineFunctions() {
+  engine_.registerFunction("boost-cpu", [this](const std::vector<Value>& args) {
+    if (args.size() != 2) return;
+    const auto pid = static_cast<osim::Pid>(args[0].asInt());
+    const int delta = static_cast<int>(args[1].asInt());
+    // Escalation path: when the TS priority knob is already saturated and the
+    // policy is still violated, move to real-time cycle allocation.
+    if (cpuManager_.tsSaturated(pid)) {
+      if (cpuManager_.rtShare(pid) == 0 && cpuManager_.grantRtShare(pid, 85)) {
+        ++rtGrants_;
+        sim_.info("qoshm:" + host_.name(),
+                  "TS saturated; granting RT share to pid " + std::to_string(pid));
+      }
+      return;
+    }
+    if (cpuManager_.adjustTsPriority(pid, delta)) {
+      ++boosts_;
+      sim_.debug("qoshm:" + host_.name(),
+                 "boost pid " + std::to_string(pid) + " by " +
+                     std::to_string(delta));
+    }
+  });
+
+  engine_.registerFunction("decay-cpu", [this](const std::vector<Value>& args) {
+    if (args.size() != 2) return;
+    const auto pid = static_cast<osim::Pid>(args[0].asInt());
+    const int delta = static_cast<int>(args[1].asInt());
+    // Unwind RT grants before eroding TS priority.
+    if (cpuManager_.rtShare(pid) > 0) {
+      cpuManager_.grantRtShare(pid, 0);
+      ++decays_;
+      return;
+    }
+    if (cpuManager_.adjustTsPriority(pid, -delta)) ++decays_;
+  });
+
+  engine_.registerFunction("grow-memory", [this](const std::vector<Value>& args) {
+    if (args.size() != 2) return;
+    const auto pid = static_cast<osim::Pid>(args[0].asInt());
+    if (memoryManager_.growResidentCap(pid, args[1].asInt())) ++memGrowths_;
+  });
+
+  engine_.registerFunction("notify-domain-manager",
+                           [this](const std::vector<Value>& args) {
+                             if (args.size() != 1) return;
+                             escalate(static_cast<std::uint32_t>(args[0].asInt()));
+                           });
+
+  // Overload handling (Section 10 iii): when resources alone cannot satisfy
+  // the policy, ask the application to adapt its behaviour via an actuator.
+  engine_.registerFunction("request-adaptation",
+                           [this](const std::vector<Value>& args) {
+    if (args.size() < 2) return;
+    instrument::ControlCommand cmd;
+    cmd.kind = instrument::ControlCommand::Kind::kAdapt;
+    cmd.target = args[1].asString();
+    for (std::size_t i = 2; i < args.size(); ++i) {
+      cmd.args.push_back(args[i].toString());
+    }
+    sendControl(static_cast<osim::Pid>(args[0].asInt()), cmd);
+  });
+
+  engine_.registerFunction("clear-state", [this](const std::vector<Value>& args) {
+    if (args.size() != 1) return;
+    (void)args;
+    // Placeholder for per-session bookkeeping resets; the knobs themselves
+    // persist (the found allocation is the point of the search strategy).
+  });
+
+  engine_.registerFunction("log", [this](const std::vector<Value>& args) {
+    std::ostringstream out;
+    for (const Value& v : args) out << v.toString() << " ";
+    sim_.info("qoshm:" + host_.name(), out.str());
+  });
+}
+
+void QoSHostManager::setupRpcHandlers() {
+  // Domain-manager query: CPU load, process liveness, memory slowdown.
+  rpc_->setHandler("host-stats", [this](const std::string& body,
+                                        net::RpcEndpoint::Responder respond) {
+    osim::Pid pid = 0;
+    const auto eq = body.find("pid=");
+    if (eq != std::string::npos) {
+      pid = static_cast<osim::Pid>(std::strtoul(body.c_str() + eq + 4, nullptr, 10));
+    }
+    const osim::Process* p = host_.find(pid);
+    const bool alive = p != nullptr && !p->terminated();
+    std::ostringstream out;
+    out << "load=" << host_.loadAverage() << ";alive=" << (alive ? 1 : 0)
+        << ";slowdown=" << memoryManager_.slowdownPercent(pid)
+        << ";freepages=" << host_.memory().freePages();
+    respond(out.str());
+  });
+
+  // Domain-manager corrective action: raise the server process priority.
+  rpc_->setHandler("boost", [this](const std::string& body,
+                                   net::RpcEndpoint::Responder respond) {
+    osim::Pid pid = 0;
+    int delta = 0;
+    std::sscanf(body.c_str(), "pid=%u;delta=%d", &pid, &delta);
+    const bool ok = cpuManager_.adjustTsPriority(pid, delta);
+    if (ok) ++boosts_;
+    respond(ok ? "OK" : "ERR:no-such-pid");
+  });
+
+  // Domain-manager corrective action: restart a failed process.
+  rpc_->setHandler("restart", [this](const std::string& body,
+                                     net::RpcEndpoint::Responder respond) {
+    osim::Pid pid = 0;
+    std::sscanf(body.c_str(), "pid=%u", &pid);
+    if (!restartHandler_) {
+      respond("ERR:no-restart-handler");
+      return;
+    }
+    const osim::Pid newPid = restartHandler_(pid);
+    if (newPid != 0) {
+      ++restarts_;
+      respond("OK:newpid=" + std::to_string(newPid));
+    } else {
+      respond("ERR:restart-failed");
+    }
+  });
+
+  // Dynamic rule distribution over the network (Section 9).
+  rpc_->setHandler("set-rules", [this](const std::string& body,
+                                       net::RpcEndpoint::Responder respond) {
+    try {
+      const auto names = loadRuleText(body);
+      ++rulePushes_;
+      respond("OK:" + std::to_string(names.size()));
+    } catch (const rules::RuleParseError& e) {
+      respond(std::string("ERR:") + e.what());
+    }
+  });
+
+  // Rule removal by name.
+  rpc_->setHandler("remove-rule", [this](const std::string& body,
+                                         net::RpcEndpoint::Responder respond) {
+    respond(engine_.removeRule(body) ? "OK" : "ERR:no-such-rule");
+  });
+}
+
+void QoSHostManager::retractSessionFacts(std::uint32_t pid) {
+  const Value pidValue = Value::integer(pid);
+  for (const char* tmpl :
+       {"violation", "cleared", "metric", "proc-stat", "alloc-state"}) {
+    std::vector<rules::FactId> toRetract;
+    for (const rules::Fact* f : engine_.facts().byTemplate(tmpl)) {
+      const Value* v = f->slot("pid");
+      if (v != nullptr && *v == pidValue) toRetract.push_back(f->id);
+    }
+    for (const rules::FactId id : toRetract) engine_.facts().retract(id);
+  }
+}
+
+void QoSHostManager::handleReport(const instrument::ViolationReport& report) {
+  ++reports_;
+  lastReport_[report.pid] = report;
+
+  // Working memory holds only the latest session state per pid.
+  retractSessionFacts(report.pid);
+
+  rules::SlotMap head;
+  head.emplace("policy", Value::symbol(report.policyId));
+  head.emplace("pid", Value::integer(report.pid));
+  head.emplace("exec", Value::symbol(report.executable));
+  head.emplace("role", Value::symbol(report.userRole.empty() ? "none"
+                                                             : report.userRole));
+  engine_.facts().assertFact(report.violated ? "violation" : "cleared",
+                             std::move(head));
+
+  for (const auto& [name, value] : report.metrics) {
+    rules::SlotMap slots;
+    slots.emplace("pid", Value::integer(report.pid));
+    slots.emplace("name", Value::symbol(name));
+    slots.emplace("value", Value::real(value));
+    engine_.facts().assertFact("metric", std::move(slots));
+  }
+
+  // Host-side observations the rules may need.
+  {
+    rules::SlotMap slots;
+    slots.emplace("pid", Value::integer(report.pid));
+    slots.emplace("mem-slowdown",
+                  Value::real(memoryManager_.slowdownPercent(report.pid)));
+    engine_.facts().assertFact("proc-stat", std::move(slots));
+  }
+  {
+    // Current allocation state: lets rules detect that the resource knobs
+    // are exhausted (overload) and switch to application adaptation.
+    rules::SlotMap slots;
+    slots.emplace("pid", Value::integer(report.pid));
+    slots.emplace("upri", Value::integer(cpuManager_.tsPriority(report.pid)));
+    slots.emplace("rt", Value::integer(cpuManager_.rtShare(report.pid)));
+    engine_.facts().assertFact("alloc-state", std::move(slots));
+  }
+  engine_.facts().retractTemplate("host-stat");
+  {
+    rules::SlotMap slots;
+    slots.emplace("name", Value::symbol("cpu_load"));
+    slots.emplace("value", Value::real(host_.loadAverage()));
+    engine_.facts().assertFact("host-stat", std::move(slots));
+  }
+
+  engine_.run();
+}
+
+void QoSHostManager::sendControl(osim::Pid pid,
+                                 const instrument::ControlCommand& command) {
+  ++adaptationsRequested_;
+  host_.msgQueue(instrument::controlQueueKey(pid)).send(command.serialize());
+}
+
+void QoSHostManager::escalate(std::uint32_t pid) {
+  // Repeated notifications for a persisting violation arrive twice a second;
+  // the domain-level diagnosis is expensive (cross-host RPC), so throttle.
+  const auto lastIt = lastEscalationAt_.find(pid);
+  if (lastIt != lastEscalationAt_.end() &&
+      sim_.now() - lastIt->second < escalationThrottle_) {
+    return;
+  }
+  lastEscalationAt_[pid] = sim_.now();
+  ++escalations_;
+  if (rpc_ == nullptr || config_.domainManagerHost.empty()) {
+    sim_.warn("qoshm:" + host_.name(),
+              "escalation for pid " + std::to_string(pid) +
+                  " dropped (no domain manager configured)");
+    return;
+  }
+  const auto it = lastReport_.find(pid);
+  if (it == lastReport_.end()) return;
+  rpc_->call(config_.domainManagerHost, config_.domainManagerPort, "escalate",
+             it->second.serialize(),
+             [this](bool ok, const std::string&) {
+               if (!ok) {
+                 sim_.warn("qoshm:" + host_.name(), "escalation RPC timed out");
+               }
+             });
+}
+
+}  // namespace softqos::manager

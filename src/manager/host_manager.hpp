@@ -1,0 +1,113 @@
+// The QoS Host Manager (Section 5.3): receives violation notifications from
+// coordinators over a message queue, asserts them as facts, forward-chains
+// over its rule base, and drives the host's resource managers. It answers
+// domain-manager queries (CPU load, memory, process liveness) and accepts
+// remote corrective actions ("boost", "restart") and rule pushes
+// ("set-rules") over RPC.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "instrument/control.hpp"
+#include "instrument/report.hpp"
+#include "manager/default_rules.hpp"
+#include "manager/resource_manager.hpp"
+#include "net/rpc.hpp"
+#include "osim/host.hpp"
+#include "rules/engine.hpp"
+#include "sim/simulation.hpp"
+
+namespace softqos::manager {
+
+struct HostManagerConfig {
+  std::string msgQueueKey = "qos-host-manager";
+  int rpcPort = 7001;            // where domain managers reach this manager
+  std::string domainManagerHost; // empty: no escalation possible
+  int domainManagerPort = 7100;
+  HostRuleThresholds thresholds;
+  bool loadDefaultRules = true;
+};
+
+class QoSHostManager {
+ public:
+  /// `network` may be null for single-host deployments (no RPC endpoint is
+  /// created and escalations are counted but dropped).
+  QoSHostManager(sim::Simulation& simulation, osim::Host& host,
+                 net::Network* network, HostManagerConfig config = {});
+
+  QoSHostManager(const QoSHostManager&) = delete;
+  QoSHostManager& operator=(const QoSHostManager&) = delete;
+
+  [[nodiscard]] osim::Host& host() { return host_; }
+  [[nodiscard]] rules::InferenceEngine& engine() { return engine_; }
+  CpuResourceManager& cpuManager() { return cpuManager_; }
+  MemoryResourceManager& memoryManager() { return memoryManager_; }
+
+  /// Dynamic rule distribution: replace/extend the rule base from text.
+  std::vector<std::string> loadRuleText(const std::string& text);
+  void loadDefaultRules();
+  bool removeRule(const std::string& name) { return engine_.removeRule(name); }
+
+  /// Handle one coordinator report (also the message-queue entry point).
+  void handleReport(const instrument::ViolationReport& report);
+
+  /// Send a control command to a process coordinator over its per-process
+  /// control queue (application adaptation, run-time threshold changes).
+  void sendControl(osim::Pid pid, const instrument::ControlCommand& command);
+
+  /// Restart hook for process-failure adaptation: given the dead pid,
+  /// respawn and return the new pid (0 = could not restart).
+  using RestartHandler = std::function<osim::Pid(osim::Pid deadPid)>;
+  void setRestartHandler(RestartHandler handler) {
+    restartHandler_ = std::move(handler);
+  }
+
+  // ---- Statistics ----
+  [[nodiscard]] std::uint64_t reportsReceived() const { return reports_; }
+  [[nodiscard]] std::uint64_t boostsApplied() const { return boosts_; }
+  [[nodiscard]] std::uint64_t decaysApplied() const { return decays_; }
+  [[nodiscard]] std::uint64_t escalationsSent() const { return escalations_; }
+  [[nodiscard]] std::uint64_t rtGrantsIssued() const { return rtGrants_; }
+  [[nodiscard]] std::uint64_t memoryGrowths() const { return memGrowths_; }
+  [[nodiscard]] std::uint64_t restartsPerformed() const { return restarts_; }
+  [[nodiscard]] std::uint64_t rulePushesReceived() const { return rulePushes_; }
+
+ private:
+  void registerEngineFunctions();
+  void setupRpcHandlers();
+  void retractSessionFacts(std::uint32_t pid);
+  void escalate(std::uint32_t pid);
+
+  sim::Simulation& sim_;
+  osim::Host& host_;
+  HostManagerConfig config_;
+  rules::InferenceEngine engine_;
+  CpuResourceManager cpuManager_;
+  MemoryResourceManager memoryManager_;
+  std::unique_ptr<net::RpcEndpoint> rpc_;
+  RestartHandler restartHandler_;
+  std::map<std::uint32_t, instrument::ViolationReport> lastReport_;
+  std::map<std::uint32_t, sim::SimTime> lastEscalationAt_;
+  sim::SimDuration escalationThrottle_ = sim::sec(2);
+
+  std::uint64_t reports_ = 0;
+  std::uint64_t boosts_ = 0;
+  std::uint64_t decays_ = 0;
+  std::uint64_t escalations_ = 0;
+  std::uint64_t rtGrants_ = 0;
+  std::uint64_t memGrowths_ = 0;
+  std::uint64_t restarts_ = 0;
+  std::uint64_t rulePushes_ = 0;
+  std::uint64_t adaptationsRequested_ = 0;
+
+ public:
+  [[nodiscard]] std::uint64_t adaptationsRequested() const {
+    return adaptationsRequested_;
+  }
+};
+
+}  // namespace softqos::manager

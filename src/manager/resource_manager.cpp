@@ -1,0 +1,96 @@
+#include "manager/resource_manager.hpp"
+
+#include <algorithm>
+
+namespace softqos::manager {
+
+namespace {
+
+osim::Process* liveProcess(osim::Host& host, osim::Pid pid) {
+  osim::Process* p = host.find(pid);
+  return (p == nullptr || p->terminated()) ? nullptr : p;
+}
+
+}  // namespace
+
+bool CpuResourceManager::adjustTsPriority(osim::Pid pid, int delta) {
+  osim::Process* p = liveProcess(host(), pid);
+  if (p == nullptr) return false;
+  p->setTsUserPriority(std::clamp(p->tsUserPriority() + delta, -60, 60));
+  countAdjustment();
+  return true;
+}
+
+bool CpuResourceManager::setTsPriority(osim::Pid pid, int upri) {
+  osim::Process* p = liveProcess(host(), pid);
+  if (p == nullptr) return false;
+  p->setTsUserPriority(std::clamp(upri, -60, 60));
+  countAdjustment();
+  return true;
+}
+
+int CpuResourceManager::tsPriority(osim::Pid pid) const {
+  const osim::Process* p = const_cast<CpuResourceManager*>(this)->host().find(pid);
+  return p == nullptr ? 0 : p->tsUserPriority();
+}
+
+bool CpuResourceManager::tsSaturated(osim::Pid pid) const {
+  return tsPriority(pid) >= 60;
+}
+
+bool CpuResourceManager::grantRtShare(osim::Pid pid, int percent) {
+  osim::Process* p = liveProcess(host(), pid);
+  if (p == nullptr) return false;
+  osim::RtGrant grant;
+  grant.sharePercent = std::clamp(percent, 0, 95);
+  p->setRtGrant(grant);
+  countAdjustment();
+  return true;
+}
+
+int CpuResourceManager::rtShare(osim::Pid pid) const {
+  const osim::Process* p = const_cast<CpuResourceManager*>(this)->host().find(pid);
+  return p == nullptr ? 0 : p->rtGrant().sharePercent;
+}
+
+bool CpuResourceManager::release(osim::Pid pid) {
+  osim::Process* p = liveProcess(host(), pid);
+  if (p == nullptr) return false;
+  p->setTsUserPriority(0);
+  p->setRtGrant(osim::RtGrant{});
+  countAdjustment();
+  return true;
+}
+
+bool MemoryResourceManager::setResidentCap(osim::Pid pid, std::int64_t pages) {
+  osim::Process* p = liveProcess(host(), pid);
+  if (p == nullptr) return false;
+  p->setMemoryCapPages(pages);
+  countAdjustment();
+  return true;
+}
+
+std::int64_t MemoryResourceManager::residentCap(osim::Pid pid) const {
+  const osim::Process* p =
+      const_cast<MemoryResourceManager*>(this)->host().find(pid);
+  return p == nullptr ? -1 : p->memoryCapPages();
+}
+
+bool MemoryResourceManager::growResidentCap(osim::Pid pid, std::int64_t pages) {
+  osim::Process* p = liveProcess(host(), pid);
+  if (p == nullptr) return false;
+  const std::int64_t base =
+      p->memoryCapPages() >= 0 ? p->memoryCapPages() : p->residentPages();
+  p->setMemoryCapPages(base + pages);
+  countAdjustment();
+  return true;
+}
+
+int MemoryResourceManager::slowdownPercent(osim::Pid pid) const {
+  auto& self = const_cast<MemoryResourceManager&>(*this);
+  const osim::Process* p = self.host().find(pid);
+  if (p == nullptr) return 100;
+  return self.host().memory().slowdownPercent(*p);
+}
+
+}  // namespace softqos::manager

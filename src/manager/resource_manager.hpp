@@ -1,0 +1,78 @@
+// Resource managers: each manages a single system resource on one host
+// (Section 7). The CPU manager adjusts time-sharing priorities or allocates
+// units of real-time CPU cycles; the memory manager adjusts the number of
+// resident pages a process holds.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "osim/host.hpp"
+
+namespace softqos::manager {
+
+class ResourceManager {
+ public:
+  explicit ResourceManager(osim::Host& host) : host_(host) {}
+  virtual ~ResourceManager() = default;
+
+  ResourceManager(const ResourceManager&) = delete;
+  ResourceManager& operator=(const ResourceManager&) = delete;
+
+  [[nodiscard]] virtual std::string resourceName() const = 0;
+  [[nodiscard]] osim::Host& host() { return host_; }
+  [[nodiscard]] std::uint64_t adjustments() const { return adjustments_; }
+
+ protected:
+  void countAdjustment() { ++adjustments_; }
+
+ private:
+  osim::Host& host_;
+  std::uint64_t adjustments_ = 0;
+};
+
+class CpuResourceManager : public ResourceManager {
+ public:
+  using ResourceManager::ResourceManager;
+
+  [[nodiscard]] std::string resourceName() const override { return "cpu"; }
+
+  /// Add `delta` to the process's user priority (clamped to [-60, 60], like
+  /// priocntl on the TS class). Returns false for unknown/dead processes.
+  bool adjustTsPriority(osim::Pid pid, int delta);
+  bool setTsPriority(osim::Pid pid, int upri);
+  [[nodiscard]] int tsPriority(osim::Pid pid) const;
+
+  /// True when the priority knob is saturated upward (the signal to escalate
+  /// to real-time cycle allocation).
+  [[nodiscard]] bool tsSaturated(osim::Pid pid) const;
+
+  /// Allocate `percent` of each 100ms period at real-time priority
+  /// (0 revokes the grant).
+  bool grantRtShare(osim::Pid pid, int percent);
+  [[nodiscard]] int rtShare(osim::Pid pid) const;
+
+  /// Reset the knobs to defaults (used when a session ends).
+  bool release(osim::Pid pid);
+};
+
+class MemoryResourceManager : public ResourceManager {
+ public:
+  using ResourceManager::ResourceManager;
+
+  [[nodiscard]] std::string resourceName() const override { return "memory"; }
+
+  /// Cap (or with negative `pages`, uncap) the resident set of a process.
+  bool setResidentCap(osim::Pid pid, std::int64_t pages);
+  [[nodiscard]] std::int64_t residentCap(osim::Pid pid) const;
+
+  /// Raise the cap by `pages` (starting from the current resident set when
+  /// uncapped). Returns false for unknown processes.
+  bool growResidentCap(osim::Pid pid, std::int64_t pages);
+
+  /// Memory pressure indicator: execution slowdown percent (100 = none).
+  [[nodiscard]] int slowdownPercent(osim::Pid pid) const;
+};
+
+}  // namespace softqos::manager

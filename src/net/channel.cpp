@@ -1,0 +1,64 @@
+#include "net/channel.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "net/node.hpp"
+
+namespace softqos::net {
+
+Channel::Channel(sim::Simulation& simulation, NetNode& to, ChannelConfig config)
+    : sim_(simulation), to_(to), config_(config) {}
+
+void Channel::enqueue(Packet packet) {
+  if (queuedBytes_ + packet.bytes > config_.queueCapacityBytes) {
+    ++drops_;
+    return;
+  }
+  queuedBytes_ += packet.bytes;
+  queue_.push_back(std::move(packet));
+  pump();
+}
+
+void Channel::pump() {
+  if (transmitting_ || queue_.empty()) return;
+  transmitting_ = true;
+  Packet p = std::move(queue_.front());
+  queue_.pop_front();
+  queuedBytes_ -= p.bytes;
+
+  const double serializeSec =
+      static_cast<double>(p.bytes) / config_.bytesPerSecond;
+  const sim::SimDuration serialize =
+      std::max<sim::SimDuration>(1, sim::fromSeconds(serializeSec));
+  busyTime_ += serialize;
+  bytesSent_ += p.bytes;
+  ++packetsSent_;
+
+  sim_.after(serialize, [this, p = std::move(p)]() mutable {
+    // Serialization finished: the wire is free for the next packet while this
+    // one propagates.
+    transmitting_ = false;
+    sim_.after(config_.propagationDelay,
+               [this, p = std::move(p)]() mutable { to_.onPacket(std::move(p)); });
+    pump();
+  });
+}
+
+double Channel::utilization() const {
+  const sim::SimTime elapsed = sim_.now();
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(busyTime_) / static_cast<double>(elapsed);
+}
+
+double Channel::utilizationSinceLastPoll() {
+  const sim::SimTime now = sim_.now();
+  const sim::SimDuration window = now - lastPollAt_;
+  const sim::SimDuration busy = busyTime_ - busyAtLastPoll_;
+  lastPollAt_ = now;
+  busyAtLastPoll_ = busyTime_;
+  if (window <= 0) return 0.0;
+  return std::min(1.0, static_cast<double>(busy) / static_cast<double>(window));
+}
+
+}  // namespace softqos::net

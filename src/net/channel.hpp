@@ -1,0 +1,64 @@
+// A unidirectional channel: drop-tail output queue + serialization at link
+// bandwidth + propagation delay. Two channels back-to-back form a duplex link.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "net/packet.hpp"
+#include "sim/simulation.hpp"
+
+namespace softqos::net {
+
+class NetNode;
+
+struct ChannelConfig {
+  double bytesPerSecond = 12.5e6;                 // 100 Mbit/s
+  sim::SimDuration propagationDelay = sim::usec(100);
+  std::int64_t queueCapacityBytes = 512 * 1024;   // drop-tail
+};
+
+class Channel {
+ public:
+  Channel(sim::Simulation& simulation, NetNode& to, ChannelConfig config);
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Enqueue for transmission; drops (and counts) when the queue is full.
+  void enqueue(Packet packet);
+
+  // ---- Observables the QoS Domain Manager inspects for congestion ----
+  [[nodiscard]] std::int64_t queuedBytes() const { return queuedBytes_; }
+  [[nodiscard]] std::size_t queuedPackets() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t drops() const { return drops_; }
+  [[nodiscard]] std::int64_t bytesSent() const { return bytesSent_; }
+  [[nodiscard]] std::uint64_t packetsSent() const { return packetsSent_; }
+
+  /// Fraction of wall time the transmitter has been busy since start.
+  [[nodiscard]] double utilization() const;
+
+  /// Utilization over a recent window: (busy in window)/(window length).
+  /// The window restarts whenever this is called (manager polling cadence).
+  double utilizationSinceLastPoll();
+
+  [[nodiscard]] const ChannelConfig& config() const { return config_; }
+
+ private:
+  void pump();
+
+  sim::Simulation& sim_;
+  NetNode& to_;
+  ChannelConfig config_;
+  std::deque<Packet> queue_;
+  std::int64_t queuedBytes_ = 0;
+  bool transmitting_ = false;
+  std::uint64_t drops_ = 0;
+  std::int64_t bytesSent_ = 0;
+  std::uint64_t packetsSent_ = 0;
+  sim::SimDuration busyTime_ = 0;
+  sim::SimDuration busyAtLastPoll_ = 0;
+  sim::SimTime lastPollAt_ = 0;
+};
+
+}  // namespace softqos::net

@@ -1,0 +1,202 @@
+#include "net/network.hpp"
+
+#include <cassert>
+#include <deque>
+#include <stdexcept>
+#include <utility>
+
+#include "net/nic.hpp"
+
+namespace softqos::net {
+
+NetNode::NetNode(Network& network, std::string name)
+    : network_(network), name_(std::move(name)) {
+  id_ = network_.registerNode(this, name_);
+}
+
+Network::Network(sim::Simulation& simulation, std::int64_t mtuBytes)
+    : sim_(simulation), mtu_(mtuBytes) {
+  if (mtu_ <= 0) throw std::invalid_argument("Network: MTU must be positive");
+}
+
+Network::~Network() = default;
+
+NodeId Network::registerNode(NetNode* node, const std::string& name) {
+  if (byName_.contains(name)) {
+    throw std::invalid_argument("Network: duplicate node name: " + name);
+  }
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(node);
+  adjacency_.emplace_back();
+  byName_.emplace(name, id);
+  routesDirty_ = true;
+  return id;
+}
+
+NetNode* Network::node(NodeId id) {
+  if (id < 0 || id >= static_cast<NodeId>(nodes_.size())) return nullptr;
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+NetNode* Network::nodeByName(const std::string& name) {
+  const auto it = byName_.find(name);
+  return it == byName_.end() ? nullptr : nodes_[static_cast<std::size_t>(it->second)];
+}
+
+void Network::link(NetNode& a, NetNode& b, ChannelConfig config) {
+  channels_.emplace(std::make_pair(a.id(), b.id()),
+                    std::make_unique<Channel>(sim_, b, config));
+  channels_.emplace(std::make_pair(b.id(), a.id()),
+                    std::make_unique<Channel>(sim_, a, config));
+  adjacency_[static_cast<std::size_t>(a.id())].push_back(b.id());
+  adjacency_[static_cast<std::size_t>(b.id())].push_back(a.id());
+  routesDirty_ = true;
+}
+
+Channel* Network::channel(NodeId from, NodeId to) {
+  const auto it = channels_.find(std::make_pair(from, to));
+  return it == channels_.end() ? nullptr : it->second.get();
+}
+
+bool Network::setLinkEnabled(NodeId a, NodeId b, bool enabled) {
+  if (channel(a, b) == nullptr || channel(b, a) == nullptr) return false;
+  if (enabled) {
+    disabledLinks_.erase({a, b});
+    disabledLinks_.erase({b, a});
+  } else {
+    disabledLinks_.insert({a, b});
+    disabledLinks_.insert({b, a});
+  }
+  routesDirty_ = true;
+  return true;
+}
+
+bool Network::linkEnabled(NodeId a, NodeId b) const {
+  return !disabledLinks_.contains({a, b});
+}
+
+Nic& Network::attachHost(osim::Host& host) {
+  auto it = nics_.find(host.name());
+  if (it != nics_.end()) return *it->second;
+  auto nic = std::make_unique<Nic>(*this, host);
+  Nic& ref = *nic;
+  nics_.emplace(host.name(), std::move(nic));
+  return ref;
+}
+
+Nic* Network::nicForHost(const std::string& hostName) {
+  const auto it = nics_.find(hostName);
+  return it == nics_.end() ? nullptr : it->second.get();
+}
+
+void Network::recomputeRoutes() {
+  const std::size_t n = nodes_.size();
+  nextHop_.assign(n, std::vector<NodeId>(n, kNoNode));
+  // BFS from every destination: nextHop_[from][dst] is the neighbour of
+  // `from` on a shortest path to `dst`.
+  for (std::size_t dst = 0; dst < n; ++dst) {
+    std::vector<NodeId> toward(n, kNoNode);  // next hop toward dst
+    std::vector<bool> seen(n, false);
+    std::deque<NodeId> frontier;
+    seen[dst] = true;
+    frontier.push_back(static_cast<NodeId>(dst));
+    while (!frontier.empty()) {
+      const NodeId cur = frontier.front();
+      frontier.pop_front();
+      // Only switches transit traffic: a path may end at any node but may
+      // not pass *through* a host NIC or a traffic source/sink.
+      if (cur != static_cast<NodeId>(dst) &&
+          !nodes_[static_cast<std::size_t>(cur)]->forwards()) {
+        continue;
+      }
+      for (const NodeId nb : adjacency_[static_cast<std::size_t>(cur)]) {
+        // BFS runs from the destination outward, so the edge used for
+        // forwarding is nb -> cur; honor administrative link state.
+        if (disabledLinks_.contains({nb, cur})) continue;
+        if (seen[static_cast<std::size_t>(nb)]) continue;
+        seen[static_cast<std::size_t>(nb)] = true;
+        toward[static_cast<std::size_t>(nb)] = cur;
+        frontier.push_back(nb);
+      }
+    }
+    for (std::size_t from = 0; from < n; ++from) {
+      nextHop_[from][dst] = toward[from];
+    }
+  }
+  routesDirty_ = false;
+}
+
+NodeId Network::nextHop(NodeId from, NodeId dst) {
+  if (routesDirty_) recomputeRoutes();
+  if (from < 0 || dst < 0 || from >= static_cast<NodeId>(nodes_.size()) ||
+      dst >= static_cast<NodeId>(nodes_.size())) {
+    return kNoNode;
+  }
+  return nextHop_[static_cast<std::size_t>(from)][static_cast<std::size_t>(dst)];
+}
+
+void Network::forward(NodeId from, Packet packet) {
+  if (from == packet.dst) {
+    NetNode* self = node(from);
+    if (self != nullptr) self->onPacket(std::move(packet));
+    return;
+  }
+  const NodeId hop = nextHop(from, packet.dst);
+  if (hop == kNoNode) {
+    ++unreachable_;
+    return;
+  }
+  Channel* ch = channel(from, hop);
+  assert(ch != nullptr && "route uses a non-existent channel");
+  ch->enqueue(std::move(packet));
+}
+
+void Network::sendMessage(NodeId srcNic, NodeId dstNic, int dstPort,
+                          osim::Message m) {
+  const std::uint64_t messageId = nextMessageId_++;
+  const std::int64_t total = std::max<std::int64_t>(m.bytes, 1);
+  std::int64_t remaining = total;
+  while (remaining > 0) {
+    const std::int64_t fragment = std::min(remaining, mtu_);
+    remaining -= fragment;
+    Packet p;
+    p.src = srcNic;
+    p.dst = dstNic;
+    p.dstPort = dstPort;
+    p.messageId = messageId;
+    p.bytes = fragment;
+    p.messageBytes = total;
+    p.lastFragment = (remaining == 0);
+    p.injectedAt = sim_.now();
+    if (p.lastFragment) p.message = std::move(m);
+    forward(srcNic, std::move(p));
+  }
+}
+
+bool Network::sendToHost(const std::string& srcHost, const std::string& dstHost,
+                         int dstPort, osim::Message m) {
+  Nic* src = nicForHost(srcHost);
+  Nic* dst = nicForHost(dstHost);
+  if (src == nullptr || dst == nullptr) return false;
+  sendMessage(src->id(), dst->id(), dstPort, std::move(m));
+  return true;
+}
+
+void Network::connect(const std::shared_ptr<osim::Socket>& a, osim::Host& hostA,
+                      int portA, const std::shared_ptr<osim::Socket>& b,
+                      osim::Host& hostB, int portB) {
+  Nic& nicA = attachHost(hostA);
+  Nic& nicB = attachHost(hostB);
+  nicA.bind(portA, a);
+  nicB.bind(portB, b);
+  const NodeId idA = nicA.id();
+  const NodeId idB = nicB.id();
+  a->setTransmit([this, idA, idB, portB](osim::Message m) {
+    sendMessage(idA, idB, portB, std::move(m));
+  });
+  b->setTransmit([this, idA, idB, portA](osim::Message m) {
+    sendMessage(idB, idA, portA, std::move(m));
+  });
+}
+
+}  // namespace softqos::net

@@ -1,0 +1,49 @@
+#include "net/nic.hpp"
+
+#include <utility>
+
+#include "net/network.hpp"
+
+namespace softqos::net {
+
+Nic::Nic(Network& network, osim::Host& host)
+    : NetNode(network, "nic:" + host.name()), host_(host) {}
+
+void Nic::bind(int port, std::shared_ptr<osim::Socket> socket) {
+  bindings_[port] = std::move(socket);
+}
+
+void Nic::unbind(int port) { bindings_.erase(port); }
+
+osim::Socket* Nic::boundSocket(int port) {
+  const auto it = bindings_.find(port);
+  return it == bindings_.end() ? nullptr : it->second.get();
+}
+
+void Nic::onPacket(Packet packet) {
+  auto it = partial_.find(packet.messageId);
+  if (it == partial_.end()) {
+    it = partial_.emplace(packet.messageId, 0).first;
+  }
+  it->second += packet.bytes;
+
+  if (!packet.lastFragment) return;
+
+  const bool complete = (it->second == packet.messageBytes);
+  partial_.erase(it);
+  if (!complete) {
+    // An earlier fragment was dropped in a congested queue: the message is
+    // lost (datagram semantics; the video stream tolerates this).
+    ++incomplete_;
+    return;
+  }
+  const auto bound = bindings_.find(packet.dstPort);
+  if (bound == bindings_.end()) {
+    ++unbound_;
+    return;
+  }
+  packet.message.bytes = packet.messageBytes;
+  bound->second->deliver(std::move(packet.message));
+}
+
+}  // namespace softqos::net

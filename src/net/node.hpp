@@ -1,0 +1,40 @@
+// Base class for anything attached to the network graph.
+#pragma once
+
+#include <string>
+
+#include "net/packet.hpp"
+
+namespace softqos::net {
+
+class Network;
+
+class NetNode {
+ public:
+  NetNode(Network& network, std::string name);
+  virtual ~NetNode() = default;
+
+  NetNode(const NetNode&) = delete;
+  NetNode& operator=(const NetNode&) = delete;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Network& network() { return network_; }
+
+  /// A packet arrived over an attached channel.
+  virtual void onPacket(Packet packet) = 0;
+
+  /// True for nodes that transit other nodes' traffic (switches). Routing
+  /// never sends a path *through* a non-forwarding node (hosts, sources,
+  /// sinks terminate traffic, they do not route it).
+  [[nodiscard]] virtual bool forwards() const { return false; }
+
+ protected:
+  Network& network_;
+
+ private:
+  std::string name_;
+  NodeId id_;
+};
+
+}  // namespace softqos::net

@@ -1,0 +1,29 @@
+// Network packets: fragments of application messages routed hop by hop.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "osim/socket.hpp"
+#include "sim/time.hpp"
+
+namespace softqos::net {
+
+/// Node identifier within a Network's topology.
+using NodeId = int;
+
+inline constexpr NodeId kNoNode = -1;
+
+struct Packet {
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;
+  int dstPort = 0;               // demux key at the destination NIC
+  std::uint64_t messageId = 0;   // reassembly key
+  std::int64_t bytes = 0;        // this fragment's wire size
+  std::int64_t messageBytes = 0; // total size of the carried message
+  bool lastFragment = false;
+  osim::Message message;         // metadata, populated on the last fragment
+  sim::SimTime injectedAt = 0;
+};
+
+}  // namespace softqos::net

@@ -1,0 +1,106 @@
+#include "net/rpc.hpp"
+
+#include <utility>
+
+#include "net/nic.hpp"
+
+namespace softqos::net {
+
+std::vector<std::string> splitString(const std::string& s, char delim,
+                                     std::size_t maxParts) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    if (maxParts != 0 && out.size() + 1 == maxParts) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    const std::size_t pos = s.find(delim, start);
+    if (pos == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+RpcEndpoint::RpcEndpoint(Network& network, osim::Host& host, int port)
+    : network_(network), hostName_(host.name()), port_(port) {
+  socket_ = host.createSocket();
+  Nic& nic = network_.attachHost(host);
+  nic.bind(port_, socket_);
+  socket_->setDaemonReceiver([this](osim::Message m) { onMessage(std::move(m)); });
+}
+
+void RpcEndpoint::setHandler(const std::string& method, Handler handler) {
+  handlers_[method] = std::move(handler);
+}
+
+void RpcEndpoint::sendRaw(const std::string& destHost, int destPort,
+                          std::string payload) {
+  osim::Message m;
+  m.kind = "rpc";
+  m.bytes = 256 + static_cast<std::int64_t>(payload.size());
+  m.payload = std::move(payload);
+  network_.sendToHost(hostName_, destHost, destPort, std::move(m));
+}
+
+void RpcEndpoint::call(const std::string& destHost, int destPort,
+                       const std::string& method, const std::string& body,
+                       ReplyCont onReply, sim::SimDuration timeout) {
+  const std::uint64_t id = nextCallId_++;
+  PendingCall pc;
+  pc.cont = std::move(onReply);
+  pc.timeoutEvent = network_.sim().after(timeout, [this, id] {
+    const auto it = pending_.find(id);
+    if (it == pending_.end()) return;
+    ReplyCont cont = std::move(it->second.cont);
+    pending_.erase(it);
+    ++timeouts_;
+    if (cont) cont(false, "");
+  });
+  pending_.emplace(id, std::move(pc));
+
+  // Frame: Q|<id>|<replyHost>|<replyPort>|<method>|<body>
+  sendRaw(destHost, destPort,
+          "Q|" + std::to_string(id) + "|" + hostName_ + "|" +
+              std::to_string(port_) + "|" + method + "|" + body);
+}
+
+void RpcEndpoint::onMessage(osim::Message m) {
+  const auto parts = splitString(m.payload, '|', 6);
+  if (parts.empty()) return;
+  if (parts[0] == "Q" && parts.size() == 6) {
+    ++handled_;
+    const std::string id = parts[1];
+    const std::string replyHost = parts[2];
+    const int replyPort = std::stoi(parts[3]);
+    const std::string& method = parts[4];
+    const std::string& body = parts[5];
+    Responder respond = [this, id, replyHost, replyPort](std::string respBody) {
+      sendRaw(replyHost, replyPort, "S|" + id + "|" + std::move(respBody));
+    };
+    const auto it = handlers_.find(method);
+    if (it == handlers_.end()) {
+      respond("ERR:unknown-method");
+      return;
+    }
+    it->second(body, std::move(respond));
+    return;
+  }
+  if (parts[0] == "S") {
+    // Frame: S|<id>|<body> — body may itself contain '|'.
+    const auto resp = splitString(m.payload, '|', 3);
+    if (resp.size() < 3) return;
+    const std::uint64_t id = std::stoull(resp[1]);
+    const auto it = pending_.find(id);
+    if (it == pending_.end()) return;  // raced with timeout
+    ReplyCont cont = std::move(it->second.cont);
+    network_.sim().cancel(it->second.timeoutEvent);
+    pending_.erase(it);
+    if (cont) cont(true, resp[2]);
+  }
+}
+
+}  // namespace softqos::net

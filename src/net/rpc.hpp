@@ -1,0 +1,73 @@
+// Minimal request/response RPC between management daemons, carried over the
+// simulated network (QoS Host Manager <-> QoS Domain Manager queries).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "osim/host.hpp"
+#include "osim/socket.hpp"
+#include "sim/simulation.hpp"
+
+namespace softqos::net {
+
+/// One RPC endpoint bound to (host, port). Handlers are registered by method
+/// name; calls address a destination host name + port.
+class RpcEndpoint {
+ public:
+  /// Invoked with the response body, or with ok=false on timeout.
+  using ReplyCont = std::function<void(bool ok, std::string body)>;
+  /// Sends the response; may be invoked asynchronously (fan-out queries).
+  using Responder = std::function<void(std::string body)>;
+  using Handler = std::function<void(const std::string& body, Responder respond)>;
+
+  RpcEndpoint(Network& network, osim::Host& host, int port);
+
+  RpcEndpoint(const RpcEndpoint&) = delete;
+  RpcEndpoint& operator=(const RpcEndpoint&) = delete;
+
+  void setHandler(const std::string& method, Handler handler);
+
+  /// Issue a request. `onReply` always fires exactly once (response or
+  /// timeout). Unknown methods at the callee produce an "ERR:unknown-method"
+  /// response body.
+  void call(const std::string& destHost, int destPort,
+            const std::string& method, const std::string& body,
+            ReplyCont onReply, sim::SimDuration timeout = sim::sec(2));
+
+  [[nodiscard]] const std::string& hostName() const { return hostName_; }
+  [[nodiscard]] int port() const { return port_; }
+  [[nodiscard]] std::uint64_t requestsHandled() const { return handled_; }
+  [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
+
+ private:
+  struct PendingCall {
+    ReplyCont cont;
+    sim::EventId timeoutEvent = sim::kInvalidEvent;
+  };
+
+  void onMessage(osim::Message m);
+  void sendRaw(const std::string& destHost, int destPort, std::string payload);
+
+  Network& network_;
+  std::string hostName_;
+  int port_;
+  std::shared_ptr<osim::Socket> socket_;
+  std::map<std::string, Handler> handlers_;
+  std::map<std::uint64_t, PendingCall> pending_;
+  std::uint64_t nextCallId_ = 1;
+  std::uint64_t handled_ = 0;
+  std::uint64_t timeouts_ = 0;
+};
+
+/// Split `s` on `delim` into at most `maxParts` pieces (the last keeps the
+/// remainder). Shared by the RPC framing and report serialization.
+std::vector<std::string> splitString(const std::string& s, char delim,
+                                     std::size_t maxParts = 0);
+
+}  // namespace softqos::net

@@ -1,0 +1,188 @@
+#include "osim/cpu.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "osim/host.hpp"
+#include "osim/memory.hpp"
+
+namespace softqos::osim {
+
+Cpu::Cpu(sim::Simulation& simulation, Host& host) : sim_(simulation), host_(host) {}
+
+void Cpu::makeRunnable(Process* p, bool sleepReturn) {
+  assert(p != nullptr);
+  if (p->terminated()) return;
+  if (sleepReturn) scheduler_.onSleepReturn(*p, sim_.now());
+  p->state_ = ProcState::kRunnable;
+  scheduler_.enqueue(p);
+  ensureAgingScheduled();
+  if (running_ == nullptr) {
+    maybeDispatch();
+  } else {
+    preemptIfNeeded();
+  }
+}
+
+void Cpu::onPriorityChanged(Process* p) {
+  if (p == running_) {
+    // The running process may have been demoted below a queued one.
+    if (scheduler_.topPriority() > scheduler_.globalPriority(*p)) {
+      ++p->preemptions_;
+      stopSlice(p, /*requeue=*/true);
+      maybeDispatch();
+    }
+  } else {
+    preemptIfNeeded();
+  }
+}
+
+void Cpu::onProcessGone(Process* p) {
+  if (p == running_) {
+    stopSlice(p, /*requeue=*/false);
+    maybeDispatch();
+  } else {
+    scheduler_.remove(p);
+  }
+}
+
+void Cpu::maybeDispatch() {
+  if (running_ != nullptr) return;
+  Process* next = scheduler_.pickNext();
+  if (next == nullptr) return;
+  beginSlice(next);
+}
+
+void Cpu::preemptIfNeeded() {
+  if (running_ == nullptr) {
+    maybeDispatch();
+    return;
+  }
+  if (scheduler_.topPriority() > scheduler_.globalPriority(*running_)) {
+    Process* preempted = running_;
+    ++preempted->preemptions_;
+    stopSlice(preempted, /*requeue=*/true);
+    maybeDispatch();
+  }
+}
+
+sim::SimDuration Cpu::rtBudgetCeiling(const Process& p) const {
+  if (p.rtGrant().active() && p.effectiveClass() == SchedClass::kRealTime &&
+      p.schedClass() != SchedClass::kRealTime) {
+    return p.rtBudgetLeft();
+  }
+  return 0;  // no ceiling
+}
+
+void Cpu::beginSlice(Process* p) {
+  assert(running_ == nullptr);
+  assert(p->burstRemaining_ > 0);
+  running_ = p;
+  p->state_ = ProcState::kRunning;
+  ++contextSwitches_;
+
+  // The quantum allowance persists across dispatches and bursts (Solaris
+  // charges CPU use cumulatively); it refills only after expiry or sleep.
+  if (p->quantumLeft_ <= 0) p->quantumLeft_ = scheduler_.quantumFor(*p);
+  sim::SimDuration cpuSlice = std::min(p->quantumLeft_, p->burstRemaining_);
+  const sim::SimDuration ceiling = rtBudgetCeiling(*p);
+  sliceChargesRtBudget_ = ceiling > 0;
+  if (ceiling > 0) cpuSlice = std::min(cpuSlice, ceiling);
+
+  sliceCpuPlanned_ = std::max<sim::SimDuration>(cpuSlice, 1);
+  sliceSlowdownPct_ = host_.memory().slowdownPercent(*p);
+  sliceStart_ = sim_.now();
+
+  const sim::SimDuration wall =
+      std::max<sim::SimDuration>(sliceCpuPlanned_ * sliceSlowdownPct_ / 100, 1);
+  sliceEvent_ = sim_.after(wall, [this] { onSliceEnd(); });
+}
+
+void Cpu::onSliceEnd() {
+  Process* p = running_;
+  assert(p != nullptr);
+  running_ = nullptr;
+  sliceEvent_ = sim::kInvalidEvent;
+
+  const sim::SimDuration cpuDone = sliceCpuPlanned_;
+  p->cpuUsed_ += cpuDone;
+  busyWall_ += sim_.now() - sliceStart_;
+  if (sliceChargesRtBudget_) {
+    p->rtBudgetLeft_ = std::max<sim::SimDuration>(0, p->rtBudgetLeft_ - cpuDone);
+  }
+  p->burstRemaining_ -= cpuDone;
+  p->quantumLeft_ -= cpuDone;
+
+  // Apply quantum expiry BEFORE any continuation runs: a continuation that
+  // immediately computes again would otherwise be re-dispatched with a fresh
+  // allowance and dodge demotion forever.
+  const bool expired = p->quantumLeft_ <= 0;
+  if (expired) scheduler_.onQuantumExpired(*p, sim_.now());
+
+  if (p->burstRemaining_ <= 0) {
+    p->burstRemaining_ = 0;
+    Process::Cont cont = std::move(p->afterBurst_);
+    p->afterBurst_ = nullptr;
+    p->runCont(std::move(cont));
+    // If the continuation immediately computes again, the process never
+    // yielded the CPU: keep running it (within the remaining allowance)
+    // unless something at least as high-priority is queued.
+    if (!expired && running_ == nullptr &&
+        p->state_ == ProcState::kRunnable && p->quantumLeft_ > 0 &&
+        scheduler_.globalPriority(*p) >= scheduler_.topPriority()) {
+      scheduler_.remove(p);
+      beginSlice(p);
+      return;
+    }
+  } else {
+    p->state_ = ProcState::kRunnable;
+    scheduler_.enqueue(p);
+  }
+  maybeDispatch();
+}
+
+void Cpu::stopSlice(Process* p, bool requeue) {
+  assert(p == running_);
+  sim_.cancel(sliceEvent_);
+  sliceEvent_ = sim::kInvalidEvent;
+  running_ = nullptr;
+
+  const sim::SimDuration elapsedWall = sim_.now() - sliceStart_;
+  sim::SimDuration cpuDone =
+      std::clamp<sim::SimDuration>(elapsedWall * 100 / sliceSlowdownPct_, 0,
+                                   sliceCpuPlanned_);
+  p->cpuUsed_ += cpuDone;
+  busyWall_ += elapsedWall;
+  if (sliceChargesRtBudget_) {
+    p->rtBudgetLeft_ = std::max<sim::SimDuration>(0, p->rtBudgetLeft_ - cpuDone);
+  }
+  p->burstRemaining_ -= cpuDone;
+  p->quantumLeft_ -= cpuDone;
+  if (p->quantumLeft_ <= 0) scheduler_.onQuantumExpired(*p, sim_.now());
+  // A preempted burst must stay incomplete: rounding may have consumed it all,
+  // in which case one residual tick forces a final dispatch to finish cleanly.
+  if (p->burstRemaining_ <= 0) p->burstRemaining_ = 1;
+
+  if (requeue && !p->terminated()) {
+    p->state_ = ProcState::kRunnable;
+    scheduler_.enqueue(p);
+  }
+}
+
+void Cpu::ensureAgingScheduled() {
+  if (agingEvent_ != sim::kInvalidEvent) return;
+  agingEvent_ = sim_.after(agingInterval_, [this] {
+    agingEvent_ = sim::kInvalidEvent;
+    const std::size_t promoted = scheduler_.applyAging(sim_.now(), agingInterval_);
+    if (promoted > 0) preemptIfNeeded();
+    if (activeCount() > 0) ensureAgingScheduled();
+  });
+}
+
+double Cpu::utilization() const {
+  const sim::SimTime elapsed = sim_.now();
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(busyWall_) / static_cast<double>(elapsed);
+}
+
+}  // namespace softqos::osim

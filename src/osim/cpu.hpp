@@ -1,0 +1,82 @@
+// The CPU dispatch engine: runs one process at a time, slicing bursts by the
+// scheduler's quanta, with priority preemption and RT-budget enforcement.
+#pragma once
+
+#include <cstdint>
+
+#include "osim/process.hpp"
+#include "osim/scheduler.hpp"
+#include "sim/simulation.hpp"
+
+namespace softqos::osim {
+
+class Host;
+
+class Cpu {
+ public:
+  Cpu(sim::Simulation& simulation, Host& host);
+
+  Cpu(const Cpu&) = delete;
+  Cpu& operator=(const Cpu&) = delete;
+
+  /// Put a process with a pending burst on the run queue. `sleepReturn`
+  /// applies the dispatch table's sleep-return promotion first.
+  void makeRunnable(Process* p, bool sleepReturn);
+
+  /// A process's priority-relevant attributes changed (upri, class, grant):
+  /// re-evaluate preemption.
+  void onPriorityChanged(Process* p);
+
+  /// Remove a process from scheduling entirely (kill/exit).
+  void onProcessGone(Process* p);
+
+  [[nodiscard]] Process* running() const { return running_; }
+
+  /// Runnable count including the running process (the load-average input).
+  [[nodiscard]] std::size_t activeCount() const {
+    return scheduler_.runnableCount() + (running_ != nullptr ? 1u : 0u);
+  }
+
+  /// Total wall time this CPU spent executing processes.
+  [[nodiscard]] sim::SimDuration busyTime() const { return busyWall_; }
+
+  /// Busy fraction since simulation start (for reporting).
+  [[nodiscard]] double utilization() const;
+
+  [[nodiscard]] std::uint64_t contextSwitches() const { return contextSwitches_; }
+
+  Scheduler& scheduler() { return scheduler_; }
+  const Scheduler& scheduler() const { return scheduler_; }
+
+ private:
+  friend class Process;
+
+  void maybeDispatch();
+  void preemptIfNeeded();
+  void beginSlice(Process* p);
+  void onSliceEnd();
+  void stopSlice(Process* p, bool requeue);  // preemption path
+  void ensureAgingScheduled();               // ts_maxwait starvation aging
+
+  /// Charge RT-grant budget; returns CPU available before budget exhaustion.
+  [[nodiscard]] sim::SimDuration rtBudgetCeiling(const Process& p) const;
+
+  sim::Simulation& sim_;
+  Host& host_;
+  Scheduler scheduler_;
+
+  Process* running_ = nullptr;
+  sim::EventId sliceEvent_ = sim::kInvalidEvent;
+  sim::SimTime sliceStart_ = 0;
+  sim::SimDuration sliceCpuPlanned_ = 0;
+  int sliceSlowdownPct_ = 100;
+  bool sliceChargesRtBudget_ = false;
+
+  sim::SimDuration busyWall_ = 0;
+  std::uint64_t contextSwitches_ = 0;
+
+  sim::EventId agingEvent_ = sim::kInvalidEvent;
+  sim::SimDuration agingInterval_ = sim::sec(1);  // Solaris ages once a second
+};
+
+}  // namespace softqos::osim

@@ -1,0 +1,108 @@
+#include "osim/host.hpp"
+
+#include <utility>
+
+namespace softqos::osim {
+
+Host::Host(sim::Simulation& simulation, std::string name, HostConfig config)
+    : sim_(simulation),
+      name_(std::move(name)),
+      config_(config),
+      cpu_(simulation, *this),
+      memory_(*this, config.memoryPages),
+      load_(simulation, [this] { return cpu_.activeCount(); }) {
+  load_.setKeepRunning([this] { return liveProcessCount() > 0; });
+}
+
+Host::~Host() = default;
+
+std::shared_ptr<Process> Host::spawn(std::string processName,
+                                     Process::Behaviour behaviour,
+                                     SchedClass cls) {
+  const Pid pid = nextPid_++;
+  auto proc = std::make_shared<Process>(*this, pid, std::move(processName), cls);
+  table_.emplace(pid, proc);
+  memory_.rebalance();
+  load_.start();
+  sim_.metrics().count("host." + name_ + ".spawned");
+  proc->start(std::move(behaviour));
+  return proc;
+}
+
+bool Host::kill(Pid pid) {
+  Process* p = find(pid);
+  if (p == nullptr || p->terminated()) return false;
+  sim_.info("host." + name_, "killing pid " + std::to_string(pid) + " (" +
+                                 p->name() + ")");
+  p->terminate();
+  return true;
+}
+
+Process* Host::find(Pid pid) {
+  const auto it = table_.find(pid);
+  return it == table_.end() ? nullptr : it->second.get();
+}
+
+std::size_t Host::liveProcessCount() const {
+  std::size_t n = 0;
+  for (const auto& [pid, p] : table_) {
+    (void)pid;
+    if (!p->terminated()) ++n;
+  }
+  return n;
+}
+
+MessageQueue& Host::msgQueue(const std::string& key) {
+  auto it = queues_.find(key);
+  if (it == queues_.end()) {
+    it = queues_
+             .emplace(key, std::make_unique<MessageQueue>(
+                               sim_, key, config_.msgQueueLatency))
+             .first;
+  }
+  return *it->second;
+}
+
+std::shared_ptr<Socket> Host::createSocket(std::int64_t capacityBytes) {
+  if (capacityBytes <= 0) capacityBytes = config_.socketCapacityBytes;
+  const Socket::Fd fd = nextFd_++;
+  auto sock = std::make_shared<Socket>(sim_, fd, capacityBytes);
+  sockets_.emplace(fd, sock);
+  return sock;
+}
+
+Socket* Host::socket(Socket::Fd fd) {
+  const auto it = sockets_.find(fd);
+  return it == sockets_.end() ? nullptr : it->second.get();
+}
+
+void Host::connectLocal(const std::shared_ptr<Socket>& a,
+                        const std::shared_ptr<Socket>& b,
+                        sim::SimDuration latency) {
+  a->setTransmit([this, b, latency](Message m) {
+    sim_.after(latency, [b, m = std::move(m)]() mutable { b->deliver(std::move(m)); });
+  });
+  b->setTransmit([this, a, latency](Message m) {
+    sim_.after(latency, [a, m = std::move(m)]() mutable { a->deliver(std::move(m)); });
+  });
+}
+
+void Host::shutdown() {
+  for (auto& [pid, p] : table_) {
+    (void)pid;
+    if (!p->terminated()) p->terminate();
+  }
+  for (auto& [fd, s] : sockets_) {
+    (void)fd;
+    s->close();
+  }
+  load_.stop();
+}
+
+void Host::onProcessTerminated(Process& p) {
+  sim_.metrics().count("host." + name_ + ".terminated");
+  (void)p;
+  memory_.rebalance();
+}
+
+}  // namespace softqos::osim

@@ -1,0 +1,95 @@
+// A simulated host: one CPU with a Solaris-style scheduler, physical memory,
+// a process table, message queues, sockets and a 1-minute load average.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "osim/cpu.hpp"
+#include "osim/loadavg.hpp"
+#include "osim/memory.hpp"
+#include "osim/msgqueue.hpp"
+#include "osim/process.hpp"
+#include "osim/socket.hpp"
+#include "sim/simulation.hpp"
+
+namespace softqos::osim {
+
+struct HostConfig {
+  std::int64_t memoryPages = 65536;          // 512 MiB at 8 KiB pages
+  std::int64_t socketCapacityBytes = 262144; // default kernel receive buffer
+  sim::SimDuration msgQueueLatency = sim::usec(50);
+};
+
+class Host {
+ public:
+  Host(sim::Simulation& simulation, std::string name, HostConfig config = {});
+  ~Host();
+
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] sim::Simulation& sim() { return sim_; }
+
+  /// Create a process and start its behaviour immediately. The returned
+  /// process stays in the table (as a zombie) after termination, so raw
+  /// pointers held by instruments remain valid for the simulation's lifetime.
+  std::shared_ptr<Process> spawn(std::string processName,
+                                 Process::Behaviour behaviour,
+                                 SchedClass cls = SchedClass::kTimeSharing);
+
+  /// Forcibly terminate a process (fault injection). Returns false if the pid
+  /// is unknown or already terminated.
+  bool kill(Pid pid);
+
+  [[nodiscard]] Process* find(Pid pid);
+  [[nodiscard]] const std::map<Pid, std::shared_ptr<Process>>& processes() const {
+    return table_;
+  }
+  [[nodiscard]] std::size_t liveProcessCount() const;
+
+  Cpu& cpu() { return cpu_; }
+  const Cpu& cpu() const { return cpu_; }
+  MemoryModel& memory() { return memory_; }
+  const MemoryModel& memory() const { return memory_; }
+
+  /// The UNIX-style 1-minute load average (sampling starts at first spawn).
+  [[nodiscard]] double loadAverage() const { return load_.value(); }
+  LoadAverage& loadSampler() { return load_; }
+
+  /// Get-or-create a named SysV-style message queue.
+  MessageQueue& msgQueue(const std::string& key);
+
+  /// Create a socket with the host's default (or an explicit) buffer size.
+  std::shared_ptr<Socket> createSocket(std::int64_t capacityBytes = 0);
+  [[nodiscard]] Socket* socket(Socket::Fd fd);
+
+  /// Plumb two sockets as a bidirectional local pair with a fixed latency.
+  void connectLocal(const std::shared_ptr<Socket>& a,
+                    const std::shared_ptr<Socket>& b,
+                    sim::SimDuration latency = sim::usec(20));
+
+  /// Kill all processes and stop the load sampler (lets runAll() drain).
+  void shutdown();
+
+ private:
+  friend class Process;
+  void onProcessTerminated(Process& p);
+
+  sim::Simulation& sim_;
+  std::string name_;
+  HostConfig config_;
+  Cpu cpu_;
+  MemoryModel memory_;
+  LoadAverage load_;
+  std::map<Pid, std::shared_ptr<Process>> table_;
+  std::map<std::string, std::unique_ptr<MessageQueue>> queues_;
+  std::map<Socket::Fd, std::shared_ptr<Socket>> sockets_;
+  Pid nextPid_ = 1;
+  Socket::Fd nextFd_ = 3;  // 0..2 are conventionally stdio
+};
+
+}  // namespace softqos::osim

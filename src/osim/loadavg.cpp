@@ -1,0 +1,39 @@
+#include "osim/loadavg.hpp"
+
+#include <cmath>
+
+namespace softqos::osim {
+
+LoadAverage::LoadAverage(sim::Simulation& simulation,
+                         std::function<std::size_t()> source,
+                         sim::SimDuration interval, sim::SimDuration horizon)
+    : sim_(simulation),
+      source_(std::move(source)),
+      interval_(interval),
+      decay_(std::exp(-static_cast<double>(interval) /
+                      static_cast<double>(horizon))) {}
+
+LoadAverage::~LoadAverage() { stop(); }
+
+void LoadAverage::start() {
+  if (event_ != sim::kInvalidEvent) return;
+  event_ = sim_.after(interval_, [this] { sample(); });
+}
+
+void LoadAverage::stop() {
+  if (event_ == sim::kInvalidEvent) return;
+  sim_.cancel(event_);
+  event_ = sim::kInvalidEvent;
+}
+
+void LoadAverage::sample() {
+  const double n = static_cast<double>(source_());
+  value_ = value_ * decay_ + n * (1.0 - decay_);
+  if (keepRunning_ && !keepRunning_()) {
+    event_ = sim::kInvalidEvent;  // idle host: let the event queue drain
+    return;
+  }
+  event_ = sim_.after(interval_, [this] { sample(); });
+}
+
+}  // namespace softqos::osim

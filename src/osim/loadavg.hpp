@@ -1,0 +1,56 @@
+// UNIX-style exponentially damped load average.
+#pragma once
+
+#include <functional>
+
+#include "sim/simulation.hpp"
+#include "sim/time.hpp"
+
+namespace softqos::osim {
+
+/// Samples a run-queue-length source at a fixed interval and maintains an
+/// exponentially damped average over `horizon` (1 minute by default),
+/// reproducing the UNIX 1-minute load average the paper's Figure 3 uses as
+/// its x-axis.
+class LoadAverage {
+ public:
+  LoadAverage(sim::Simulation& simulation, std::function<std::size_t()> source,
+              sim::SimDuration interval = sim::sec(1),
+              sim::SimDuration horizon = sim::sec(60));
+  ~LoadAverage();
+
+  LoadAverage(const LoadAverage&) = delete;
+  LoadAverage& operator=(const LoadAverage&) = delete;
+
+  /// Begin periodic sampling (idempotent).
+  void start();
+
+  /// Stop sampling; the last value is retained.
+  void stop();
+
+  /// Optional liveness predicate: when it returns false at a sampling tick,
+  /// the sampler stops itself (so simulations can drain their event queues
+  /// once all processes have exited). start() re-arms it.
+  void setKeepRunning(std::function<bool()> keepRunning) {
+    keepRunning_ = std::move(keepRunning);
+  }
+
+  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] bool running() const { return event_ != sim::kInvalidEvent; }
+
+  /// Seed the average (used by experiments that pre-warm the workload).
+  void prime(double v) { value_ = v; }
+
+ private:
+  void sample();
+
+  sim::Simulation& sim_;
+  std::function<std::size_t()> source_;
+  sim::SimDuration interval_;
+  double decay_;  // exp(-interval / horizon)
+  double value_ = 0.0;
+  sim::EventId event_ = sim::kInvalidEvent;
+  std::function<bool()> keepRunning_;
+};
+
+}  // namespace softqos::osim

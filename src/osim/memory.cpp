@@ -1,0 +1,57 @@
+#include "osim/memory.hpp"
+
+#include <algorithm>
+
+#include "osim/host.hpp"
+#include "osim/process.hpp"
+
+namespace softqos::osim {
+
+MemoryModel::MemoryModel(Host& host, std::int64_t totalPages)
+    : host_(host), totalPages_(totalPages), freePages_(totalPages) {}
+
+int MemoryModel::slowdownPercent(const Process& p) const {
+  const std::int64_t ws = p.workingSetPages();
+  if (ws <= 0) return 100;
+  const std::int64_t resident = p.residentPages();
+  if (resident >= ws) return 100;
+  if (resident <= 0) return kMaxSlowdownPct;
+  const std::int64_t pct = 100 * ws / resident;
+  return static_cast<int>(std::min<std::int64_t>(pct, kMaxSlowdownPct));
+}
+
+void MemoryModel::rebalance() {
+  std::int64_t totalDemand = 0;
+  for (const auto& [pid, proc] : host_.processes()) {
+    (void)pid;
+    if (proc->terminated()) continue;
+    std::int64_t demand = proc->workingSetPages();
+    if (proc->memoryCapPages() >= 0) {
+      demand = std::min(demand, proc->memoryCapPages());
+    }
+    totalDemand += demand;
+  }
+
+  std::int64_t assigned = 0;
+  for (const auto& [pid, proc] : host_.processes()) {
+    (void)pid;
+    if (proc->terminated()) {
+      proc->residentPages_ = 0;
+      continue;
+    }
+    std::int64_t demand = proc->workingSetPages();
+    if (proc->memoryCapPages() >= 0) {
+      demand = std::min(demand, proc->memoryCapPages());
+    }
+    std::int64_t resident = demand;
+    if (totalDemand > totalPages_ && totalDemand > 0) {
+      resident = demand * totalPages_ / totalDemand;
+      if (demand > 0) resident = std::max<std::int64_t>(resident, 1);
+    }
+    proc->residentPages_ = resident;
+    assigned += resident;
+  }
+  freePages_ = std::max<std::int64_t>(0, totalPages_ - assigned);
+}
+
+}  // namespace softqos::osim

@@ -1,0 +1,48 @@
+// Physical-memory model: resident-set assignment and page-fault slowdown.
+//
+// Each process declares a working set; the host assigns resident pages from a
+// fixed physical pool. When a process is short of its working set, its CPU
+// bursts stretch (extra wall time models page-fault stalls). The Memory
+// Resource Manager's knob is the per-process resident cap
+// (Process::setMemoryCapPages), mirroring the paper's prototype which adjusted
+// "the number of resident pages each process has in physical memory".
+#pragma once
+
+#include <cstdint>
+
+namespace softqos::osim {
+
+class Host;
+class Process;
+
+class MemoryModel {
+ public:
+  MemoryModel(Host& host, std::int64_t totalPages);
+
+  MemoryModel(const MemoryModel&) = delete;
+  MemoryModel& operator=(const MemoryModel&) = delete;
+
+  [[nodiscard]] std::int64_t totalPages() const { return totalPages_; }
+
+  /// Pages not assigned to any live process after the last rebalance.
+  [[nodiscard]] std::int64_t freePages() const { return freePages_; }
+
+  /// Execution slowdown for `p` as an integer percentage (100 = full speed).
+  /// Shortfall below the working set scales bursts by workingSet/resident,
+  /// capped at kMaxSlowdownPct (a fully thrashing process).
+  [[nodiscard]] int slowdownPercent(const Process& p) const;
+
+  /// Recompute resident sets across all live processes:
+  ///  demand_i = min(workingSet_i, cap_i);
+  ///  fits -> everyone gets demand; overcommitted -> proportional scaling.
+  void rebalance();
+
+  static constexpr int kMaxSlowdownPct = 1000;
+
+ private:
+  Host& host_;
+  std::int64_t totalPages_;
+  std::int64_t freePages_;
+};
+
+}  // namespace softqos::osim

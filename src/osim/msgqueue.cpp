@@ -1,0 +1,47 @@
+#include "osim/msgqueue.hpp"
+
+#include <utility>
+
+namespace softqos::osim {
+
+MessageQueue::MessageQueue(sim::Simulation& simulation, std::string key,
+                           sim::SimDuration latency, std::size_t maxDepth)
+    : sim_(simulation),
+      key_(std::move(key)),
+      latency_(latency),
+      maxDepth_(maxDepth) {}
+
+bool MessageQueue::send(std::string payload, std::uint32_t senderPid) {
+  if (inFlight_ + backlog_.size() >= maxDepth_) {
+    ++dropped_;
+    return false;
+  }
+  ++inFlight_;
+  sim_.after(latency_, [this, d = Datagram{senderPid, std::move(payload)}]() mutable {
+    --inFlight_;
+    arrive(std::move(d));
+  });
+  return true;
+}
+
+void MessageQueue::setReceiver(Handler handler) {
+  handler_ = std::move(handler);
+  if (!handler_) return;
+  while (!backlog_.empty()) {
+    Datagram d = std::move(backlog_.front());
+    backlog_.pop_front();
+    ++delivered_;
+    handler_(d);
+  }
+}
+
+void MessageQueue::arrive(Datagram d) {
+  if (handler_) {
+    ++delivered_;
+    handler_(d);
+  } else {
+    backlog_.push_back(std::move(d));
+  }
+}
+
+}  // namespace softqos::osim

@@ -1,0 +1,61 @@
+// SysV-style message queues: the local IPC channel instrumented processes use
+// to notify the QoS Host Manager (Section 7: "Instrumented processes
+// communicate with the QoS Host Manager using message queues").
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "sim/simulation.hpp"
+#include "sim/time.hpp"
+
+namespace softqos::osim {
+
+class MessageQueue {
+ public:
+  /// A delivered datagram: opaque payload plus the sender's pid (0 = daemon).
+  struct Datagram {
+    std::uint32_t senderPid = 0;
+    std::string payload;
+  };
+  using Handler = std::function<void(const Datagram&)>;
+
+  MessageQueue(sim::Simulation& simulation, std::string key,
+               sim::SimDuration latency = sim::usec(50),
+               std::size_t maxDepth = 1024);
+
+  MessageQueue(const MessageQueue&) = delete;
+  MessageQueue& operator=(const MessageQueue&) = delete;
+
+  /// Enqueue a datagram; it is delivered to the receiver after the queue
+  /// latency (models the msgsnd/msgrcv round trip). Returns false and drops
+  /// when the queue is full.
+  bool send(std::string payload, std::uint32_t senderPid = 0);
+
+  /// Install the receiving handler (one receiver per queue, daemon-style).
+  /// Datagrams that arrived before a receiver existed are flushed to it.
+  void setReceiver(Handler handler);
+
+  [[nodiscard]] const std::string& key() const { return key_; }
+  [[nodiscard]] std::size_t depth() const { return backlog_.size(); }
+  [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::size_t inFlight() const { return inFlight_; }
+
+ private:
+  void arrive(Datagram d);
+
+  sim::Simulation& sim_;
+  std::string key_;
+  sim::SimDuration latency_;
+  std::size_t maxDepth_;
+  Handler handler_;
+  std::deque<Datagram> backlog_;  // arrived before a receiver was installed
+  std::size_t inFlight_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace softqos::osim

@@ -1,0 +1,152 @@
+#include "osim/process.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "osim/cpu.hpp"
+#include "osim/host.hpp"
+#include "osim/memory.hpp"
+
+namespace softqos::osim {
+
+Process::Process(Host& host, Pid pid, std::string name, SchedClass cls)
+    : host_(host), pid_(pid), name_(std::move(name)), cls_(cls) {}
+
+SchedClass Process::effectiveClass() const {
+  if (cls_ == SchedClass::kRealTime) return SchedClass::kRealTime;
+  if (rtGrant_.active() && rtBudgetLeft_ > 0) return SchedClass::kRealTime;
+  return SchedClass::kTimeSharing;
+}
+
+void Process::compute(sim::SimDuration cpuTime, Cont then) {
+  if (terminated()) return;
+  if (cpuTime < 0) throw std::invalid_argument("Process::compute: negative burst");
+  if (cpuTime == 0) {
+    // Zero-cost step: continue on the next event-loop turn without touching
+    // the run queue (models an instantaneous user-mode action).
+    state_ = ProcState::kDeciding;
+    host_.sim().after(0, [this, then = std::move(then)]() mutable {
+      runCont(std::move(then));
+    });
+    return;
+  }
+  burstRemaining_ = cpuTime;
+  afterBurst_ = std::move(then);
+  host_.cpu().makeRunnable(this, /*sleepReturn=*/false);
+}
+
+void Process::sleepFor(sim::SimDuration wallTime, Cont then) {
+  if (terminated()) return;
+  if (wallTime < 0) throw std::invalid_argument("Process::sleepFor: negative time");
+  state_ = ProcState::kSleeping;
+  sleepEvent_ =
+      host_.sim().after(wallTime, [this, then = std::move(then)]() mutable {
+        sleepEvent_ = sim::kInvalidEvent;
+        // Sleep return earns the dispatch-table promotion before whatever the
+        // continuation does next (typically another compute()).
+        host_.cpu().scheduler().onSleepReturn(*this, host_.sim().now());
+        runCont(std::move(then));
+      });
+}
+
+void Process::waitSignal(Cont then) {
+  if (terminated()) return;
+  if (signalLatched_) {
+    signalLatched_ = false;
+    state_ = ProcState::kDeciding;
+    host_.sim().after(0, [this, then = std::move(then)]() mutable {
+      runCont(std::move(then));
+    });
+    return;
+  }
+  state_ = ProcState::kBlocked;
+  blockedCont_ = std::move(then);
+}
+
+void Process::signal() {
+  if (terminated()) return;
+  if (state_ == ProcState::kBlocked && blockedCont_) {
+    Cont cont = std::move(blockedCont_);
+    blockedCont_ = nullptr;
+    state_ = ProcState::kDeciding;
+    host_.cpu().scheduler().onSleepReturn(*this, host_.sim().now());
+    host_.sim().after(0, [this, cont = std::move(cont)]() mutable {
+      runCont(std::move(cont));
+    });
+  } else {
+    signalLatched_ = true;
+  }
+}
+
+void Process::exitProcess() { terminate(); }
+
+void Process::terminate() {
+  if (terminated()) return;
+  state_ = ProcState::kTerminated;
+  host_.cpu().onProcessGone(this);
+  if (sleepEvent_ != sim::kInvalidEvent) {
+    host_.sim().cancel(sleepEvent_);
+    sleepEvent_ = sim::kInvalidEvent;
+  }
+  if (rtRefreshEvent_ != sim::kInvalidEvent) {
+    host_.sim().cancel(rtRefreshEvent_);
+    rtRefreshEvent_ = sim::kInvalidEvent;
+  }
+  blockedCont_ = nullptr;
+  afterBurst_ = nullptr;
+  burstRemaining_ = 0;
+  host_.onProcessTerminated(*this);
+}
+
+void Process::runCont(Cont cont) {
+  if (terminated()) return;
+  state_ = ProcState::kDeciding;
+  if (!cont) return;  // behaviour supplied no continuation: process idles
+  cont();
+}
+
+void Process::setTsUserPriority(int upri) {
+  tsUserPri_ = std::clamp(upri, -60, 60);
+  host_.cpu().onPriorityChanged(this);
+}
+
+void Process::setRtGrant(RtGrant grant) {
+  if (grant.active() && grant.period <= 0) {
+    throw std::invalid_argument("RtGrant: period must be positive");
+  }
+  if (rtRefreshEvent_ != sim::kInvalidEvent) {
+    host_.sim().cancel(rtRefreshEvent_);
+    rtRefreshEvent_ = sim::kInvalidEvent;
+  }
+  rtGrant_ = grant;
+  rtBudgetLeft_ = grant.active() ? grant.budgetPerPeriod() : 0;
+  if (grant.active()) scheduleRtRefresh();
+  host_.cpu().onPriorityChanged(this);
+}
+
+void Process::scheduleRtRefresh() {
+  rtRefreshEvent_ = host_.sim().after(rtGrant_.period, [this] {
+    rtBudgetLeft_ = rtGrant_.budgetPerPeriod();
+    scheduleRtRefresh();
+    host_.cpu().onPriorityChanged(this);
+  });
+}
+
+void Process::setWorkingSetPages(std::int64_t pages) {
+  workingSetPages_ = std::max<std::int64_t>(0, pages);
+  host_.memory().rebalance();
+}
+
+void Process::setMemoryCapPages(std::int64_t cap) {
+  memCapPages_ = cap < 0 ? -1 : cap;
+  host_.memory().rebalance();
+}
+
+void Process::start(Behaviour behaviour) {
+  assert(state_ == ProcState::kNew);
+  state_ = ProcState::kDeciding;
+  if (behaviour) behaviour(*this);
+}
+
+}  // namespace softqos::osim

@@ -1,0 +1,194 @@
+// Simulated processes with continuation-style behaviours.
+//
+// A process behaviour is written as a chain of continuations:
+//
+//   void videoClient(Process& p) {
+//     p.compute(msec(18), [&p] {           // decode one frame
+//       p.sleepFor(msec(15), [&p] { videoClient(p); });
+//     });
+//   }
+//
+// compute() places the process on its host CPU's run queue; the continuation
+// runs when the requested CPU time has been consumed (possibly across many
+// scheduler quanta and preemptions). This style keeps the kernel free of
+// coroutine machinery while remaining fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace softqos::osim {
+
+class Host;
+class Cpu;
+class MemoryModel;
+
+using Pid = std::uint32_t;
+
+enum class ProcState {
+  kNew,        // spawned, behaviour not yet started
+  kRunnable,   // on a run queue
+  kRunning,    // holding the CPU
+  kDeciding,   // burst complete, continuation choosing the next action
+  kSleeping,   // timed sleep
+  kBlocked,    // waiting for a signal (e.g. socket data)
+  kTerminated  // exited or killed
+};
+
+/// Scheduling class, mirroring the Solaris TS/RT split the paper's CPU
+/// Resource Manager manipulates.
+enum class SchedClass { kTimeSharing, kRealTime };
+
+/// A budgeted real-time CPU grant: `sharePercent` of each `period` is
+/// available at real-time priority; once consumed, the process falls back to
+/// time-sharing until the period refreshes ("units of real-time CPU cycles").
+struct RtGrant {
+  int sharePercent = 0;  // 0 disables the grant
+  sim::SimDuration period = sim::msec(100);
+
+  [[nodiscard]] bool active() const { return sharePercent > 0; }
+  [[nodiscard]] sim::SimDuration budgetPerPeriod() const {
+    return period * sharePercent / 100;
+  }
+};
+
+class Process {
+ public:
+  using Cont = std::function<void()>;
+  using Behaviour = std::function<void(Process&)>;
+
+  Process(Host& host, Pid pid, std::string name, SchedClass cls);
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  [[nodiscard]] Pid pid() const { return pid_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] ProcState state() const { return state_; }
+  [[nodiscard]] Host& host() { return host_; }
+  [[nodiscard]] const Host& host() const { return host_; }
+
+  // ---- Behaviour API (call only from within this process's continuations,
+  //      or from the behaviour passed to Host::spawn) ----
+
+  /// Consume `cpuTime` of CPU, then run `then`. The wall-clock time taken
+  /// depends on scheduling competition and memory residency.
+  void compute(sim::SimDuration cpuTime, Cont then);
+
+  /// Sleep (off the CPU) for `wallTime`, then run `then`.
+  void sleepFor(sim::SimDuration wallTime, Cont then);
+
+  /// Block until signal() is called (level-triggered: a signal delivered while
+  /// not waiting is latched and satisfies the next waitSignal immediately).
+  void waitSignal(Cont then);
+
+  /// Wake a blocked process (or latch the signal if it is not waiting).
+  void signal();
+
+  /// Terminate normally from within the behaviour.
+  void exitProcess();
+
+  // ---- Scheduling attributes (manipulated by resource managers) ----
+
+  [[nodiscard]] SchedClass schedClass() const { return cls_; }
+
+  /// Class used for dispatching right now: real-time while an RT grant has
+  /// budget remaining in the current period, otherwise the base class.
+  [[nodiscard]] SchedClass effectiveClass() const;
+
+  /// Solaris-style user priority delta applied to the TS level (priocntl
+  /// ts_upri); clamped to [-60, 60] by the caller-facing setter.
+  [[nodiscard]] int tsUserPriority() const { return tsUserPri_; }
+  void setTsUserPriority(int upri);
+
+  /// Internal time-sharing level (0..59, higher runs sooner). Managed by the
+  /// scheduler's dispatch table; exposed for tests and diagnostics.
+  [[nodiscard]] int tsLevel() const { return tsLevel_; }
+  void setTsLevel(int level) { tsLevel_ = level; }
+
+  /// Start of the current dispatch-wait window (Solaris ts_dispwait): reset
+  /// on quantum expiry, sleep return and aging promotion -- not on enqueue.
+  [[nodiscard]] sim::SimTime dispwaitStart() const { return dispwaitStart_; }
+  void restartDispwait(sim::SimTime now) { dispwaitStart_ = now; }
+
+  /// Remaining CPU allowance in the current quantum. Charged cumulatively
+  /// across dispatches and bursts (a process cannot dodge demotion by taking
+  /// short bursts); refilled at the next dispatch after expiry/sleep.
+  [[nodiscard]] sim::SimDuration quantumLeft() const { return quantumLeft_; }
+  void resetQuantumAllowance() { quantumLeft_ = 0; }
+
+  [[nodiscard]] const RtGrant& rtGrant() const { return rtGrant_; }
+  /// Install/replace/remove (sharePercent == 0) a real-time cycle grant.
+  void setRtGrant(RtGrant grant);
+  [[nodiscard]] sim::SimDuration rtBudgetLeft() const { return rtBudgetLeft_; }
+
+  // ---- Memory attributes (see osim/memory.hpp) ----
+
+  /// Pages the process touches regularly; it slows when resident < this.
+  [[nodiscard]] std::int64_t workingSetPages() const { return workingSetPages_; }
+  void setWorkingSetPages(std::int64_t pages);
+
+  /// Pages currently resident (assigned by the host MemoryModel).
+  [[nodiscard]] std::int64_t residentPages() const { return residentPages_; }
+
+  /// Administrative cap on resident pages (-1 = uncapped), the knob the
+  /// Memory Resource Manager turns.
+  [[nodiscard]] std::int64_t memoryCapPages() const { return memCapPages_; }
+  void setMemoryCapPages(std::int64_t cap);
+
+  // ---- Accounting ----
+
+  /// Total CPU time consumed so far.
+  [[nodiscard]] sim::SimDuration cpuTime() const { return cpuUsed_; }
+
+  /// Number of involuntary preemptions suffered.
+  [[nodiscard]] std::uint64_t preemptions() const { return preemptions_; }
+
+  [[nodiscard]] bool terminated() const { return state_ == ProcState::kTerminated; }
+
+ private:
+  friend class Cpu;
+  friend class Host;
+  friend class MemoryModel;
+
+  void start(Behaviour behaviour);  // invoked by Host::spawn
+  void terminate();                 // shared by exitProcess and Host::kill
+  void runCont(Cont cont);          // run a continuation, guarding termination
+  void scheduleRtRefresh();         // periodic RT budget replenishment
+
+  Host& host_;
+  Pid pid_;
+  std::string name_;
+  SchedClass cls_;
+  ProcState state_ = ProcState::kNew;
+
+  int tsUserPri_ = 0;
+  int tsLevel_ = 29;  // Solaris TS default user level
+  sim::SimTime dispwaitStart_ = 0;
+  sim::SimDuration quantumLeft_ = 0;
+
+  RtGrant rtGrant_;
+  sim::SimDuration rtBudgetLeft_ = 0;  // remaining RT budget this period
+  sim::EventId rtRefreshEvent_ = sim::kInvalidEvent;
+
+  std::int64_t workingSetPages_ = 0;
+  std::int64_t residentPages_ = 0;
+  std::int64_t memCapPages_ = -1;
+
+  // CPU burst in progress (owned by Cpu while runnable/running).
+  sim::SimDuration burstRemaining_ = 0;
+  Cont afterBurst_;
+
+  sim::EventId sleepEvent_ = sim::kInvalidEvent;
+  Cont blockedCont_;
+  bool signalLatched_ = false;
+
+  sim::SimDuration cpuUsed_ = 0;
+  std::uint64_t preemptions_ = 0;
+};
+
+}  // namespace softqos::osim

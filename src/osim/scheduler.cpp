@@ -1,0 +1,104 @@
+#include "osim/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <climits>
+
+namespace softqos::osim {
+
+TsDispatchTable::TsDispatchTable() {
+  rows_.resize(kTsLevels);
+  for (int level = 0; level < kTsLevels; ++level) {
+    // Quantum shrinks as priority rises: level 0-9 -> 200ms ... 50-59 -> 20ms.
+    // This mirrors the Solaris ts_dptbl shape (interactive work gets frequent
+    // short slices; batch work gets long infrequent ones).
+    static constexpr sim::SimDuration kQuanta[6] = {
+        sim::msec(200), sim::msec(160), sim::msec(120),
+        sim::msec(80),  sim::msec(40),  sim::msec(20)};
+    rows_[level].quantum = kQuanta[level / 10];
+    rows_[level].tqexp = clampLevel(level - 10);
+    rows_[level].slpret = clampLevel(level + 10);
+    // Solaris lifts starved processes to the 50s so batch work cannot be
+    // locked out indefinitely by sleep-boosted interactive work.
+    rows_[level].lwait = std::max(level, 50);
+  }
+}
+
+const TsDispatchEntry& TsDispatchTable::entry(int level) const {
+  return rows_[static_cast<std::size_t>(clampLevel(level))];
+}
+
+int TsDispatchTable::clampLevel(int level) {
+  return std::clamp(level, 0, kTsLevels - 1);
+}
+
+Scheduler::Scheduler() = default;
+
+int Scheduler::globalPriority(const Process& p) const {
+  if (p.effectiveClass() == SchedClass::kRealTime) return 1000;
+  return TsDispatchTable::clampLevel(p.tsLevel() + p.tsUserPriority());
+}
+
+sim::SimDuration Scheduler::quantumFor(const Process& p) const {
+  if (p.effectiveClass() == SchedClass::kRealTime) return sim::msec(10);
+  return table_.entry(p.tsLevel() + p.tsUserPriority()).quantum;
+}
+
+void Scheduler::enqueue(Process* p) {
+  assert(p != nullptr);
+  queue_.push_back(p);
+}
+
+void Scheduler::remove(Process* p) {
+  queue_.erase(std::remove(queue_.begin(), queue_.end(), p), queue_.end());
+}
+
+Process* Scheduler::pickNext() {
+  if (queue_.empty()) return nullptr;
+  auto best = queue_.begin();
+  int bestPri = globalPriority(**best);
+  for (auto it = std::next(queue_.begin()); it != queue_.end(); ++it) {
+    const int pri = globalPriority(**it);
+    if (pri > bestPri) {  // strict: FIFO among equals
+      best = it;
+      bestPri = pri;
+    }
+  }
+  Process* chosen = *best;
+  queue_.erase(best);
+  return chosen;
+}
+
+int Scheduler::topPriority() const {
+  int best = INT_MIN;
+  for (const Process* p : queue_) best = std::max(best, globalPriority(*p));
+  return best;
+}
+
+void Scheduler::onQuantumExpired(Process& p, sim::SimTime now) const {
+  p.resetQuantumAllowance();
+  if (p.effectiveClass() != SchedClass::kTimeSharing) return;
+  p.setTsLevel(table_.entry(p.tsLevel()).tqexp);
+  p.restartDispwait(now);
+}
+
+void Scheduler::onSleepReturn(Process& p, sim::SimTime now) const {
+  p.resetQuantumAllowance();  // a fresh quantum after any sleep
+  if (p.schedClass() != SchedClass::kTimeSharing) return;
+  p.setTsLevel(table_.entry(p.tsLevel()).slpret);
+  p.restartDispwait(now);
+}
+
+std::size_t Scheduler::applyAging(sim::SimTime now, sim::SimDuration maxwait) {
+  std::size_t promoted = 0;
+  for (Process* p : queue_) {
+    if (p->effectiveClass() != SchedClass::kTimeSharing) continue;
+    if (now - p->dispwaitStart() < maxwait) continue;
+    p->setTsLevel(table_.entry(p->tsLevel()).lwait);
+    p->restartDispwait(now);
+    ++promoted;
+  }
+  return promoted;
+}
+
+}  // namespace softqos::osim

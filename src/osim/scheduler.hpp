@@ -1,0 +1,89 @@
+// Solaris-style scheduler: a time-sharing class driven by a dispatch table,
+// overlaid by a real-time class whose members always run first.
+//
+// The dispatch table reproduces the *feedback shape* of the Solaris TS class:
+// high levels get short quanta, quantum expiry demotes (ts_tqexp), sleep
+// return promotes (ts_slpret). The CPU Resource Manager's knob is the user
+// priority delta (ts_upri), added to the level when computing the effective
+// priority — exactly the priocntl-based control the paper's prototype used.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "osim/process.hpp"
+#include "sim/time.hpp"
+
+namespace softqos::osim {
+
+/// One row of the TS dispatch table.
+struct TsDispatchEntry {
+  sim::SimDuration quantum;  // CPU time allotted at this level
+  int tqexp;                 // level after quantum expiry (demotion)
+  int slpret;                // level after sleep return (promotion)
+  int lwait;                 // level after starving on the run queue (aging)
+};
+
+/// The time-sharing dispatch table (levels 0..kTsLevels-1; higher = sooner).
+class TsDispatchTable {
+ public:
+  static constexpr int kTsLevels = 60;
+
+  TsDispatchTable();
+
+  [[nodiscard]] const TsDispatchEntry& entry(int level) const;
+
+  /// Clamp a raw level into [0, kTsLevels-1].
+  [[nodiscard]] static int clampLevel(int level);
+
+ private:
+  std::vector<TsDispatchEntry> rows_;
+};
+
+/// Run-queue scheduler. Owns no processes; the Cpu drives it.
+class Scheduler {
+ public:
+  Scheduler();
+
+  /// Effective global priority (RT above all TS): used for preemption tests.
+  [[nodiscard]] int globalPriority(const Process& p) const;
+
+  /// Quantum allotted to `p` at its current level/class.
+  [[nodiscard]] sim::SimDuration quantumFor(const Process& p) const;
+
+  /// Add to the run queue (FIFO among equal priorities).
+  void enqueue(Process* p);
+
+  /// Remove from the run queue (no-op if absent), e.g. on kill.
+  void remove(Process* p);
+
+  /// Pop the runnable process with the highest global priority (nullptr if
+  /// none). FIFO order breaks ties, keeping runs deterministic.
+  Process* pickNext();
+
+  /// Highest global priority currently queued, or INT_MIN when empty.
+  [[nodiscard]] int topPriority() const;
+
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t runnableCount() const { return queue_.size(); }
+
+  /// Dispatch-table feedback hooks. `now` restarts the process's dispwait
+  /// clock (Solaris ts_dispwait resets on quantum expiry and sleep return,
+  /// NOT on every enqueue -- partial slices must not defeat aging).
+  void onQuantumExpired(Process& p, sim::SimTime now) const;  // ts_tqexp
+  void onSleepReturn(Process& p, sim::SimTime now) const;     // ts_slpret
+
+  /// Starvation aging (ts_maxwait/ts_lwait): every queued TS process whose
+  /// dispwait exceeds `maxwait` is promoted to its level's lwait.
+  /// Returns the number of promotions.
+  std::size_t applyAging(sim::SimTime now, sim::SimDuration maxwait);
+
+  [[nodiscard]] const TsDispatchTable& table() const { return table_; }
+
+ private:
+  TsDispatchTable table_;
+  std::deque<Process*> queue_;  // scanned linearly; process counts are small
+};
+
+}  // namespace softqos::osim

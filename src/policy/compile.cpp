@@ -1,0 +1,59 @@
+#include "policy/compile.hpp"
+
+namespace softqos::policy {
+
+bool CompiledCondition::holds(double observed) const {
+  return PrimitiveComparison{attribute, op, value}.holds(observed);
+}
+
+CompiledPolicy compilePolicy(
+    const PolicySpec& spec,
+    const std::function<std::string(const std::string& attribute)>&
+        sensorForAttribute,
+    int& nextComparisonId) {
+  CompiledPolicy out;
+  out.policyId = spec.name;
+  out.actions = spec.actions;
+  out.userRole = spec.userRole;
+
+  // Expand each condition into primitive comparisons; remember which boolean
+  // variables each condition contributed so the condition-level expression
+  // can be rewritten over comparison-level variables.
+  std::vector<std::vector<int>> varsOfCondition;
+  for (const PolicyCondition& cond : spec.conditions) {
+    const std::string sensorId = sensorForAttribute(cond.attribute);
+    if (sensorId.empty()) {
+      throw CompileError("policy " + spec.name + ": no sensor monitors attribute '" +
+                         cond.attribute + "'");
+    }
+    std::vector<int> vars;
+    for (const PrimitiveComparison& prim : cond.expand()) {
+      CompiledCondition cc;
+      cc.varIndex = static_cast<int>(out.conditions.size());
+      cc.comparisonId = nextComparisonId++;
+      cc.attribute = prim.attribute;
+      cc.sensorId = sensorId;
+      cc.op = prim.op;
+      cc.value = prim.value;
+      vars.push_back(cc.varIndex);
+      out.conditions.push_back(std::move(cc));
+    }
+    varsOfCondition.push_back(std::move(vars));
+  }
+
+  out.expression = spec.conditionExpr().substitute([&](int condIndex) {
+    if (condIndex < 0 || condIndex >= static_cast<int>(varsOfCondition.size())) {
+      throw CompileError("policy " + spec.name +
+                         ": expression references unknown condition index " +
+                         std::to_string(condIndex));
+    }
+    std::vector<BoolExpr> parts;
+    for (const int v : varsOfCondition[static_cast<std::size_t>(condIndex)]) {
+      parts.push_back(BoolExpr::var(v));
+    }
+    return BoolExpr::andOf(std::move(parts));
+  });
+  return out;
+}
+
+}  // namespace softqos::policy

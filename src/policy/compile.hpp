@@ -1,0 +1,53 @@
+// Compiler from PolicySpec to the coordinator wire format of Section 5.2:
+// a condition list (attribute id, sensor id, comparator, value), an action
+// list, and a boolean expression over generated variables (Example 3).
+#pragma once
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "policy/model.hpp"
+
+namespace softqos::policy {
+
+class CompileError : public std::runtime_error {
+ public:
+  explicit CompileError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+/// One primitive comparison ready for sensor installation. `comparisonId` is
+/// the "internal identifier generated for that comparison which was passed to
+/// the sensor using init" (Section 5.2); alarm reports quote it back.
+struct CompiledCondition {
+  int varIndex = 0;      // boolean variable this comparison controls
+  int comparisonId = 0;  // unique across the coordinator's policies
+  std::string attribute;
+  std::string sensorId;
+  PolicyCmp op = PolicyCmp::kEq;
+  double value = 0.0;
+
+  [[nodiscard]] bool holds(double observed) const;
+};
+
+struct CompiledPolicy {
+  std::string policyId;
+  std::vector<CompiledCondition> conditions;
+  BoolExpr expression;  // over CompiledCondition::varIndex
+  std::vector<PolicyAction> actions;
+  std::string userRole;  // carried through for administrative rules
+};
+
+/// Compile `spec`, resolving each condition attribute to a sensor via
+/// `sensorForAttribute` (returns empty string when no sensor can monitor the
+/// attribute, which is a CompileError — the integrity check of Section 7).
+/// `nextComparisonId` is advanced so ids stay unique across policies.
+CompiledPolicy compilePolicy(
+    const PolicySpec& spec,
+    const std::function<std::string(const std::string& attribute)>&
+        sensorForAttribute,
+    int& nextComparisonId);
+
+}  // namespace softqos::policy

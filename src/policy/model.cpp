@@ -1,0 +1,68 @@
+#include "policy/model.hpp"
+
+#include <algorithm>
+
+namespace softqos::policy {
+
+bool SensorInfo::monitors(const std::string& attribute) const {
+  return std::find(attributes.begin(), attributes.end(), attribute) !=
+         attributes.end();
+}
+
+std::string PolicyAction::toString() const {
+  std::string out = target + "->" + method + "(";
+  for (std::size_t i = 0; i < arguments.size(); ++i) {
+    if (i != 0) out += ", ";
+    if (kind == Kind::kSensorRead) out += "out ";
+    out += arguments[i];
+  }
+  return out + ")";
+}
+
+BoolExpr PolicySpec::conditionExpr() const {
+  if (customExpr.has_value()) return *customExpr;
+  std::vector<BoolExpr> vars;
+  vars.reserve(conditions.size());
+  for (std::size_t i = 0; i < conditions.size(); ++i) {
+    vars.push_back(BoolExpr::var(static_cast<int>(i)));
+  }
+  if (vars.empty()) return BoolExpr{};
+  return combinator == Combinator::kConjunction ? BoolExpr::andOf(std::move(vars))
+                                                : BoolExpr::orOf(std::move(vars));
+}
+
+std::vector<std::string> PolicySpec::referencedAttributes() const {
+  std::vector<std::string> out;
+  for (const PolicyCondition& c : conditions) {
+    if (std::find(out.begin(), out.end(), c.attribute) == out.end()) {
+      out.push_back(c.attribute);
+    }
+  }
+  return out;
+}
+
+std::string PolicySpec::toString() const {
+  std::string out = "oblig " + name + " {\n";
+  out += "  subject " + subjectPath + "\n";
+  out += "  target ";
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    if (i != 0) out += ",";
+    out += targets[i];
+  }
+  out += "\n  on not (";
+  const std::string sep =
+      combinator == Combinator::kConjunction ? " AND " : " OR ";
+  for (std::size_t i = 0; i < conditions.size(); ++i) {
+    if (i != 0) out += sep;
+    out += conditions[i].toString();
+  }
+  out += ")\n  do ";
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    if (i != 0) out += ";\n     ";
+    out += actions[i].toString();
+  }
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace softqos::policy

@@ -1,0 +1,99 @@
+// The information model of Section 6.1: applications, executables, sensors,
+// user roles, and policies (with reusable conditions and actions).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "policy/condition.hpp"
+#include "policy/expr.hpp"
+
+namespace softqos::policy {
+
+/// A sensor description: what attribute(s) the instrumented code can collect.
+struct SensorInfo {
+  std::string id;                        // e.g. "fps_sensor"
+  std::vector<std::string> attributes;   // e.g. {"frame_rate"}
+  std::string probeName;                 // documentation for instrumentors
+
+  [[nodiscard]] bool monitors(const std::string& attribute) const;
+};
+
+/// An executable is instantiated on a host as a process; sensors are
+/// associated with executables (many-to-many).
+struct ExecutableInfo {
+  std::string name;                      // e.g. "VideoApplication"
+  std::string path;                      // install path (informational)
+  std::vector<std::string> sensorIds;
+};
+
+/// An application is composed of at least one executable.
+struct ApplicationInfo {
+  std::string name;
+  std::vector<std::string> executables;
+};
+
+/// Policies may differ per user role ("UserRole", Section 9).
+struct UserRole {
+  std::string name;
+  int priorityWeight = 1;  // administrative weight for differentiated service
+};
+
+/// One `do`-list element of an obligation policy.
+struct PolicyAction {
+  enum class Kind {
+    kSensorRead,         // fps_sensor->read(out frame_rate)
+    kNotifyHostManager,  // (...)/QoSHostManager->notify(a, b, c)
+    kActuatorInvoke,     // actuator->adjust(arg)
+  };
+  std::string id;                       // reusable action name (may be empty)
+  Kind kind = Kind::kSensorRead;
+  std::string target;                   // sensor id / manager path / actuator id
+  std::string method;                   // read / notify / ...
+  std::vector<std::string> arguments;   // variable names (out params or inputs)
+
+  [[nodiscard]] std::string toString() const;
+};
+
+/// An application QoS policy: the `on` condition is the NEGATION of the QoS
+/// requirement — the `do` actions run when the requirement is violated.
+struct PolicySpec {
+  std::string name;
+
+  // Applicability (how the Policy Agent selects policies at registration).
+  std::string application;
+  std::string executable;
+  std::string userRole;  // empty = any role
+
+  std::string subjectPath;               // e.g. ".../VideoApplication/qosl_coordinator"
+  std::vector<std::string> targets;      // sensors + host manager paths
+
+  /// Conditions of the *requirement* (policy violated when their combination
+  /// is false; the `on` clause wraps them in `not (...)`).
+  std::vector<PolicyCondition> conditions;
+
+  /// How conditions combine. The paper's information model stores a flat
+  /// conjunction/disjunction; richer trees are carried in `expr`.
+  enum class Combinator { kConjunction, kDisjunction } combinator =
+      Combinator::kConjunction;
+
+  /// Set when the parsed `on` clause is not a flat conjunction/disjunction
+  /// (nested AND/OR/NOT); takes precedence over `combinator`.
+  std::optional<BoolExpr> customExpr;
+
+  /// Expression over *condition indices* (not expanded comparisons).
+  /// Defaults to the flat combinator over all conditions.
+  [[nodiscard]] BoolExpr conditionExpr() const;
+
+  std::vector<PolicyAction> actions;
+  bool enabled = true;
+
+  /// All attributes referenced by conditions (duplicates removed, in order).
+  [[nodiscard]] std::vector<std::string> referencedAttributes() const;
+
+  /// Render back into the obligation-policy notation of Example 1.
+  [[nodiscard]] std::string toString() const;
+};
+
+}  // namespace softqos::policy

@@ -1,0 +1,407 @@
+#include "policy/parser.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace softqos::policy {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string lowered(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+// ---- Condition-expression lexer ----
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kOp, kLParen, kRParen, kAnd, kOr, kNot, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;
+  double number = 0.0;
+};
+
+class ExprLexer {
+ public:
+  explicit ExprLexer(const std::string& text) : text_(text) { advance(); }
+
+  const Token& peek() const { return current_; }
+
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+ private:
+  void advance() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    current_ = Token{};
+    if (pos_ >= text_.size()) return;
+
+    const char c = text_[pos_];
+    if (c == '(') {
+      ++pos_;
+      current_.kind = Token::Kind::kLParen;
+      return;
+    }
+    if (c == ')') {
+      ++pos_;
+      current_.kind = Token::Kind::kRParen;
+      return;
+    }
+    if (c == '<' || c == '>' || c == '=' || c == '!') {
+      std::string op(1, c);
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '=' || text_[pos_] == '>')) {
+        op.push_back(text_[pos_++]);
+      }
+      current_.kind = Token::Kind::kOp;
+      current_.text = op;
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.' || c == '+' ||
+        c == '-') {
+      const std::size_t start = pos_;
+      if (c == '+' || c == '-') ++pos_;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '.')) {
+        ++pos_;
+      }
+      current_.kind = Token::Kind::kNumber;
+      current_.text = text_.substr(start, pos_ - start);
+      current_.number = std::strtod(current_.text.c_str(), nullptr);
+      return;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      const std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+      const std::string word = text_.substr(start, pos_ - start);
+      const std::string lower = lowered(word);
+      if (lower == "and") {
+        current_.kind = Token::Kind::kAnd;
+      } else if (lower == "or") {
+        current_.kind = Token::Kind::kOr;
+      } else if (lower == "not") {
+        current_.kind = Token::Kind::kNot;
+      } else {
+        current_.kind = Token::Kind::kIdent;
+        current_.text = word;
+      }
+      return;
+    }
+    throw PolicyParseError(std::string("unexpected character '") + c +
+                           "' in condition expression");
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  Token current_;
+};
+
+// ---- Condition-expression parser (builds conditions + index expression) ----
+
+class ConditionParser {
+ public:
+  ConditionParser(ExprLexer& lexer, PolicySpec& spec)
+      : lexer_(lexer), spec_(spec) {}
+
+  BoolExpr parseOr() {
+    std::vector<BoolExpr> terms;
+    terms.push_back(parseAnd());
+    while (lexer_.peek().kind == Token::Kind::kOr) {
+      lexer_.take();
+      terms.push_back(parseAnd());
+    }
+    return BoolExpr::orOf(std::move(terms));
+  }
+
+ private:
+  BoolExpr parseAnd() {
+    std::vector<BoolExpr> terms;
+    terms.push_back(parseUnary());
+    while (lexer_.peek().kind == Token::Kind::kAnd) {
+      lexer_.take();
+      terms.push_back(parseUnary());
+    }
+    return BoolExpr::andOf(std::move(terms));
+  }
+
+  BoolExpr parseUnary() {
+    if (lexer_.peek().kind == Token::Kind::kNot) {
+      lexer_.take();
+      return BoolExpr::notOf(parseUnary());
+    }
+    if (lexer_.peek().kind == Token::Kind::kLParen) {
+      lexer_.take();
+      BoolExpr inner = parseOr();
+      if (lexer_.peek().kind != Token::Kind::kRParen) {
+        throw PolicyParseError("missing ')' in condition expression");
+      }
+      lexer_.take();
+      return inner;
+    }
+    return parseComparison();
+  }
+
+  BoolExpr parseComparison() {
+    if (lexer_.peek().kind != Token::Kind::kIdent) {
+      throw PolicyParseError("expected attribute name in condition");
+    }
+    PolicyCondition cond;
+    cond.attribute = lexer_.take().text;
+    if (lexer_.peek().kind != Token::Kind::kOp) {
+      throw PolicyParseError("expected comparator after attribute " +
+                             cond.attribute);
+    }
+    cond.op = parsePolicyCmp(lexer_.take().text);
+    if (lexer_.peek().kind != Token::Kind::kNumber) {
+      throw PolicyParseError("expected numeric threshold for attribute " +
+                             cond.attribute);
+    }
+    cond.threshold = lexer_.take().number;
+
+    // Optional tolerance: (+2)(-2) in either order.
+    while (lexer_.peek().kind == Token::Kind::kLParen) {
+      // Only consume if the parenthesis encloses a signed number (tolerance);
+      // otherwise it belongs to the surrounding expression — but a '(' right
+      // after a threshold can only be a tolerance in this grammar.
+      lexer_.take();
+      if (lexer_.peek().kind != Token::Kind::kNumber) {
+        throw PolicyParseError("expected signed tolerance after '('");
+      }
+      const Token tol = lexer_.take();
+      if (tol.text.empty() || (tol.text[0] != '+' && tol.text[0] != '-')) {
+        throw PolicyParseError("tolerance must be signed: " + tol.text);
+      }
+      if (tol.text[0] == '+') {
+        cond.tolerance.above = tol.number;
+      } else {
+        cond.tolerance.below = -tol.number;
+      }
+      if (lexer_.peek().kind != Token::Kind::kRParen) {
+        throw PolicyParseError("missing ')' after tolerance");
+      }
+      lexer_.take();
+    }
+
+    const int index = static_cast<int>(spec_.conditions.size());
+    spec_.conditions.push_back(std::move(cond));
+    return BoolExpr::var(index);
+  }
+
+  ExprLexer& lexer_;
+  PolicySpec& spec_;
+};
+
+std::vector<std::string> splitTopLevel(const std::string& text, char delim) {
+  std::vector<std::string> out;
+  std::string current;
+  int depth = 0;
+  for (const char c : text) {
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (c == delim && depth == 0) {
+      out.push_back(current);
+      current.clear();
+      continue;
+    }
+    current.push_back(c);
+  }
+  out.push_back(current);
+  return out;
+}
+
+PolicyAction parseAction(const std::string& raw) {
+  const std::string text = trim(raw);
+  const std::size_t arrow = text.find("->");
+  if (arrow == std::string::npos) {
+    throw PolicyParseError("action missing '->': " + text);
+  }
+  PolicyAction action;
+  action.target = trim(text.substr(0, arrow));
+  const std::size_t open = text.find('(', arrow + 2);
+  if (open == std::string::npos || text.back() != ')') {
+    throw PolicyParseError("action missing argument list: " + text);
+  }
+  action.method = trim(text.substr(arrow + 2, open - arrow - 2));
+  const std::string argsText = text.substr(open + 1, text.size() - open - 2);
+  for (const std::string& part : splitTopLevel(argsText, ',')) {
+    std::string arg = trim(part);
+    if (arg.empty()) continue;
+    if (lowered(arg).rfind("out ", 0) == 0) arg = trim(arg.substr(4));
+    action.arguments.push_back(arg);
+  }
+  if (action.method == "notify" ||
+      action.target.find("QoSHostManager") != std::string::npos) {
+    action.kind = PolicyAction::Kind::kNotifyHostManager;
+  } else if (action.method == "read") {
+    action.kind = PolicyAction::Kind::kSensorRead;
+  } else {
+    action.kind = PolicyAction::Kind::kActuatorInvoke;
+  }
+  return action;
+}
+
+/// Executable name from a subject path ".../VideoApplication/qosl_coordinator".
+std::string executableFromSubject(const std::string& subject) {
+  const std::vector<std::string> parts = [&] {
+    std::vector<std::string> out;
+    std::string current;
+    for (const char c : subject) {
+      if (c == '/') {
+        out.push_back(current);
+        current.clear();
+      } else {
+        current.push_back(c);
+      }
+    }
+    out.push_back(current);
+    return out;
+  }();
+  if (parts.size() >= 2 && parts.back() == "qosl_coordinator") {
+    return parts[parts.size() - 2];
+  }
+  return "";
+}
+
+}  // namespace
+
+void parseConditionExpr(const std::string& text, PolicySpec& spec) {
+  ExprLexer lexer(text);
+  ConditionParser parser(lexer, spec);
+  BoolExpr expr = parser.parseOr();
+  if (lexer.peek().kind != Token::Kind::kEnd) {
+    throw PolicyParseError("trailing content in condition expression");
+  }
+  if (expr.isFlatConjunction()) {
+    spec.combinator = PolicySpec::Combinator::kConjunction;
+  } else if (expr.isFlatDisjunction()) {
+    spec.combinator = PolicySpec::Combinator::kDisjunction;
+  } else {
+    spec.customExpr = expr;
+  }
+}
+
+PolicySpec parseObligation(const std::string& text) {
+  const std::vector<PolicySpec> all = parseObligations(text);
+  if (all.size() != 1) {
+    throw PolicyParseError("expected exactly one oblig block, found " +
+                           std::to_string(all.size()));
+  }
+  return all.front();
+}
+
+std::vector<PolicySpec> parseObligations(const std::string& text) {
+  std::vector<PolicySpec> out;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t kw = text.find("oblig", pos);
+    if (kw == std::string::npos) break;
+    // Must be a standalone word.
+    if ((kw > 0 && !std::isspace(static_cast<unsigned char>(text[kw - 1]))) ||
+        kw + 5 >= text.size() ||
+        !std::isspace(static_cast<unsigned char>(text[kw + 5]))) {
+      pos = kw + 5;
+      continue;
+    }
+    const std::size_t open = text.find('{', kw);
+    if (open == std::string::npos) {
+      throw PolicyParseError("oblig missing '{'");
+    }
+    const std::size_t close = text.find('}', open);
+    if (close == std::string::npos) {
+      throw PolicyParseError("oblig missing '}'");
+    }
+    PolicySpec spec;
+    spec.name = trim(text.substr(kw + 5, open - kw - 5));
+    if (spec.name.empty()) throw PolicyParseError("oblig missing a name");
+
+    // Group the body into clauses: a clause starts with a keyword at the
+    // beginning of a line (subject/target/on/do).
+    const std::string body = text.substr(open + 1, close - open - 1);
+    std::vector<std::pair<std::string, std::string>> clauses;
+    std::istringstream lines(body);
+    std::string line;
+    while (std::getline(lines, line)) {
+      const std::string t = trim(line);
+      if (t.empty()) continue;
+      std::string keyword;
+      for (const char* kwName : {"subject", "target", "on", "do"}) {
+        const std::size_t len = std::string(kwName).size();
+        if (t.size() > len && t.compare(0, len, kwName) == 0 &&
+            std::isspace(static_cast<unsigned char>(t[len]))) {
+          keyword = kwName;
+          break;
+        }
+      }
+      if (!keyword.empty()) {
+        clauses.emplace_back(keyword, trim(t.substr(keyword.size())));
+      } else if (!clauses.empty()) {
+        clauses.back().second += " " + t;  // continuation line
+      } else {
+        throw PolicyParseError("unexpected text in oblig body: " + t);
+      }
+    }
+
+    bool sawOn = false;
+    for (const auto& [keyword, value] : clauses) {
+      if (keyword == "subject") {
+        spec.subjectPath = value;
+        spec.executable = executableFromSubject(value);
+      } else if (keyword == "target") {
+        for (const std::string& t : splitTopLevel(value, ',')) {
+          const std::string target = trim(t);
+          if (!target.empty()) spec.targets.push_back(target);
+        }
+      } else if (keyword == "on") {
+        sawOn = true;
+        std::string exprText = value;
+        // The clause is the negation of the requirement; strip the leading
+        // "not" so `conditions` store the requirement itself.
+        const std::string low = lowered(trim(exprText));
+        if (low.rfind("not", 0) == 0 &&
+            (low.size() == 3 ||
+             !std::isalnum(static_cast<unsigned char>(low[3])))) {
+          exprText = trim(trim(exprText).substr(3));
+        } else {
+          throw PolicyParseError(
+              "on clause must negate the requirement: expected 'on not (...)'");
+        }
+        parseConditionExpr(exprText, spec);
+      } else if (keyword == "do") {
+        for (const std::string& part : splitTopLevel(value, ';')) {
+          const std::string actionText = trim(part);
+          if (actionText.empty()) continue;
+          spec.actions.push_back(parseAction(actionText));
+        }
+      }
+    }
+    if (!sawOn) {
+      throw PolicyParseError("oblig " + spec.name + " missing 'on' clause");
+    }
+    out.push_back(std::move(spec));
+    pos = close + 1;
+  }
+  if (out.empty()) throw PolicyParseError("no oblig block found");
+  return out;
+}
+
+}  // namespace softqos::policy

@@ -1,0 +1,43 @@
+// Parser for the obligation-policy notation of paper Example 1:
+//
+//   oblig NotifyQoSViolation {
+//     subject (...)/VideoApplication/qosl_coordinator
+//     target fps_sensor,jitter_sensor,buffer_sensor,(...)QoSHostManager
+//     on not (frame_rate = 25(+2)(-2) AND jitter_rate < 1.25)
+//     do fps_sensor->read(out frame_rate);
+//        jitter_sensor->read(out jitter_rate);
+//        buffer_sensor->read(out buffer_size);
+//        (...)/QoSHostManager->notify(frame_rate, jitter_rate, buffer_size);
+//   }
+//
+// The `on` clause is the negation of the QoS requirement; the parser stores
+// the requirement's conditions, so PolicySpec::conditions hold when the
+// application behaves and the policy fires when their combination is false.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "policy/model.hpp"
+
+namespace softqos::policy {
+
+class PolicyParseError : public std::runtime_error {
+ public:
+  explicit PolicyParseError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+/// Parse one or more `oblig` blocks. Throws PolicyParseError on bad input.
+std::vector<PolicySpec> parseObligations(const std::string& text);
+
+/// Parse exactly one `oblig` block.
+PolicySpec parseObligation(const std::string& text);
+
+/// Parse a bare condition expression like
+/// "frame_rate = 25(+2)(-2) AND jitter_rate < 1.25", returning the condition
+/// list and either a flat combinator or a custom expression (into `spec`).
+void parseConditionExpr(const std::string& text, PolicySpec& spec);
+
+}  // namespace softqos::policy

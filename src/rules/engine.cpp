@@ -1,0 +1,413 @@
+#include "rules/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace softqos::rules {
+
+InferenceEngine::InferenceEngine(std::string name) : name_(std::move(name)) {}
+
+void InferenceEngine::addRule(Rule rule) {
+  // Replacing a rule clears its refraction marks so the fresh definition can
+  // re-fire on facts the old one already consumed.
+  const std::string prefix = rule.name + "#";
+  for (auto it = firedKeys_.begin(); it != firedKeys_.end();) {
+    if (it->compare(0, prefix.size(), prefix) == 0) {
+      it = firedKeys_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  rules_[rule.name] = std::move(rule);
+}
+
+bool InferenceEngine::removeRule(const std::string& name) {
+  return rules_.erase(name) != 0;
+}
+
+bool InferenceEngine::hasRule(const std::string& name) const {
+  return rules_.contains(name);
+}
+
+std::vector<std::string> InferenceEngine::ruleNames() const {
+  std::vector<std::string> out;
+  out.reserve(rules_.size());
+  for (const auto& [name, rule] : rules_) {
+    (void)rule;
+    out.push_back(name);
+  }
+  return out;
+}
+
+void InferenceEngine::registerFunction(const std::string& name,
+                                       EngineFunction fn) {
+  functions_[name] = std::move(fn);
+}
+
+void InferenceEngine::matchFrom(const Rule& rule, std::size_t position,
+                                Bindings bindings, std::vector<FactId> factIds,
+                                std::vector<Activation>& out) const {
+  if (position == rule.lhs.size()) {
+    for (const ConditionTest& test : rule.tests) {
+      if (!test.eval(bindings)) return;
+    }
+    Activation act;
+    act.rule = &rule;
+    act.factIds = std::move(factIds);
+    act.bindings = std::move(bindings);
+    act.key = rule.name + "#";
+    for (const FactId id : act.factIds) {
+      act.recency = std::max(act.recency, id);
+      act.key += std::to_string(id) + ",";
+    }
+    out.push_back(std::move(act));
+    return;
+  }
+
+  const Pattern& pattern = rule.lhs[position];
+  if (pattern.negated) {
+    // (not ...): succeeds only if no live fact matches under these bindings.
+    for (const Fact* fact : facts_.byTemplate(pattern.templateName)) {
+      Bindings scratch = bindings;
+      if (matchPattern(pattern, *fact, scratch)) return;
+    }
+    factIds.push_back(kNoFact);
+    matchFrom(rule, position + 1, std::move(bindings), std::move(factIds), out);
+    return;
+  }
+
+  for (const Fact* fact : facts_.byTemplate(pattern.templateName)) {
+    Bindings scratch = bindings;
+    if (!matchPattern(pattern, *fact, scratch)) continue;
+    std::vector<FactId> ids = factIds;
+    ids.push_back(fact->id);
+    matchFrom(rule, position + 1, std::move(scratch), std::move(ids), out);
+  }
+}
+
+void InferenceEngine::matchRule(const Rule& rule,
+                                std::vector<Activation>& out) const {
+  matchFrom(rule, 0, Bindings{}, {}, out);
+}
+
+std::size_t InferenceEngine::run(std::size_t maxFirings) {
+  std::size_t fired = 0;
+  while (fired < maxFirings) {
+    // Rebuild the agenda from working memory (naive re-match: rule/fact
+    // populations in the managers are small; the scaling bench quantifies
+    // the cost honestly).
+    std::vector<Activation> agenda;
+    for (const auto& [name, rule] : rules_) {
+      (void)name;
+      matchRule(rule, agenda);
+    }
+
+    const Activation* best = nullptr;
+    for (const Activation& act : agenda) {
+      if (firedKeys_.contains(act.key)) continue;
+      if (best == nullptr) {
+        best = &act;
+        continue;
+      }
+      // Conflict resolution: salience, then recency, then rule name.
+      if (act.rule->salience != best->rule->salience) {
+        if (act.rule->salience > best->rule->salience) best = &act;
+      } else if (act.recency != best->recency) {
+        if (act.recency > best->recency) best = &act;
+      } else if (act.rule->name < best->rule->name) {
+        best = &act;
+      }
+    }
+    if (best == nullptr) break;
+
+    firedKeys_.insert(best->key);
+    fire(*best);
+    ++fired;
+    ++totalFirings_;
+  }
+  return fired;
+}
+
+void InferenceEngine::fire(const Activation& activation) {
+  for (const RuleAction& action : activation.rule->rhs) {
+    switch (action.kind) {
+      case RuleAction::Kind::kAssert: {
+        SlotMap slots;
+        bool ok = true;
+        for (const auto& [slot, operand] : action.slots) {
+          const Value* v = operand.resolve(activation.bindings);
+          if (v == nullptr) {
+            reportError("rule " + activation.rule->name +
+                        ": unbound variable in assert slot " + slot);
+            ok = false;
+            break;
+          }
+          slots.emplace(slot, *v);
+        }
+        if (ok) facts_.assertFact(action.templateName, std::move(slots));
+        break;
+      }
+      case RuleAction::Kind::kRetract: {
+        const int idx = action.patternIndex - 1;
+        if (idx < 0 || idx >= static_cast<int>(activation.factIds.size()) ||
+            activation.factIds[static_cast<std::size_t>(idx)] == kNoFact) {
+          reportError("rule " + activation.rule->name +
+                      ": bad retract index " + std::to_string(action.patternIndex));
+          break;
+        }
+        facts_.retract(activation.factIds[static_cast<std::size_t>(idx)]);
+        break;
+      }
+      case RuleAction::Kind::kModify: {
+        const int idx = action.patternIndex - 1;
+        if (idx < 0 || idx >= static_cast<int>(activation.factIds.size()) ||
+            activation.factIds[static_cast<std::size_t>(idx)] == kNoFact) {
+          reportError("rule " + activation.rule->name +
+                      ": bad modify index " + std::to_string(action.patternIndex));
+          break;
+        }
+        SlotMap changes;
+        bool ok = true;
+        for (const auto& [slot, operand] : action.slots) {
+          const Value* v = operand.resolve(activation.bindings);
+          if (v == nullptr) {
+            reportError("rule " + activation.rule->name +
+                        ": unbound variable in modify slot " + slot);
+            ok = false;
+            break;
+          }
+          changes.emplace(slot, *v);
+        }
+        if (ok) {
+          facts_.modify(activation.factIds[static_cast<std::size_t>(idx)],
+                        changes);
+        }
+        break;
+      }
+      case RuleAction::Kind::kCall: {
+        const auto it = functions_.find(action.function);
+        if (it == functions_.end()) {
+          reportError("rule " + activation.rule->name +
+                      ": unknown function " + action.function);
+          break;
+        }
+        std::vector<Value> args;
+        bool ok = true;
+        for (const Operand& operand : action.args) {
+          const Value* v = operand.resolve(activation.bindings);
+          if (v == nullptr) {
+            reportError("rule " + activation.rule->name +
+                        ": unbound variable argument to " + action.function);
+            ok = false;
+            break;
+          }
+          args.push_back(*v);
+        }
+        if (ok) it->second(args);
+        break;
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Rename a rule-scoped variable so recursive proofs at different depths do
+/// not capture each other's bindings.
+std::string scopedVar(const std::string& name, int depth) {
+  return name + "#d" + std::to_string(depth);
+}
+
+Pattern scopePattern(const Pattern& pattern, int depth) {
+  Pattern out = pattern;
+  for (SlotTest& test : out.tests) {
+    if (test.kind == SlotTest::Kind::kVariable) {
+      test.variable = scopedVar(test.variable, depth);
+    }
+  }
+  return out;
+}
+
+ConditionTest scopeTest(const ConditionTest& test, int depth) {
+  ConditionTest out = test;
+  if (out.lhs.isVariable) out.lhs.variable = scopedVar(out.lhs.variable, depth);
+  if (out.rhs.isVariable) out.rhs.variable = scopedVar(out.rhs.variable, depth);
+  return out;
+}
+
+}  // namespace
+
+std::optional<Bindings> InferenceEngine::prove(const Pattern& goal,
+                                               const Bindings& bindings,
+                                               int depth) const {
+  if (depth <= 0) return std::nullopt;
+
+  // Base case: a live fact satisfies the goal directly.
+  for (const Fact* fact : facts_.byTemplate(goal.templateName)) {
+    Bindings scratch = bindings;
+    if (matchPattern(goal, *fact, scratch)) return scratch;
+  }
+
+  // Recursive case: a rule whose RHS asserts a matching fact, provided its
+  // body can be proven. Rule variables are renamed per depth level.
+  for (const auto& [name, rule] : rules_) {
+    (void)name;
+    for (const RuleAction& action : rule.rhs) {
+      if (action.kind != RuleAction::Kind::kAssert ||
+          action.templateName != goal.templateName) {
+        continue;
+      }
+      // Unify the goal's slot tests with the head (the assert's slots).
+      Bindings unified = bindings;
+      bool ok = true;
+      for (const SlotTest& test : goal.tests) {
+        const Operand* headOperand = nullptr;
+        for (const auto& [slot, operand] : action.slots) {
+          if (slot == test.slot) {
+            headOperand = &operand;
+            break;
+          }
+        }
+        if (headOperand == nullptr) {
+          ok = false;  // the head does not provide this slot
+          break;
+        }
+        const std::string headVar =
+            headOperand->isVariable ? scopedVar(headOperand->variable, depth)
+                                    : std::string{};
+        if (test.kind == SlotTest::Kind::kLiteral) {
+          if (headOperand->isVariable) {
+            const auto it = unified.find(headVar);
+            if (it == unified.end()) {
+              unified.emplace(headVar, test.literal);
+            } else if (!(it->second == test.literal)) {
+              ok = false;
+            }
+          } else if (!(headOperand->literal == test.literal)) {
+            ok = false;
+          }
+        } else {  // goal variable
+          const auto goalIt = unified.find(test.variable);
+          if (headOperand->isVariable) {
+            const auto headIt = unified.find(headVar);
+            if (goalIt != unified.end() && headIt != unified.end()) {
+              if (!(goalIt->second == headIt->second)) ok = false;
+            } else if (goalIt != unified.end()) {
+              unified.emplace(headVar, goalIt->second);
+            } else if (headIt != unified.end()) {
+              unified.emplace(test.variable, headIt->second);
+            }
+            // Both unbound: linked through the body proof below; the goal
+            // variable is resolved after the body binds the head variable.
+          } else if (goalIt != unified.end()) {
+            if (!(goalIt->second == headOperand->literal)) ok = false;
+          } else {
+            unified.emplace(test.variable, headOperand->literal);
+          }
+        }
+        if (!ok) break;
+      }
+      if (!ok) continue;
+
+      // Prove the rule body under the unified bindings.
+      std::vector<Pattern> body;
+      body.reserve(rule.lhs.size());
+      for (const Pattern& pattern : rule.lhs) {
+        body.push_back(scopePattern(pattern, depth));
+      }
+      std::vector<ConditionTest> tests;
+      tests.reserve(rule.tests.size());
+      for (const ConditionTest& test : rule.tests) {
+        tests.push_back(scopeTest(test, depth));
+      }
+      auto proof = proveAll(body, tests, 0, unified, depth - 1);
+      if (!proof.has_value()) continue;
+
+      // Resolve goal variables that were linked to head variables.
+      Bindings result = *proof;
+      bool resolved = true;
+      for (const SlotTest& test : goal.tests) {
+        if (test.kind != SlotTest::Kind::kVariable) continue;
+        if (result.contains(test.variable)) continue;
+        const Operand* headOperand = nullptr;
+        for (const auto& [slot, operand] : action.slots) {
+          if (slot == test.slot) {
+            headOperand = &operand;
+            break;
+          }
+        }
+        if (headOperand == nullptr) continue;
+        if (headOperand->isVariable) {
+          const auto it = result.find(scopedVar(headOperand->variable, depth));
+          if (it != result.end()) {
+            result.emplace(test.variable, it->second);
+          } else {
+            resolved = false;
+          }
+        } else {
+          result.emplace(test.variable, headOperand->literal);
+        }
+      }
+      if (resolved) return result;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Bindings> InferenceEngine::proveAll(
+    const std::vector<Pattern>& goals, const std::vector<ConditionTest>& tests,
+    std::size_t index, Bindings bindings, int depth) const {
+  if (index == goals.size()) {
+    for (const ConditionTest& test : tests) {
+      if (!test.eval(bindings)) return std::nullopt;
+    }
+    return bindings;
+  }
+  const Pattern& goal = goals[index];
+  if (goal.negated) {
+    // Negation as failure against working memory (non-recursive, as in the
+    // forward engine).
+    for (const Fact* fact : facts_.byTemplate(goal.templateName)) {
+      Bindings scratch = bindings;
+      if (matchPattern(goal, *fact, scratch)) return std::nullopt;
+    }
+    return proveAll(goals, tests, index + 1, std::move(bindings), depth);
+  }
+
+  // Backtrack over direct fact matches first, then rule-derived proofs.
+  for (const Fact* fact : facts_.byTemplate(goal.templateName)) {
+    Bindings scratch = bindings;
+    if (!matchPattern(goal, *fact, scratch)) continue;
+    auto rest = proveAll(goals, tests, index + 1, std::move(scratch), depth);
+    if (rest.has_value()) return rest;
+  }
+  if (depth > 0) {
+    auto derived = prove(goal, bindings, depth);
+    if (derived.has_value()) {
+      return proveAll(goals, tests, index + 1, std::move(*derived), depth);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Bindings> InferenceEngine::query(const Pattern& goal,
+                                               int maxDepth) const {
+  return prove(goal, Bindings{}, maxDepth);
+}
+
+bool InferenceEngine::provable(const std::string& templateName,
+                               const SlotMap& slots, int maxDepth) const {
+  Pattern goal;
+  goal.templateName = templateName;
+  for (const auto& [slot, value] : slots) {
+    goal.tests.push_back(SlotTest{SlotTest::Kind::kLiteral, slot, value, ""});
+  }
+  return prove(goal, Bindings{}, maxDepth).has_value();
+}
+
+void InferenceEngine::reportError(std::string message) {
+  ++actionErrors_;
+  if (errorLog_.size() < 256) errorLog_.push_back(std::move(message));
+}
+
+}  // namespace softqos::rules

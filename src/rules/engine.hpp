@@ -1,0 +1,130 @@
+// Forward-chaining inference engine (a from-scratch CLIPS workalike).
+//
+// The QoS Host Manager and QoS Domain Manager each embed one engine; their
+// diagnosis logic is data (rules added/removed at run time — the paper's
+// "dynamic rule distribution"), and their effects on the system happen
+// through registered C++ functions invoked by rule RHS (call ...) actions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rules/fact.hpp"
+#include "rules/pattern.hpp"
+
+namespace softqos::rules {
+
+/// One RHS action of a rule.
+struct RuleAction {
+  enum class Kind { kAssert, kRetract, kModify, kCall };
+  Kind kind = Kind::kCall;
+
+  // kAssert: template + slots; kModify: slots to change.
+  std::string templateName;
+  std::vector<std::pair<std::string, Operand>> slots;
+
+  // kRetract / kModify: 1-based index of the LHS pattern whose matched fact
+  // is targeted (negated patterns cannot be targeted).
+  int patternIndex = -1;
+
+  // kCall: registered function + arguments.
+  std::string function;
+  std::vector<Operand> args;
+};
+
+struct Rule {
+  std::string name;
+  int salience = 0;
+  std::vector<Pattern> lhs;
+  std::vector<ConditionTest> tests;
+  std::vector<RuleAction> rhs;
+};
+
+class InferenceEngine {
+ public:
+  using EngineFunction = std::function<void(const std::vector<Value>& args)>;
+
+  explicit InferenceEngine(std::string name = "engine");
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  FactRepository& facts() { return facts_; }
+  const FactRepository& facts() const { return facts_; }
+
+  /// Add (or replace, by name) a rule. Replacing clears its refraction marks
+  /// so the new definition can fire on existing facts.
+  void addRule(Rule rule);
+  bool removeRule(const std::string& name);
+  [[nodiscard]] bool hasRule(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> ruleNames() const;
+  [[nodiscard]] std::size_t ruleCount() const { return rules_.size(); }
+
+  void registerFunction(const std::string& name, EngineFunction fn);
+
+  /// Forward-chain until quiescent or `maxFirings` reached; returns firings.
+  /// Refraction: an activation (rule x fact tuple) fires at most once for
+  /// the lifetime of that fact tuple.
+  std::size_t run(std::size_t maxFirings = 10000);
+
+  /// Backward-chaining query (the paper's Section 5.3 names backward
+  /// chaining as an inferencing alternative; the prototype used forward
+  /// chaining). A goal is proven if a live fact matches it, or if some rule
+  /// ASSERTS a matching fact and all of that rule's positive patterns and
+  /// tests can be proven recursively under the accumulated bindings.
+  /// Negated patterns use negation-as-failure against working memory only.
+  /// Nothing is asserted; returns the bindings of the first proof found.
+  [[nodiscard]] std::optional<Bindings> query(const Pattern& goal,
+                                              int maxDepth = 8) const;
+
+  /// Convenience: is a ground fact derivable?
+  [[nodiscard]] bool provable(const std::string& templateName,
+                              const SlotMap& slots, int maxDepth = 8) const;
+
+  [[nodiscard]] std::uint64_t totalFirings() const { return totalFirings_; }
+
+  /// RHS errors (unknown function, unbound variable, bad retract index).
+  [[nodiscard]] std::uint64_t actionErrors() const { return actionErrors_; }
+  [[nodiscard]] const std::vector<std::string>& errorLog() const {
+    return errorLog_;
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  struct Activation {
+    const Rule* rule = nullptr;
+    std::vector<FactId> factIds;  // per LHS position (kNoFact for negated)
+    Bindings bindings;
+    FactId recency = 0;  // newest positive fact involved
+    std::string key;     // refraction key
+  };
+
+  void matchRule(const Rule& rule, std::vector<Activation>& out) const;
+  std::optional<Bindings> prove(const Pattern& goal, const Bindings& bindings,
+                                int depth) const;
+  std::optional<Bindings> proveAll(const std::vector<Pattern>& goals,
+                                   const std::vector<ConditionTest>& tests,
+                                   std::size_t index, Bindings bindings,
+                                   int depth) const;
+  void matchFrom(const Rule& rule, std::size_t position, Bindings bindings,
+                 std::vector<FactId> factIds, std::vector<Activation>& out) const;
+  void fire(const Activation& activation);
+  void reportError(std::string message);
+
+  std::string name_;
+  FactRepository facts_;
+  std::map<std::string, Rule> rules_;
+  std::map<std::string, EngineFunction> functions_;
+  std::set<std::string> firedKeys_;
+  std::uint64_t totalFirings_ = 0;
+  std::uint64_t actionErrors_ = 0;
+  std::vector<std::string> errorLog_;
+};
+
+}  // namespace softqos::rules

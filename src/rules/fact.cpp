@@ -1,0 +1,113 @@
+#include "rules/fact.hpp"
+
+#include <utility>
+
+namespace softqos::rules {
+
+std::string Fact::toString() const {
+  std::string out = "(" + templateName;
+  for (const auto& [name, value] : slots) {
+    out += " (" + name + " " + value.toString() + ")";
+  }
+  out += ")";
+  return out;
+}
+
+FactId FactRepository::assertFact(const std::string& templateName,
+                                  SlotMap slots) {
+  for (const auto& [id, fact] : live_) {
+    if (fact.templateName == templateName && fact.slots == slots) return id;
+  }
+  const FactId id = nextId_++;
+  Fact f;
+  f.id = id;
+  f.templateName = templateName;
+  f.slots = std::move(slots);
+  live_.emplace(id, std::move(f));
+  notifyChange();
+  return id;
+}
+
+bool FactRepository::retract(FactId id) {
+  if (live_.erase(id) == 0) return false;
+  notifyChange();
+  return true;
+}
+
+FactId FactRepository::modify(FactId id, const SlotMap& changes) {
+  const auto it = live_.find(id);
+  if (it == live_.end()) return kNoFact;
+  Fact updated = it->second;
+  for (const auto& [slot, value] : changes) updated.slots[slot] = value;
+  live_.erase(it);
+  return assertFact(updated.templateName, std::move(updated.slots));
+}
+
+std::size_t FactRepository::retractTemplate(const std::string& templateName) {
+  std::size_t n = 0;
+  for (auto it = live_.begin(); it != live_.end();) {
+    if (it->second.templateName == templateName) {
+      it = live_.erase(it);
+      ++n;
+    } else {
+      ++it;
+    }
+  }
+  if (n > 0) notifyChange();
+  return n;
+}
+
+const Fact* FactRepository::find(FactId id) const {
+  const auto it = live_.find(id);
+  return it == live_.end() ? nullptr : &it->second;
+}
+
+std::vector<const Fact*> FactRepository::byTemplate(
+    const std::string& templateName) const {
+  std::vector<const Fact*> out;
+  for (const auto& [id, fact] : live_) {
+    (void)id;
+    if (fact.templateName == templateName) out.push_back(&fact);
+  }
+  return out;
+}
+
+std::vector<const Fact*> FactRepository::all() const {
+  std::vector<const Fact*> out;
+  out.reserve(live_.size());
+  for (const auto& [id, fact] : live_) {
+    (void)id;
+    out.push_back(&fact);
+  }
+  return out;
+}
+
+const Fact* FactRepository::findWhere(const std::string& templateName,
+                                      const SlotMap& slots) const {
+  for (const auto& [id, fact] : live_) {
+    (void)id;
+    if (fact.templateName != templateName) continue;
+    bool ok = true;
+    for (const auto& [name, value] : slots) {
+      const Value* actual = fact.slot(name);
+      if (actual == nullptr || !(*actual == value)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return &fact;
+  }
+  return nullptr;
+}
+
+void FactRepository::clear() {
+  if (live_.empty()) return;
+  live_.clear();
+  notifyChange();
+}
+
+void FactRepository::notifyChange() {
+  if (listener_) listener_();
+}
+
+}  // namespace softqos::rules

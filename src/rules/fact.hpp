@@ -1,0 +1,76 @@
+// Template facts and the fact repository (the engine's working memory).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rules/value.hpp"
+
+namespace softqos::rules {
+
+using FactId = std::uint64_t;
+inline constexpr FactId kNoFact = 0;
+
+/// Named slots of a fact, e.g. {pid: 12, attr: frame_rate}.
+using SlotMap = std::map<std::string, Value>;
+
+struct Fact {
+  FactId id = kNoFact;  // also the recency stamp (monotonically increasing)
+  std::string templateName;
+  SlotMap slots;
+
+  [[nodiscard]] const Value* slot(const std::string& name) const {
+    const auto it = slots.find(name);
+    return it == slots.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] std::string toString() const;
+};
+
+/// Working memory: assert/retract/modify with duplicate suppression and
+/// change listeners (the engine subscribes to refresh its agenda).
+class FactRepository {
+ public:
+  using Listener = std::function<void()>;
+
+  /// Assert a fact. Duplicate of a live fact (same template + slots) is
+  /// suppressed, returning the existing id (CLIPS semantics).
+  FactId assertFact(const std::string& templateName, SlotMap slots);
+
+  /// Retract by id. Returns false when the id is unknown or already gone.
+  bool retract(FactId id);
+
+  /// Retract + re-assert with changed slots; returns the new fact id, or
+  /// kNoFact if `id` is unknown.
+  FactId modify(FactId id, const SlotMap& changes);
+
+  /// Retract every fact of the given template; returns how many went.
+  std::size_t retractTemplate(const std::string& templateName);
+
+  [[nodiscard]] const Fact* find(FactId id) const;
+  [[nodiscard]] std::vector<const Fact*> byTemplate(
+      const std::string& templateName) const;
+  [[nodiscard]] std::vector<const Fact*> all() const;
+  [[nodiscard]] std::size_t size() const { return live_.size(); }
+
+  /// First live fact matching template + all given slot values (queries from
+  /// manager code); nullptr if none.
+  [[nodiscard]] const Fact* findWhere(const std::string& templateName,
+                                      const SlotMap& slots) const;
+
+  void setChangeListener(Listener listener) { listener_ = std::move(listener); }
+
+  void clear();
+
+ private:
+  void notifyChange();
+
+  std::map<FactId, Fact> live_;
+  FactId nextId_ = 1;
+  Listener listener_;
+};
+
+}  // namespace softqos::rules

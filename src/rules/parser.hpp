@@ -1,0 +1,45 @@
+// Textual rule-set parser (CLIPS-flavoured s-expressions), enabling the
+// paper's dynamic rule distribution: managers receive rule sets as text at
+// run time and load them without recompilation.
+//
+// Grammar:
+//   ruleset   := { defrule }*
+//   defrule   := (defrule NAME [declare] { condition }* => { action }* )
+//   declare   := (declare (salience INT))
+//   condition := (not (TEMPLATE { (SLOT operand) }*))
+//             |  (test (OP operand operand))
+//             |  (TEMPLATE { (SLOT operand) }*)
+//   action    := (assert (TEMPLATE { (SLOT operand) }*))
+//             |  (retract INT)                ; 1-based LHS pattern index
+//             |  (modify INT { (SLOT operand) }*)
+//             |  (call FUNCTION { operand }*)
+//   operand   := ?var | literal
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "rules/engine.hpp"
+
+namespace softqos::rules {
+
+class RuleParseError : public std::runtime_error {
+ public:
+  explicit RuleParseError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+/// Parse a rule-set text into rules. Throws RuleParseError on malformed input.
+std::vector<Rule> parseRules(const std::string& text);
+
+/// Parse "(tmpl (slot v)...) (tmpl2 ...)" fact list (initial facts, tests).
+std::vector<std::pair<std::string, SlotMap>> parseFactList(
+    const std::string& text);
+
+/// Load every rule in `text` into `engine` (replacing same-named rules).
+/// Returns the names loaded.
+std::vector<std::string> loadRules(InferenceEngine& engine,
+                                   const std::string& text);
+
+}  // namespace softqos::rules

@@ -1,0 +1,102 @@
+#include "rules/pattern.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace softqos::rules {
+
+Operand Operand::var(std::string name) {
+  Operand o;
+  o.isVariable = true;
+  o.variable = std::move(name);
+  return o;
+}
+
+Operand Operand::lit(Value v) {
+  Operand o;
+  o.literal = std::move(v);
+  return o;
+}
+
+Operand Operand::parse(const std::string& token) {
+  if (token.size() >= 2 && token.front() == '?') return var(token);
+  return lit(Value::parseLiteral(token));
+}
+
+const Value* Operand::resolve(const Bindings& bindings) const {
+  if (!isVariable) return &literal;
+  const auto it = bindings.find(variable);
+  return it == bindings.end() ? nullptr : &it->second;
+}
+
+bool evalCmp(CmpOp op, const Value& a, const Value& b) {
+  if (op == CmpOp::kEq) return a == b;
+  if (op == CmpOp::kNe) return a != b;
+  const auto cmp = Value::compare(a, b);
+  if (!cmp.has_value()) return false;
+  switch (op) {
+    case CmpOp::kLt: return *cmp < 0;
+    case CmpOp::kLe: return *cmp <= 0;
+    case CmpOp::kGt: return *cmp > 0;
+    case CmpOp::kGe: return *cmp >= 0;
+    case CmpOp::kEq:
+    case CmpOp::kNe: break;  // handled above
+  }
+  return false;
+}
+
+CmpOp parseCmpOp(const std::string& token) {
+  if (token == "=" || token == "==" || token == "eq") return CmpOp::kEq;
+  if (token == "!=" || token == "<>" || token == "neq") return CmpOp::kNe;
+  if (token == "<") return CmpOp::kLt;
+  if (token == "<=") return CmpOp::kLe;
+  if (token == ">") return CmpOp::kGt;
+  if (token == ">=") return CmpOp::kGe;
+  throw std::invalid_argument("unknown comparison operator: " + token);
+}
+
+std::string cmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return "=";
+    case CmpOp::kNe: return "!=";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+bool ConditionTest::eval(const Bindings& bindings) const {
+  const Value* a = lhs.resolve(bindings);
+  const Value* b = rhs.resolve(bindings);
+  if (a == nullptr || b == nullptr) return false;
+  return evalCmp(op, *a, *b);
+}
+
+bool matchPattern(const Pattern& pattern, const Fact& fact, Bindings& bindings) {
+  if (fact.templateName != pattern.templateName) return false;
+  Bindings scratch = bindings;
+  for (const SlotTest& test : pattern.tests) {
+    const Value* actual = fact.slot(test.slot);
+    if (actual == nullptr) return false;
+    switch (test.kind) {
+      case SlotTest::Kind::kLiteral:
+        if (!(*actual == test.literal)) return false;
+        break;
+      case SlotTest::Kind::kVariable: {
+        const auto it = scratch.find(test.variable);
+        if (it == scratch.end()) {
+          scratch.emplace(test.variable, *actual);
+        } else if (!(it->second == *actual)) {
+          return false;
+        }
+        break;
+      }
+    }
+  }
+  bindings = std::move(scratch);
+  return true;
+}
+
+}  // namespace softqos::rules

@@ -1,0 +1,75 @@
+// LHS patterns: template matches with literal slots, ?variable bindings,
+// inline predicates, negation, plus standalone (test ...) conditions.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rules/fact.hpp"
+#include "rules/value.hpp"
+
+namespace softqos::rules {
+
+/// Variable bindings accumulated while matching a rule's LHS.
+using Bindings = std::map<std::string, Value>;
+
+/// An operand in a predicate/test/action: either a literal or a ?variable.
+struct Operand {
+  bool isVariable = false;
+  std::string variable;
+  Value literal;
+
+  static Operand var(std::string name);
+  static Operand lit(Value v);
+
+  /// Parse "?x" as a variable, anything else as a literal.
+  static Operand parse(const std::string& token);
+
+  /// Resolve against bindings. Returns nullptr for an unbound variable.
+  [[nodiscard]] const Value* resolve(const Bindings& bindings) const;
+};
+
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Evaluate `a op b`; incomparable operand types yield false.
+bool evalCmp(CmpOp op, const Value& a, const Value& b);
+
+/// Parse "=", "!="/"<>", "<", "<=", ">", ">=". Throws on anything else.
+CmpOp parseCmpOp(const std::string& token);
+std::string cmpOpName(CmpOp op);
+
+/// One slot constraint inside a pattern.
+struct SlotTest {
+  enum class Kind {
+    kLiteral,   // (slot 5) — slot must equal the literal
+    kVariable,  // (slot ?x) — bind ?x, or check equality if already bound
+  };
+  Kind kind = Kind::kLiteral;
+  std::string slot;
+  Value literal;
+  std::string variable;
+};
+
+/// An LHS pattern: all slot tests must hold on one fact of the template.
+struct Pattern {
+  std::string templateName;
+  std::vector<SlotTest> tests;
+  bool negated = false;  // (not (tmpl ...)): no matching fact may exist
+};
+
+/// A standalone boolean test over bindings: (test (> ?v 4096)).
+struct ConditionTest {
+  CmpOp op = CmpOp::kEq;
+  Operand lhs;
+  Operand rhs;
+
+  /// False when either operand is an unbound variable.
+  [[nodiscard]] bool eval(const Bindings& bindings) const;
+};
+
+/// Try to match `fact` against `pattern` (ignoring negation), extending
+/// `bindings` in place. On failure `bindings` is left unchanged.
+bool matchPattern(const Pattern& pattern, const Fact& fact, Bindings& bindings);
+
+}  // namespace softqos::rules

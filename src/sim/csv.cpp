@@ -1,0 +1,47 @@
+#include "sim/csv.hpp"
+
+#include <sstream>
+
+namespace softqos::sim {
+
+std::string csvField(const std::string& raw) {
+  if (raw.find_first_of(",\"\n") == std::string::npos) return raw;
+  std::string out = "\"";
+  for (const char c : raw) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+std::string toCsv(const TimeSeries& series, const std::string& name) {
+  std::ostringstream out;
+  out << "time_s," << csvField(name) << "\n";
+  for (const auto& [t, v] : series.samples()) {
+    out << toSeconds(t) << "," << v << "\n";
+  }
+  return out.str();
+}
+
+std::string seriesCsv(const MetricRegistry& metrics) {
+  std::ostringstream out;
+  out << "series,time_s,value\n";
+  for (const auto& [name, series] : metrics.allSeries()) {
+    for (const auto& [t, v] : series.samples()) {
+      out << csvField(name) << "," << toSeconds(t) << "," << v << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string countersCsv(const MetricRegistry& metrics) {
+  std::ostringstream out;
+  out << "counter,value\n";
+  for (const auto& [name, value] : metrics.counters()) {
+    out << csvField(name) << "," << value << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace softqos::sim

@@ -1,0 +1,23 @@
+// CSV rendering for metric data: lets experiment harnesses dump the series
+// behind a figure so downstream users can re-plot them.
+#pragma once
+
+#include <string>
+
+#include "sim/metrics.hpp"
+
+namespace softqos::sim {
+
+/// One series: header "time_s,<name>" then one row per sample.
+std::string toCsv(const TimeSeries& series, const std::string& name);
+
+/// Every series in long format: "series,time_s,value".
+std::string seriesCsv(const MetricRegistry& metrics);
+
+/// Counters: "counter,value".
+std::string countersCsv(const MetricRegistry& metrics);
+
+/// Quote a CSV field (doubles quotes, wraps when a delimiter is present).
+std::string csvField(const std::string& raw);
+
+}  // namespace softqos::sim

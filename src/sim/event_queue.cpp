@@ -1,0 +1,40 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+
+namespace softqos::sim {
+
+EventId EventQueue::schedule(SimTime when, Callback cb) {
+  assert(cb && "scheduling an empty callback");
+  const EventId id = nextId_++;
+  heap_.push(Entry{when, id, std::move(cb)});
+  pending_.insert(id);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) { return pending_.erase(id) != 0; }
+
+void EventQueue::dropDeadFront() {
+  while (!heap_.empty() && !pending_.contains(heap_.top().id)) heap_.pop();
+}
+
+SimTime EventQueue::nextTime() const {
+  auto* self = const_cast<EventQueue*>(this);
+  self->dropDeadFront();
+  assert(!self->heap_.empty() && "nextTime() on empty queue");
+  return self->heap_.top().when;
+}
+
+std::pair<SimTime, EventQueue::Callback> EventQueue::pop() {
+  dropDeadFront();
+  assert(!heap_.empty() && "pop() on empty queue");
+  // priority_queue::top() returns const&; the entry is discarded immediately
+  // after, so moving the callback out through a non-const reference is safe.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  std::pair<SimTime, Callback> out{top.when, std::move(top.cb)};
+  pending_.erase(top.id);
+  heap_.pop();
+  return out;
+}
+
+}  // namespace softqos::sim

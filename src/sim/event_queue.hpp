@@ -1,0 +1,77 @@
+// Deterministic event queue for the softqos discrete-event kernel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace softqos::sim {
+
+/// Handle identifying a scheduled event; usable for cancellation.
+using EventId = std::uint64_t;
+
+/// Sentinel returned when no event was scheduled.
+inline constexpr EventId kInvalidEvent = 0;
+
+/// Priority queue of timed callbacks with stable ordering and cancellation.
+///
+/// Events at equal timestamps fire in insertion order, which makes whole-system
+/// runs bit-reproducible. Cancellation is O(1): the id is removed from the
+/// pending set and its heap entry dropped lazily when it reaches the front.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `cb` to fire at absolute time `when`. `when` must be >= the time
+  /// of the most recently popped event (the kernel enforces monotonicity).
+  EventId schedule(SimTime when, Callback cb);
+
+  /// Cancel a previously scheduled event. Safe to call with an id that already
+  /// fired or was cancelled; returns true if the event was still pending.
+  bool cancel(EventId id);
+
+  /// True if `id` is scheduled and has neither fired nor been cancelled.
+  [[nodiscard]] bool isPending(EventId id) const { return pending_.contains(id); }
+
+  /// True when no live events remain.
+  [[nodiscard]] bool empty() const { return pending_.empty(); }
+
+  /// Number of live (scheduled, not cancelled, not fired) events.
+  [[nodiscard]] std::size_t size() const { return pending_.size(); }
+
+  /// Timestamp of the earliest live event. Precondition: !empty().
+  [[nodiscard]] SimTime nextTime() const;
+
+  /// Pop and return the earliest live event. Precondition: !empty().
+  /// The caller (Simulation) invokes the callback after advancing the clock.
+  std::pair<SimTime, Callback> pop();
+
+  /// Total events scheduled over the queue's lifetime (diagnostics).
+  [[nodiscard]] std::uint64_t totalScheduled() const { return nextId_ - 1; }
+
+ private:
+  struct Entry {
+    SimTime when = 0;
+    EventId id = kInvalidEvent;  // doubles as the insertion sequence number
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;
+    }
+  };
+
+  void dropDeadFront();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> pending_;
+  EventId nextId_ = 1;
+};
+
+}  // namespace softqos::sim

@@ -1,0 +1,72 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace softqos::sim {
+
+void Summary::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double d = x - mean_;
+  mean_ += d / static_cast<double>(n_);
+  m2_ += d * (x - mean_);
+  if (n_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+}
+
+double Summary::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+void TimeSeries::record(SimTime t, double value) {
+  samples_.emplace_back(t, value);
+  summary_.add(value);
+}
+
+Summary TimeSeries::summaryFrom(SimTime from) const {
+  Summary s;
+  for (const auto& [t, v] : samples_) {
+    if (t >= from) s.add(v);
+  }
+  return s;
+}
+
+double TimeSeries::meanInWindow(SimTime from, SimTime to) const {
+  Summary s;
+  for (const auto& [t, v] : samples_) {
+    if (t >= from && t < to) s.add(v);
+  }
+  return s.mean();
+}
+
+void MetricRegistry::count(const std::string& name, std::int64_t delta) {
+  counters_[name] += delta;
+}
+
+void MetricRegistry::sample(const std::string& name, SimTime t, double value) {
+  series_[name].record(t, value);
+}
+
+std::int64_t MetricRegistry::counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+const TimeSeries* MetricRegistry::series(const std::string& name) const {
+  const auto it = series_.find(name);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+void MetricRegistry::clear() {
+  counters_.clear();
+  series_.clear();
+}
+
+}  // namespace softqos::sim

@@ -1,0 +1,84 @@
+// Metric collection: counters, gauges sampled over time, and summary stats.
+//
+// Experiments record series through a MetricRegistry owned by the Simulation;
+// bench harnesses read the summaries to print paper-style tables.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace softqos::sim {
+
+/// Streaming summary statistics (Welford) over double samples.
+class Summary {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// A named time series of (time, value) samples plus a running summary.
+class TimeSeries {
+ public:
+  void record(SimTime t, double value);
+
+  [[nodiscard]] const std::vector<std::pair<SimTime, double>>& samples() const {
+    return samples_;
+  }
+  [[nodiscard]] const Summary& summary() const { return summary_; }
+
+  /// Summary restricted to samples with t >= from (e.g. skip warm-up).
+  [[nodiscard]] Summary summaryFrom(SimTime from) const;
+
+  /// Mean of samples falling in [from, to).
+  [[nodiscard]] double meanInWindow(SimTime from, SimTime to) const;
+
+ private:
+  std::vector<std::pair<SimTime, double>> samples_;
+  Summary summary_;
+};
+
+/// Registry of named counters and time series, keyed by string.
+class MetricRegistry {
+ public:
+  /// Add `delta` to the named counter (created at zero on first use).
+  void count(const std::string& name, std::int64_t delta = 1);
+
+  /// Record a sample on the named series (created on first use).
+  void sample(const std::string& name, SimTime t, double value);
+
+  [[nodiscard]] std::int64_t counter(const std::string& name) const;
+  [[nodiscard]] const TimeSeries* series(const std::string& name) const;
+  [[nodiscard]] const std::map<std::string, std::int64_t>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, TimeSeries>& allSeries() const {
+    return series_;
+  }
+
+  void clear();
+
+ private:
+  std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, TimeSeries> series_;
+};
+
+}  // namespace softqos::sim

@@ -1,0 +1,55 @@
+#include "sim/random.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace softqos::sim {
+namespace {
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+RandomStream::RandomStream(std::uint64_t masterSeed, std::string_view name)
+    : name_(name) {
+  std::seed_seq seq{masterSeed, fnv1a(name), std::uint64_t{0x9e3779b97f4a7c15ull}};
+  rng_.seed(seq);
+}
+
+double RandomStream::uniform01() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(rng_);
+}
+
+double RandomStream::uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(rng_);
+}
+
+std::int64_t RandomStream::uniformInt(std::int64_t lo, std::int64_t hi) {
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(rng_);
+}
+
+double RandomStream::exponential(double mean) {
+  return std::exponential_distribution<double>(1.0 / mean)(rng_);
+}
+
+double RandomStream::normal(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(rng_);
+}
+
+bool RandomStream::chance(double probability) {
+  return uniform01() < probability;
+}
+
+SimDuration RandomStream::expGap(SimDuration mean) {
+  const double g = exponential(static_cast<double>(mean));
+  return std::max<SimDuration>(1, static_cast<SimDuration>(std::llround(g)));
+}
+
+}  // namespace softqos::sim

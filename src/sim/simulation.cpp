@@ -1,0 +1,50 @@
+#include "sim/simulation.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace softqos::sim {
+
+EventId Simulation::after(SimDuration delay, EventQueue::Callback cb) {
+  if (delay < 0) throw std::invalid_argument("Simulation::after: negative delay");
+  return queue_.schedule(now_ + delay, std::move(cb));
+}
+
+EventId Simulation::at(SimTime when, EventQueue::Callback cb) {
+  if (when < now_) throw std::invalid_argument("Simulation::at: time in the past");
+  return queue_.schedule(when, std::move(cb));
+}
+
+void Simulation::executeOne() {
+  auto [when, cb] = queue_.pop();
+  assert(when >= now_ && "event queue produced a time in the past");
+  now_ = when;
+  cb();
+}
+
+std::uint64_t Simulation::runUntil(SimTime until) {
+  std::uint64_t executed = 0;
+  while (!queue_.empty() && queue_.nextTime() <= until) {
+    executeOne();
+    ++executed;
+  }
+  if (now_ < until) now_ = until;
+  return executed;
+}
+
+std::uint64_t Simulation::runAll() {
+  std::uint64_t executed = 0;
+  while (!queue_.empty()) {
+    executeOne();
+    ++executed;
+  }
+  return executed;
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  executeOne();
+  return true;
+}
+
+}  // namespace softqos::sim

@@ -1,0 +1,83 @@
+// The softqos discrete-event simulation kernel.
+//
+// A Simulation owns the clock, event queue, master RNG seed, metric registry
+// and trace sink. All simulated subsystems (hosts, network, managers) hold a
+// reference to one Simulation and schedule their work through it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "sim/event_queue.hpp"
+#include "sim/metrics.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+#include "sim/trace.hpp"
+
+namespace softqos::sim {
+
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed = 1) : seed_(seed) {}
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `cb` to run after `delay` ticks (>= 0).
+  EventId after(SimDuration delay, EventQueue::Callback cb);
+
+  /// Schedule `cb` at absolute time `when` (>= now()).
+  EventId at(SimTime when, EventQueue::Callback cb);
+
+  /// Cancel a pending event; returns true if it was still pending.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Run until the event queue drains or the clock reaches `until`.
+  /// Events scheduled exactly at `until` do fire. Returns events executed.
+  std::uint64_t runUntil(SimTime until);
+
+  /// Run until the event queue drains. Returns events executed.
+  std::uint64_t runAll();
+
+  /// Execute exactly one event if available; returns false if queue empty.
+  bool step();
+
+  /// Derive a named random stream from this simulation's master seed.
+  [[nodiscard]] RandomStream stream(std::string_view name) const {
+    return RandomStream(seed_, name);
+  }
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  MetricRegistry& metrics() { return metrics_; }
+  const MetricRegistry& metrics() const { return metrics_; }
+  Trace& trace() { return trace_; }
+  EventQueue& queue() { return queue_; }
+
+  /// Convenience logging helpers stamping the current simulated time.
+  void debug(std::string component, std::string message) {
+    trace_.log(now_, TraceLevel::kDebug, std::move(component), std::move(message));
+  }
+  void info(std::string component, std::string message) {
+    trace_.log(now_, TraceLevel::kInfo, std::move(component), std::move(message));
+  }
+  void warn(std::string component, std::string message) {
+    trace_.log(now_, TraceLevel::kWarn, std::move(component), std::move(message));
+  }
+
+ private:
+  void executeOne();
+
+  std::uint64_t seed_;
+  SimTime now_ = 0;
+  EventQueue queue_;
+  MetricRegistry metrics_;
+  Trace trace_;
+};
+
+}  // namespace softqos::sim

@@ -1,0 +1,41 @@
+// Simulated-time representation for the softqos discrete-event kernel.
+//
+// All simulation components measure time in integer microseconds (SimTime).
+// Integer ticks keep event ordering exact and runs bit-reproducible; double
+// seconds are available for reporting only.
+#pragma once
+
+#include <cstdint>
+
+namespace softqos::sim {
+
+/// Simulated time in microseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// Duration in microseconds (same representation as SimTime).
+using SimDuration = std::int64_t;
+
+inline constexpr SimDuration kMicrosecond = 1;
+inline constexpr SimDuration kMillisecond = 1000;
+inline constexpr SimDuration kSecond = 1000 * 1000;
+
+/// Build a duration from microseconds.
+constexpr SimDuration usec(std::int64_t n) { return n * kMicrosecond; }
+/// Build a duration from milliseconds.
+constexpr SimDuration msec(std::int64_t n) { return n * kMillisecond; }
+/// Build a duration from whole seconds.
+constexpr SimDuration sec(std::int64_t n) { return n * kSecond; }
+
+/// Convert a simulated time/duration to floating-point seconds (reporting only).
+constexpr double toSeconds(SimTime t) { return static_cast<double>(t) / kSecond; }
+
+/// Convert a simulated time/duration to floating-point milliseconds (reporting only).
+constexpr double toMillis(SimTime t) { return static_cast<double>(t) / kMillisecond; }
+
+/// Convert floating-point seconds to the nearest tick. Used when deriving
+/// durations from rates (e.g. bytes / bandwidth); callers must not feed NaN.
+constexpr SimDuration fromSeconds(double s) {
+  return static_cast<SimDuration>(s * static_cast<double>(kSecond) + 0.5);
+}
+
+}  // namespace softqos::sim

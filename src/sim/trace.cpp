@@ -1,0 +1,37 @@
+#include "sim/trace.hpp"
+
+#include <ostream>
+
+namespace softqos::sim {
+
+void Trace::log(SimTime t, TraceLevel level, std::string component,
+                std::string message) {
+  if (level < level_) return;
+  records_.push_back(TraceRecord{t, level, std::move(component), std::move(message)});
+  if (mirror_ != nullptr) {
+    const TraceRecord& r = records_.back();
+    (*mirror_) << "[" << toSeconds(r.time) << "s] " << traceLevelName(r.level)
+               << " " << r.component << ": " << r.message << "\n";
+  }
+}
+
+std::size_t Trace::countContaining(std::string_view needle) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.message.find(needle) != std::string::npos) ++n;
+  }
+  return n;
+}
+
+std::string_view traceLevelName(TraceLevel level) {
+  switch (level) {
+    case TraceLevel::kDebug: return "DBG";
+    case TraceLevel::kInfo: return "INF";
+    case TraceLevel::kWarn: return "WRN";
+    case TraceLevel::kError: return "ERR";
+    case TraceLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace softqos::sim

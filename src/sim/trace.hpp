@@ -1,0 +1,54 @@
+// Lightweight component-tagged trace log for simulations.
+//
+// Tracing is off by default; tests and examples enable it per level. Records
+// are retained in memory so tests can assert on emitted events.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace softqos::sim {
+
+enum class TraceLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// One trace record: when, who, what.
+struct TraceRecord {
+  SimTime time = 0;
+  TraceLevel level = TraceLevel::kInfo;
+  std::string component;
+  std::string message;
+};
+
+/// In-memory trace sink with optional mirroring to an ostream.
+class Trace {
+ public:
+  /// Records at or above `level` are retained; below it they are dropped.
+  void setLevel(TraceLevel level) { level_ = level; }
+  [[nodiscard]] TraceLevel level() const { return level_; }
+
+  /// Mirror retained records to `os` (pass nullptr to stop mirroring).
+  void mirrorTo(std::ostream* os) { mirror_ = os; }
+
+  void log(SimTime t, TraceLevel level, std::string component, std::string message);
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const { return records_; }
+
+  /// Count of retained records whose message contains `needle`.
+  [[nodiscard]] std::size_t countContaining(std::string_view needle) const;
+
+  void clear() { records_.clear(); }
+
+ private:
+  TraceLevel level_ = TraceLevel::kOff;
+  std::ostream* mirror_ = nullptr;
+  std::vector<TraceRecord> records_;
+};
+
+/// Short label for a trace level ("DBG", "INF", ...).
+std::string_view traceLevelName(TraceLevel level);
+
+}  // namespace softqos::sim

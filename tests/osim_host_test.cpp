@@ -1,0 +1,269 @@
+// Host facilities: memory model, message queues, sockets.
+#include <gtest/gtest.h>
+
+#include "osim/host.hpp"
+
+namespace softqos::osim {
+namespace {
+
+struct Fixture : ::testing::Test {
+  sim::Simulation s{1};
+  Host host{s, "h", HostConfig{.memoryPages = 1000,
+                               .socketCapacityBytes = 1000,
+                               .msgQueueLatency = sim::usec(50)}};
+};
+
+// ---- Memory model ----
+
+TEST_F(Fixture, MemoryFitsWhenUnderCommitted) {
+  auto a = host.spawn("a", [](Process&) {});
+  auto b = host.spawn("b", [](Process&) {});
+  a->setWorkingSetPages(300);
+  b->setWorkingSetPages(400);
+  EXPECT_EQ(a->residentPages(), 300);
+  EXPECT_EQ(b->residentPages(), 400);
+  EXPECT_EQ(host.memory().freePages(), 300);
+}
+
+TEST_F(Fixture, OverCommitScalesProportionally) {
+  auto a = host.spawn("a", [](Process&) {});
+  auto b = host.spawn("b", [](Process&) {});
+  a->setWorkingSetPages(1500);
+  b->setWorkingSetPages(500);
+  EXPECT_EQ(a->residentPages(), 750);
+  EXPECT_EQ(b->residentPages(), 250);
+  EXPECT_EQ(host.memory().freePages(), 0);
+}
+
+TEST_F(Fixture, MemoryCapLimitsResidency) {
+  auto a = host.spawn("a", [](Process&) {});
+  a->setWorkingSetPages(800);
+  a->setMemoryCapPages(200);
+  EXPECT_EQ(a->residentPages(), 200);
+  a->setMemoryCapPages(-1);
+  EXPECT_EQ(a->residentPages(), 800);
+}
+
+TEST_F(Fixture, SlowdownGrowsWithShortfall) {
+  auto a = host.spawn("a", [](Process&) {});
+  a->setWorkingSetPages(400);
+  EXPECT_EQ(host.memory().slowdownPercent(*a), 100);
+  a->setMemoryCapPages(200);  // half resident -> 2x slowdown
+  EXPECT_EQ(host.memory().slowdownPercent(*a), 200);
+  a->setMemoryCapPages(10);
+  EXPECT_EQ(host.memory().slowdownPercent(*a), MemoryModel::kMaxSlowdownPct);
+}
+
+TEST_F(Fixture, NoWorkingSetMeansNoSlowdown) {
+  auto a = host.spawn("a", [](Process&) {});
+  EXPECT_EQ(host.memory().slowdownPercent(*a), 100);
+}
+
+TEST_F(Fixture, PagingStretchesComputeWallTime) {
+  auto a = host.spawn("a", [](Process& p) {
+    p.compute(sim::msec(100), [&p] { p.exitProcess(); });
+  });
+  a->setWorkingSetPages(400);
+  a->setMemoryCapPages(200);  // 2x slowdown
+  s.runAll();
+  EXPECT_EQ(a->cpuTime(), sim::msec(100));
+  EXPECT_GE(s.now(), sim::msec(195));  // ~200ms wall
+}
+
+TEST_F(Fixture, TerminatedProcessReleasesMemory) {
+  auto a = host.spawn("a", [](Process&) {});
+  a->setWorkingSetPages(900);
+  EXPECT_EQ(host.memory().freePages(), 100);
+  host.kill(a->pid());
+  EXPECT_EQ(host.memory().freePages(), 1000);
+}
+
+// ---- Message queues ----
+
+TEST_F(Fixture, MessageQueueDeliversAfterLatency) {
+  auto& q = host.msgQueue("k");
+  std::string got;
+  sim::SimTime at = -1;
+  q.setReceiver([&](const MessageQueue::Datagram& d) {
+    got = d.payload;
+    at = s.now();
+  });
+  q.send("hello", 7);
+  s.runAll();
+  EXPECT_EQ(got, "hello");
+  EXPECT_EQ(at, sim::usec(50));
+}
+
+TEST_F(Fixture, MessageQueueBuffersUntilReceiverInstalled) {
+  auto& q = host.msgQueue("k");
+  q.send("a");
+  q.send("b");
+  s.runAll();
+  EXPECT_EQ(q.depth(), 2u);
+  std::vector<std::string> got;
+  q.setReceiver([&](const MessageQueue::Datagram& d) { got.push_back(d.payload); });
+  EXPECT_EQ(got, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(q.delivered(), 2u);
+}
+
+TEST_F(Fixture, MessageQueueIsNamedSingleton) {
+  EXPECT_EQ(&host.msgQueue("x"), &host.msgQueue("x"));
+  EXPECT_NE(&host.msgQueue("x"), &host.msgQueue("y"));
+}
+
+TEST(MessageQueueLimits, FullQueueDrops) {
+  sim::Simulation s;
+  MessageQueue q(s, "k", sim::usec(10), 2);
+  EXPECT_TRUE(q.send("1"));
+  EXPECT_TRUE(q.send("2"));
+  EXPECT_FALSE(q.send("3"));
+  EXPECT_EQ(q.dropped(), 1u);
+}
+
+TEST_F(Fixture, SenderPidIsCarried) {
+  auto& q = host.msgQueue("k");
+  std::uint32_t sender = 0;
+  q.setReceiver([&](const MessageQueue::Datagram& d) { sender = d.senderPid; });
+  q.send("x", 42);
+  s.runAll();
+  EXPECT_EQ(sender, 42u);
+}
+
+// ---- Sockets ----
+
+TEST_F(Fixture, LocalPairDeliversMessages) {
+  auto a = host.createSocket();
+  auto b = host.createSocket();
+  host.connectLocal(a, b, sim::usec(20));
+  Message got;
+  auto reader = host.spawn("r", [&](Process& p) {
+    b->recv(p, [&](Message m) { got = std::move(m); });
+  });
+  Message m;
+  m.kind = "frame";
+  m.seq = 3;
+  m.bytes = 100;
+  a->send(std::move(m));
+  s.runUntil(sim::msec(1));
+  EXPECT_EQ(got.kind, "frame");
+  EXPECT_EQ(got.seq, 3u);
+}
+
+TEST_F(Fixture, RecvBlocksUntilDataArrives) {
+  auto a = host.createSocket();
+  auto b = host.createSocket();
+  host.connectLocal(a, b);
+  sim::SimTime recvAt = -1;
+  auto reader = host.spawn("r", [&](Process& p) {
+    b->recv(p, [&](Message) { recvAt = s.now(); });
+  });
+  s.runUntil(sim::msec(10));
+  EXPECT_EQ(recvAt, -1);
+  EXPECT_EQ(reader->state(), ProcState::kBlocked);
+  Message m;
+  m.bytes = 10;
+  a->send(std::move(m));
+  s.runUntil(sim::msec(11));
+  EXPECT_GE(recvAt, sim::msec(10));
+}
+
+TEST_F(Fixture, BufferBytesTrackOccupancy) {
+  auto sock = host.createSocket();
+  Message m;
+  m.bytes = 300;
+  sock->deliver(m);
+  sock->deliver(m);
+  EXPECT_EQ(sock->bufferBytes(), 600);
+  EXPECT_EQ(sock->queuedMessages(), 2u);
+}
+
+TEST_F(Fixture, OverflowingBufferDrops) {
+  auto sock = host.createSocket();  // capacity 1000
+  Message m;
+  m.bytes = 400;
+  sock->deliver(m);
+  sock->deliver(m);
+  sock->deliver(m);  // 1200 > 1000: dropped
+  EXPECT_EQ(sock->bufferBytes(), 800);
+  EXPECT_EQ(sock->dropCount(), 1u);
+}
+
+TEST_F(Fixture, RecvDrainsBuffer) {
+  auto sock = host.createSocket();
+  Message m;
+  m.bytes = 500;
+  sock->deliver(m);
+  auto reader = host.spawn("r", [&](Process& p) {
+    sock->recv(p, [](Message) {});
+  });
+  s.runUntil(sim::msec(1));
+  EXPECT_EQ(sock->bufferBytes(), 0);
+}
+
+TEST_F(Fixture, ClosedSocketYieldsEof) {
+  auto sock = host.createSocket();
+  std::string kind;
+  auto reader = host.spawn("r", [&](Process& p) {
+    sock->recv(p, [&](Message m) { kind = m.kind; });
+  });
+  s.runUntil(sim::msec(1));
+  sock->close();
+  s.runUntil(sim::msec(2));
+  EXPECT_EQ(kind, "eof");
+}
+
+TEST_F(Fixture, SendOnUnpluggedSocketCountsDrop) {
+  auto sock = host.createSocket();
+  Message m;
+  sock->send(std::move(m));
+  EXPECT_EQ(sock->sendDropCount(), 1u);
+}
+
+TEST_F(Fixture, DaemonReceiverBypassesBuffer) {
+  auto sock = host.createSocket();
+  int got = 0;
+  sock->setDaemonReceiver([&](Message) { ++got; });
+  Message m;
+  m.bytes = 5000;  // above capacity, but daemon delivery does not buffer
+  sock->deliver(m);
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(sock->bufferBytes(), 0);
+}
+
+TEST_F(Fixture, DaemonReceiverFlushesBacklog) {
+  auto sock = host.createSocket();
+  Message m;
+  m.bytes = 100;
+  sock->deliver(m);
+  sock->deliver(m);
+  int got = 0;
+  sock->setDaemonReceiver([&](Message) { ++got; });
+  EXPECT_EQ(got, 2);
+  EXPECT_EQ(sock->bufferBytes(), 0);
+}
+
+TEST_F(Fixture, KilledReaderDoesNotReceive) {
+  auto sock = host.createSocket();
+  bool received = false;
+  auto reader = host.spawn("r", [&](Process& p) {
+    sock->recv(p, [&](Message) { received = true; });
+  });
+  s.runUntil(sim::msec(1));
+  host.kill(reader->pid());
+  Message m;
+  m.bytes = 10;
+  sock->deliver(m);
+  s.runUntil(sim::msec(5));
+  EXPECT_FALSE(received);
+}
+
+TEST_F(Fixture, SocketFdsAreUniqueAndLookupWorks) {
+  auto a = host.createSocket();
+  auto b = host.createSocket();
+  EXPECT_NE(a->fd(), b->fd());
+  EXPECT_EQ(host.socket(a->fd()), a.get());
+  EXPECT_EQ(host.socket(-1), nullptr);
+}
+
+}  // namespace
+}  // namespace softqos::osim

@@ -1,0 +1,190 @@
+// Process behaviour semantics: compute/sleep/signal/exit, kill, state
+// transitions, and accounting.
+#include <gtest/gtest.h>
+
+#include "osim/host.hpp"
+
+namespace softqos::osim {
+namespace {
+
+struct Fixture : ::testing::Test {
+  sim::Simulation s{1};
+  Host host{s, "h"};
+};
+
+TEST_F(Fixture, ComputeConsumesExactCpuTime) {
+  auto p = host.spawn("p", [](Process& self) {
+    self.compute(sim::msec(30), [&self] { self.exitProcess(); });
+  });
+  s.runAll();
+  EXPECT_TRUE(p->terminated());
+  EXPECT_EQ(p->cpuTime(), sim::msec(30));
+}
+
+TEST_F(Fixture, UncontendedComputeTakesWallClockEqualCpu) {
+  sim::SimTime done = -1;
+  host.spawn("p", [&](Process& self) {
+    self.compute(sim::msec(25), [&] { done = s.now(); });
+  });
+  s.runUntil(sim::sec(1));
+  EXPECT_EQ(done, sim::msec(25));
+}
+
+TEST_F(Fixture, SleepTakesWallTimeWithoutCpu) {
+  sim::SimTime done = -1;
+  auto p = host.spawn("p", [&](Process& self) {
+    self.sleepFor(sim::msec(40), [&] { done = s.now(); });
+  });
+  s.runUntil(sim::sec(1));
+  EXPECT_EQ(done, sim::msec(40));
+  EXPECT_EQ(p->cpuTime(), 0);
+}
+
+TEST_F(Fixture, ComputeThenSleepChains) {
+  sim::SimTime done = -1;
+  host.spawn("p", [&](Process& self) {
+    self.compute(sim::msec(10), [&self, &done, this] {
+      self.sleepFor(sim::msec(10), [&done, this] { done = s.now(); });
+    });
+  });
+  s.runUntil(sim::sec(1));
+  EXPECT_EQ(done, sim::msec(20));
+}
+
+TEST_F(Fixture, ZeroComputeContinuesNextTurn) {
+  bool ran = false;
+  host.spawn("p", [&](Process& self) {
+    self.compute(0, [&] { ran = true; });
+  });
+  s.runUntil(sim::msec(1));
+  EXPECT_TRUE(ran);
+}
+
+TEST_F(Fixture, NegativeComputeThrows) {
+  host.spawn("p", [&](Process& self) {
+    EXPECT_THROW(self.compute(-1, [] {}), std::invalid_argument);
+  });
+}
+
+TEST_F(Fixture, SignalWakesBlockedProcess) {
+  bool woke = false;
+  auto p = host.spawn("p", [&](Process& self) {
+    self.waitSignal([&] { woke = true; });
+  });
+  s.runUntil(sim::msec(1));
+  EXPECT_EQ(p->state(), ProcState::kBlocked);
+  p->signal();
+  s.runUntil(sim::msec(2));
+  EXPECT_TRUE(woke);
+}
+
+TEST_F(Fixture, SignalBeforeWaitIsLatched) {
+  auto p = host.spawn("p", [](Process& self) {
+    self.sleepFor(sim::msec(10), [] {});
+  });
+  p->signal();  // delivered while sleeping, not waiting
+  bool woke = false;
+  s.runUntil(sim::msec(11));
+  p->waitSignal([&] { woke = true; });
+  s.runUntil(sim::msec(12));
+  EXPECT_TRUE(woke);
+}
+
+TEST_F(Fixture, ExitTerminatesAndStopsChains) {
+  int steps = 0;
+  auto p = host.spawn("p", [&](Process& self) {
+    self.compute(sim::msec(1), [&, this] {
+      ++steps;
+      self.exitProcess();
+      self.compute(sim::msec(1), [&] { ++steps; });  // ignored after exit
+    });
+  });
+  s.runAll();
+  EXPECT_TRUE(p->terminated());
+  EXPECT_EQ(steps, 1);
+}
+
+TEST_F(Fixture, KillWhileRunningStopsBurst) {
+  auto p = host.spawn("p", [](Process& self) {
+    self.compute(sim::sec(10), [] {});
+  });
+  s.runUntil(sim::msec(500));
+  EXPECT_TRUE(host.kill(p->pid()));
+  s.runUntil(sim::sec(20));
+  EXPECT_TRUE(p->terminated());
+  // Partial charge only: it ran for ~500ms, not the full 10s.
+  EXPECT_LE(p->cpuTime(), sim::msec(600));
+  EXPECT_GE(p->cpuTime(), sim::msec(400));
+}
+
+TEST_F(Fixture, KillWhileSleepingCancelsWake) {
+  bool woke = false;
+  auto p = host.spawn("p", [&](Process& self) {
+    self.sleepFor(sim::msec(100), [&] { woke = true; });
+  });
+  s.runUntil(sim::msec(10));
+  host.kill(p->pid());
+  s.runUntil(sim::sec(1));
+  EXPECT_FALSE(woke);
+}
+
+TEST_F(Fixture, KillIsIdempotent) {
+  auto p = host.spawn("p", [](Process& self) { self.exitProcess(); });
+  s.runAll();
+  EXPECT_FALSE(host.kill(p->pid()));
+  EXPECT_FALSE(host.kill(9999));
+}
+
+TEST_F(Fixture, BehaviourWithoutContinuationIdles) {
+  auto p = host.spawn("idle", [](Process&) {});
+  s.runUntil(sim::sec(1));
+  EXPECT_FALSE(p->terminated());
+  EXPECT_EQ(p->state(), ProcState::kDeciding);
+}
+
+void spinLoop(Process& p) {
+  if (p.terminated()) return;
+  p.compute(sim::msec(10), [&p] { spinLoop(p); });
+}
+
+TEST_F(Fixture, TwoProcessesShareCpuOverTime) {
+  auto a = host.spawn("a", [](Process& self) { spinLoop(self); });
+  auto b = host.spawn("b", [](Process& self) { spinLoop(self); });
+  s.runUntil(sim::sec(10));
+  const double total = sim::toSeconds(a->cpuTime() + b->cpuTime());
+  EXPECT_NEAR(total, 10.0, 0.1);  // CPU fully busy
+  EXPECT_NEAR(sim::toSeconds(a->cpuTime()), 5.0, 1.0);  // roughly fair
+}
+
+TEST_F(Fixture, StateSequenceThroughLifecycle) {
+  auto p = host.spawn("p", [](Process& self) {
+    self.compute(sim::msec(5), [&self] {
+      self.sleepFor(sim::msec(5), [&self] { self.exitProcess(); });
+    });
+  });
+  EXPECT_EQ(p->state(), ProcState::kRunning);  // dispatched immediately
+  s.runUntil(sim::msec(6));
+  EXPECT_EQ(p->state(), ProcState::kSleeping);
+  s.runUntil(sim::msec(20));
+  EXPECT_EQ(p->state(), ProcState::kTerminated);
+}
+
+TEST_F(Fixture, PidsAreUniqueAndFindWorks) {
+  auto a = host.spawn("a", [](Process&) {});
+  auto b = host.spawn("b", [](Process&) {});
+  EXPECT_NE(a->pid(), b->pid());
+  EXPECT_EQ(host.find(a->pid()), a.get());
+  EXPECT_EQ(host.find(12345), nullptr);
+  EXPECT_EQ(host.liveProcessCount(), 2u);
+}
+
+TEST_F(Fixture, ShutdownTerminatesEverything) {
+  host.spawn("a", [](Process& p) { p.compute(sim::sec(100), [] {}); });
+  host.spawn("b", [](Process& p) { p.sleepFor(sim::sec(100), [] {}); });
+  host.shutdown();
+  EXPECT_EQ(host.liveProcessCount(), 0u);
+  s.runAll();  // queue drains (no perpetual events left)
+}
+
+}  // namespace
+}  // namespace softqos::osim

@@ -1,0 +1,352 @@
+// Tests for the discrete-event kernel: event queue ordering/cancellation,
+// simulation clock semantics, random streams, metrics and tracing.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/csv.hpp"
+#include "sim/simulation.hpp"
+
+namespace softqos::sim {
+namespace {
+
+// ---- EventQueue ----
+
+TEST(EventQueue, FiresInTimeOrder) {
+  Simulation s;
+  std::vector<int> order;
+  s.at(usec(30), [&] { order.push_back(3); });
+  s.at(usec(10), [&] { order.push_back(1); });
+  s.at(usec(20), [&] { order.push_back(2); });
+  s.runAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesFireInInsertionOrder) {
+  Simulation s;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    s.at(usec(5), [&order, i] { order.push_back(i); });
+  }
+  s.runAll();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  Simulation s;
+  bool fired = false;
+  const EventId id = s.at(usec(10), [&] { fired = true; });
+  EXPECT_TRUE(s.cancel(id));
+  s.runAll();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelReturnsFalseForFiredEvent) {
+  Simulation s;
+  const EventId id = s.at(usec(10), [] {});
+  s.runAll();
+  EXPECT_FALSE(s.cancel(id));
+}
+
+TEST(EventQueue, DoubleCancelReturnsFalse) {
+  Simulation s;
+  const EventId id = s.at(usec(10), [] {});
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));
+  s.runAll();
+}
+
+TEST(EventQueue, CancelOfInvalidIdIsSafe) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(kInvalidEvent));
+  EXPECT_FALSE(q.cancel(12345));
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  const EventId a = q.schedule(1, [] {});
+  q.schedule(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.pop();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId a = q.schedule(1, [] {});
+  q.schedule(5, [] {});
+  q.cancel(a);
+  EXPECT_EQ(q.nextTime(), 5);
+}
+
+TEST(EventQueue, IsPendingLifecycle) {
+  EventQueue q;
+  const EventId a = q.schedule(1, [] {});
+  EXPECT_TRUE(q.isPending(a));
+  q.pop();
+  EXPECT_FALSE(q.isPending(a));
+}
+
+// ---- Simulation ----
+
+TEST(Simulation, ClockAdvancesToEventTime) {
+  Simulation s;
+  SimTime seen = -1;
+  s.after(msec(5), [&] { seen = s.now(); });
+  s.runAll();
+  EXPECT_EQ(seen, msec(5));
+  EXPECT_EQ(s.now(), msec(5));
+}
+
+TEST(Simulation, RunUntilExecutesInclusiveBoundary) {
+  Simulation s;
+  int fired = 0;
+  s.at(msec(10), [&] { ++fired; });
+  s.at(msec(11), [&] { ++fired; });
+  s.runUntil(msec(10));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), msec(10));
+  s.runAll();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, RunUntilAdvancesClockWhenIdle) {
+  Simulation s;
+  s.runUntil(sec(3));
+  EXPECT_EQ(s.now(), sec(3));
+}
+
+TEST(Simulation, EventsCanScheduleEvents) {
+  Simulation s;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) s.after(usec(1), chain);
+  };
+  s.after(usec(1), chain);
+  s.runAll();
+  EXPECT_EQ(depth, 5);
+}
+
+TEST(Simulation, NegativeDelayThrows) {
+  Simulation s;
+  EXPECT_THROW(s.after(-1, [] {}), std::invalid_argument);
+}
+
+TEST(Simulation, SchedulingInPastThrows) {
+  Simulation s;
+  s.after(msec(5), [] {});
+  s.runAll();
+  EXPECT_THROW(s.at(msec(1), [] {}), std::invalid_argument);
+}
+
+TEST(Simulation, StepExecutesExactlyOne) {
+  Simulation s;
+  int fired = 0;
+  s.after(1, [&] { ++fired; });
+  s.after(2, [&] { ++fired; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Simulation, ZeroDelayEventFiresAtCurrentTime) {
+  Simulation s;
+  s.after(msec(1), [&] {
+    s.after(0, [&] { EXPECT_EQ(s.now(), msec(1)); });
+  });
+  s.runAll();
+}
+
+// ---- RandomStream ----
+
+TEST(RandomStream, SameSeedSameNameIsDeterministic) {
+  RandomStream a(42, "x");
+  RandomStream b(42, "x");
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform01(), b.uniform01());
+}
+
+TEST(RandomStream, DifferentNamesDecorrelate) {
+  RandomStream a(42, "x");
+  RandomStream b(42, "y");
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform01() == b.uniform01()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RandomStream, Uniform01StaysInRange) {
+  RandomStream r(1, "u");
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RandomStream, UniformIntCoversInclusiveRange) {
+  RandomStream r(1, "i");
+  bool sawLo = false;
+  bool sawHi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniformInt(1, 4);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 4);
+    sawLo |= v == 1;
+    sawHi |= v == 4;
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(RandomStream, ExponentialMeanIsApproximatelyRight) {
+  RandomStream r(7, "e");
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(10.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.5);
+}
+
+TEST(RandomStream, ExpGapIsAtLeastOneTick) {
+  RandomStream r(7, "g");
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(r.expGap(2), 1);
+}
+
+TEST(RandomStream, ChanceExtremes) {
+  RandomStream r(7, "c");
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+// ---- Metrics ----
+
+TEST(Summary, WelfordMatchesKnownValues) {
+  Summary s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.01);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Summary, EmptySummaryIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(TimeSeries, SummaryFromSkipsWarmup) {
+  TimeSeries ts;
+  ts.record(sec(1), 100.0);
+  ts.record(sec(2), 10.0);
+  ts.record(sec(3), 20.0);
+  EXPECT_DOUBLE_EQ(ts.summaryFrom(sec(2)).mean(), 15.0);
+}
+
+TEST(TimeSeries, MeanInWindowIsHalfOpen) {
+  TimeSeries ts;
+  ts.record(sec(1), 1.0);
+  ts.record(sec(2), 2.0);
+  ts.record(sec(3), 3.0);
+  EXPECT_DOUBLE_EQ(ts.meanInWindow(sec(1), sec(3)), 1.5);
+}
+
+TEST(MetricRegistry, CountersAndSeries) {
+  MetricRegistry m;
+  m.count("a");
+  m.count("a", 4);
+  EXPECT_EQ(m.counter("a"), 5);
+  EXPECT_EQ(m.counter("missing"), 0);
+  m.sample("s", sec(1), 2.5);
+  ASSERT_NE(m.series("s"), nullptr);
+  EXPECT_EQ(m.series("s")->samples().size(), 1u);
+  EXPECT_EQ(m.series("missing"), nullptr);
+  m.clear();
+  EXPECT_EQ(m.counter("a"), 0);
+}
+
+// ---- CSV export ----
+
+TEST(Csv, FieldQuoting) {
+  EXPECT_EQ(csvField("plain"), "plain");
+  EXPECT_EQ(csvField("a,b"), "\"a,b\"");
+  EXPECT_EQ(csvField("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, SingleSeries) {
+  TimeSeries ts;
+  ts.record(sec(1), 30.0);
+  ts.record(sec(2), 15.5);
+  EXPECT_EQ(toCsv(ts, "fps"), "time_s,fps\n1,30\n2,15.5\n");
+}
+
+TEST(Csv, RegistryLongFormat) {
+  MetricRegistry m;
+  m.sample("a", sec(1), 1.0);
+  m.sample("b", sec(2), 2.0);
+  const std::string csv = seriesCsv(m);
+  EXPECT_NE(csv.find("series,time_s,value\n"), std::string::npos);
+  EXPECT_NE(csv.find("a,1,1\n"), std::string::npos);
+  EXPECT_NE(csv.find("b,2,2\n"), std::string::npos);
+}
+
+TEST(Csv, Counters) {
+  MetricRegistry m;
+  m.count("boosts", 7);
+  EXPECT_EQ(countersCsv(m), "counter,value\nboosts,7\n");
+}
+
+// ---- Trace ----
+
+TEST(Trace, LevelFiltering) {
+  Trace t;
+  t.setLevel(TraceLevel::kWarn);
+  t.log(0, TraceLevel::kInfo, "c", "dropped");
+  t.log(0, TraceLevel::kWarn, "c", "kept");
+  t.log(0, TraceLevel::kError, "c", "kept too");
+  EXPECT_EQ(t.records().size(), 2u);
+}
+
+TEST(Trace, OffDropsEverything) {
+  Trace t;  // default level kOff
+  t.log(0, TraceLevel::kError, "c", "x");
+  EXPECT_TRUE(t.records().empty());
+}
+
+TEST(Trace, CountContaining) {
+  Trace t;
+  t.setLevel(TraceLevel::kDebug);
+  t.log(0, TraceLevel::kInfo, "a", "boost pid 3");
+  t.log(0, TraceLevel::kInfo, "a", "boost pid 4");
+  t.log(0, TraceLevel::kInfo, "a", "decay pid 3");
+  EXPECT_EQ(t.countContaining("boost"), 2u);
+}
+
+TEST(Simulation, TraceHelpersStampSimTime) {
+  Simulation s;
+  s.trace().setLevel(TraceLevel::kDebug);
+  s.after(msec(7), [&] { s.info("comp", "hello"); });
+  s.runAll();
+  ASSERT_EQ(s.trace().records().size(), 1u);
+  EXPECT_EQ(s.trace().records()[0].time, msec(7));
+  EXPECT_EQ(s.trace().records()[0].component, "comp");
+}
+
+TEST(Simulation, NamedStreamsDeriveFromSeed) {
+  Simulation a(5);
+  Simulation b(5);
+  RandomStream ra = a.stream("n");
+  RandomStream rb = b.stream("n");
+  EXPECT_DOUBLE_EQ(ra.uniform01(), rb.uniform01());
+}
+
+}  // namespace
+}  // namespace softqos::sim

@@ -113,6 +113,63 @@ void BM_TwoPatternJoin(benchmark::State& state) {
 }
 BENCHMARK(BM_TwoPatternJoin)->Arg(16)->Arg(128)->Arg(1024);
 
+/// Agenda-maintenance cost under churn: K facts asserted then retracted
+/// against N rules. With incremental matching the per-delta cost is the
+/// alpha filter over affected rules plus touched activations — independent
+/// of working-memory size (the 1024 resident facts are never re-scanned).
+void BM_IncrementalChurn(benchmark::State& state) {
+  InferenceEngine e;
+  populate(e, static_cast<int>(state.range(0)), 1024);
+  e.run();  // drain
+  const int kBatch = 16;
+  std::int64_t next = 1 << 20;
+  for (auto _ : state) {
+    FactId ids[kBatch];
+    for (int i = 0; i < kBatch; ++i) {
+      ids[i] = e.facts().assertFact(
+          "metric", {{"pid", Value::integer(next++)},
+                     {"kind", Value::integer(i % 97)}});
+    }
+    benchmark::DoNotOptimize(e.run());
+    for (int i = 0; i < kBatch; ++i) e.facts().retract(ids[i]);
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " rules, batch " +
+                 std::to_string(kBatch));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kBatch);
+}
+BENCHMARK(BM_IncrementalChurn)->Arg(16)->Arg(64)->Arg(256);
+
+/// Worst case for the incremental design: churn on a template that appears
+/// NEGATED in every rule. Each such delta forces a full re-derivation of
+/// every affected rule (alpha granularity is per rule, not per activation),
+/// so this is where the old full re-match cost resurfaces — on record here.
+void BM_NegatedChurn(benchmark::State& state) {
+  InferenceEngine e;
+  e.registerFunction("noop", [](const std::vector<Value>&) {});
+  const int rules = static_cast<int>(state.range(0));
+  std::string text;
+  for (int i = 0; i < rules; ++i) {
+    text += "(defrule neg-" + std::to_string(i) +
+            " (metric (kind " + std::to_string(i % 97) + ") (pid ?p))"
+            " (not (mute (pid ?p))) => (call noop ?p))\n";
+  }
+  loadRules(e, text);
+  for (int i = 0; i < 256; ++i) {
+    e.facts().assertFact("metric", {{"pid", Value::integer(i)},
+                                    {"kind", Value::integer(i % 97)}});
+  }
+  e.run();  // drain
+  std::int64_t next = 1 << 20;
+  for (auto _ : state) {
+    const FactId id = e.facts().assertFact(
+        "mute", {{"pid", Value::integer(next++)}});
+    e.facts().retract(id);
+  }
+  state.SetLabel(std::to_string(rules) + " negated rules, 256 facts");
+}
+BENCHMARK(BM_NegatedChurn)->Arg(4)->Arg(16)->Arg(64);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -250,13 +250,15 @@ void QoSDomainManager::runDiagnosis(std::uint64_t escalationId,
 
 void QoSDomainManager::retractEscalationFacts(std::uint64_t escalationId) {
   const Value idValue = Value::integer(static_cast<std::int64_t>(escalationId));
+  std::vector<rules::FactId> toRetract;
   for (const char* tmpl : {"escalation", "server-stats", "net-stats"}) {
-    std::vector<rules::FactId> toRetract;
-    for (const rules::Fact* f : engine_.facts().byTemplate(tmpl)) {
-      const Value* v = f->slot("id");
-      if (v != nullptr && *v == idValue) toRetract.push_back(f->id);
-    }
+    engine_.facts().forEach(tmpl, [&](const rules::Fact& f) {
+      const Value* v = f.slot("id");
+      if (v != nullptr && *v == idValue) toRetract.push_back(f.id);
+      return true;
+    });
     for (const rules::FactId id : toRetract) engine_.facts().retract(id);
+    toRetract.clear();
   }
 }
 

@@ -184,14 +184,16 @@ void QoSHostManager::setupRpcHandlers() {
 
 void QoSHostManager::retractSessionFacts(std::uint32_t pid) {
   const Value pidValue = Value::integer(pid);
+  std::vector<rules::FactId> toRetract;
   for (const char* tmpl :
        {"violation", "cleared", "metric", "proc-stat", "alloc-state"}) {
-    std::vector<rules::FactId> toRetract;
-    for (const rules::Fact* f : engine_.facts().byTemplate(tmpl)) {
-      const Value* v = f->slot("pid");
-      if (v != nullptr && *v == pidValue) toRetract.push_back(f->id);
-    }
+    engine_.facts().forEach(tmpl, [&](const rules::Fact& f) {
+      const Value* v = f.slot("pid");
+      if (v != nullptr && *v == pidValue) toRetract.push_back(f.id);
+      return true;
+    });
     for (const rules::FactId id : toRetract) engine_.facts().retract(id);
+    toRetract.clear();
   }
 }
 
@@ -236,12 +238,22 @@ void QoSHostManager::handleReport(const instrument::ViolationReport& report) {
     slots.emplace("rt", Value::integer(cpuManager_.rtShare(report.pid)));
     engine_.facts().assertFact("alloc-state", std::move(slots));
   }
-  engine_.facts().retractTemplate("host-stat");
   {
-    rules::SlotMap slots;
-    slots.emplace("name", Value::symbol("cpu_load"));
-    slots.emplace("value", Value::real(host_.loadAverage()));
-    engine_.facts().assertFact("host-stat", std::move(slots));
+    // Refresh the host-stat fact in place: a modify publishes a retract +
+    // assert delta pair (or nothing when the load is unchanged), instead of
+    // the old retract-template + reassert churn that forced the engine to
+    // re-derive every host-stat activation per report.
+    const Value load = Value::real(host_.loadAverage());
+    const rules::Fact* stat = engine_.facts().findWhere(
+        "host-stat", {{"name", Value::symbol("cpu_load")}});
+    if (stat != nullptr) {
+      engine_.facts().modify(stat->id, {{"value", load}});
+    } else {
+      rules::SlotMap slots;
+      slots.emplace("name", Value::symbol("cpu_load"));
+      slots.emplace("value", load);
+      engine_.facts().assertFact("host-stat", std::move(slots));
+    }
   }
 
   engine_.run();

@@ -5,24 +5,63 @@
 
 namespace softqos::rules {
 
-InferenceEngine::InferenceEngine(std::string name) : name_(std::move(name)) {}
+InferenceEngine::InferenceEngine(std::string name) : name_(std::move(name)) {
+  // The agenda is maintained incrementally off the working-memory delta
+  // stream; all mutation paths (manager code, RHS actions) flow through it.
+  facts_.setDeltaListener([this](const FactDelta& delta) { onDelta(delta); });
+}
+
+void InferenceEngine::indexRule(const Rule& rule) {
+  std::set<std::string> positive;
+  std::set<std::string> negated;
+  for (const Pattern& pattern : rule.lhs) {
+    (pattern.negated ? negated : positive).insert(pattern.templateName);
+  }
+  for (const std::string& tmpl : positive) {
+    positiveByTemplate_[tmpl].push_back(&rule);
+  }
+  for (const std::string& tmpl : negated) {
+    negatedByTemplate_[tmpl].push_back(&rule);
+  }
+}
+
+void InferenceEngine::unindexRule(const Rule& rule) {
+  for (const Pattern& pattern : rule.lhs) {
+    auto& index = pattern.negated ? negatedByTemplate_ : positiveByTemplate_;
+    const auto it = index.find(pattern.templateName);
+    if (it == index.end()) continue;
+    auto& entries = it->second;
+    entries.erase(std::remove(entries.begin(), entries.end(), &rule),
+                  entries.end());
+    if (entries.empty()) index.erase(it);
+  }
+}
 
 void InferenceEngine::addRule(Rule rule) {
-  // Replacing a rule clears its refraction marks so the fresh definition can
-  // re-fire on facts the old one already consumed.
-  const std::string prefix = rule.name + "#";
-  for (auto it = firedKeys_.begin(); it != firedKeys_.end();) {
-    if (it->compare(0, prefix.size(), prefix) == 0) {
-      it = firedKeys_.erase(it);
-    } else {
-      ++it;
-    }
+  const std::string ruleName = rule.name;
+  const auto existing = rules_.find(ruleName);
+  if (existing != rules_.end()) {
+    // Replacing a rule clears its refraction marks — a single O(1) erase,
+    // fired tuples are keyed per rule — so the fresh definition can re-fire
+    // on facts the old one already consumed.
+    removeAgendaForRule(&existing->second);
+    firedByRule_.erase(ruleName);
+    unindexRule(existing->second);
   }
-  rules_[rule.name] = std::move(rule);
+  Rule& stored = rules_[ruleName];
+  stored = std::move(rule);
+  indexRule(stored);
+  recomputeRule(stored);
 }
 
 bool InferenceEngine::removeRule(const std::string& name) {
-  return rules_.erase(name) != 0;
+  const auto it = rules_.find(name);
+  if (it == rules_.end()) return false;
+  removeAgendaForRule(&it->second);
+  firedByRule_.erase(name);
+  unindexRule(it->second);
+  rules_.erase(it);
+  return true;
 }
 
 bool InferenceEngine::hasRule(const std::string& name) const {
@@ -44,8 +83,9 @@ void InferenceEngine::registerFunction(const std::string& name,
   functions_[name] = std::move(fn);
 }
 
-void InferenceEngine::matchFrom(const Rule& rule, std::size_t position,
-                                Bindings bindings, std::vector<FactId> factIds,
+void InferenceEngine::matchScan(const Rule& rule, std::size_t position,
+                                Bindings bindings, FactTuple factIds,
+                                const Fact* pinned, std::size_t pinnedPos,
                                 std::vector<Activation>& out) const {
   if (position == rule.lhs.size()) {
     for (const ConditionTest& test : rule.tests) {
@@ -53,13 +93,9 @@ void InferenceEngine::matchFrom(const Rule& rule, std::size_t position,
     }
     Activation act;
     act.rule = &rule;
+    for (const FactId id : factIds) act.recency = std::max(act.recency, id);
     act.factIds = std::move(factIds);
     act.bindings = std::move(bindings);
-    act.key = rule.name + "#";
-    for (const FactId id : act.factIds) {
-      act.recency = std::max(act.recency, id);
-      act.key += std::to_string(id) + ",";
-    }
     out.push_back(std::move(act));
     return;
   }
@@ -67,61 +103,184 @@ void InferenceEngine::matchFrom(const Rule& rule, std::size_t position,
   const Pattern& pattern = rule.lhs[position];
   if (pattern.negated) {
     // (not ...): succeeds only if no live fact matches under these bindings.
-    for (const Fact* fact : facts_.byTemplate(pattern.templateName)) {
+    bool blocked = false;
+    facts_.forEach(pattern.templateName, [&](const Fact& fact) {
       Bindings scratch = bindings;
-      if (matchPattern(pattern, *fact, scratch)) return;
-    }
+      if (matchPattern(pattern, fact, scratch)) {
+        blocked = true;
+        return false;
+      }
+      return true;
+    });
+    if (blocked) return;
     factIds.push_back(kNoFact);
-    matchFrom(rule, position + 1, std::move(bindings), std::move(factIds), out);
+    matchScan(rule, position + 1, std::move(bindings), std::move(factIds),
+              pinned, pinnedPos, out);
     return;
   }
 
-  for (const Fact* fact : facts_.byTemplate(pattern.templateName)) {
+  if (pinned != nullptr && position == pinnedPos) {
     Bindings scratch = bindings;
-    if (!matchPattern(pattern, *fact, scratch)) continue;
-    std::vector<FactId> ids = factIds;
-    ids.push_back(fact->id);
-    matchFrom(rule, position + 1, std::move(scratch), std::move(ids), out);
+    if (!matchPattern(pattern, *pinned, scratch)) return;
+    factIds.push_back(pinned->id);
+    matchScan(rule, position + 1, std::move(scratch), std::move(factIds),
+              pinned, pinnedPos, out);
+    return;
+  }
+
+  facts_.forEach(pattern.templateName, [&](const Fact& fact) {
+    Bindings scratch = bindings;
+    if (!matchPattern(pattern, fact, scratch)) return true;
+    FactTuple ids = factIds;
+    ids.push_back(fact.id);
+    matchScan(rule, position + 1, std::move(scratch), std::move(ids), pinned,
+              pinnedPos, out);
+    return true;
+  });
+}
+
+void InferenceEngine::seedMatch(const Rule& rule, const Fact& fact) {
+  // Any activation created by this delta must hold the new fact at one of
+  // the rule's positive positions; pin each candidate position in turn.
+  for (std::size_t i = 0; i < rule.lhs.size(); ++i) {
+    const Pattern& pattern = rule.lhs[i];
+    if (pattern.negated || pattern.templateName != fact.templateName) continue;
+    Bindings alpha;
+    if (!matchPattern(pattern, fact, alpha)) continue;  // cheap alpha reject
+    std::vector<Activation> found;
+    matchScan(rule, 0, Bindings{}, FactTuple{}, &fact, i, found);
+    for (Activation& act : found) insertActivation(std::move(act));
   }
 }
 
-void InferenceEngine::matchRule(const Rule& rule,
-                                std::vector<Activation>& out) const {
-  matchFrom(rule, 0, Bindings{}, {}, out);
+void InferenceEngine::recomputeRule(const Rule& rule) {
+  removeAgendaForRule(&rule);
+  std::vector<Activation> found;
+  matchScan(rule, 0, Bindings{}, FactTuple{}, nullptr, 0, found);
+  for (Activation& act : found) insertActivation(std::move(act));
+}
+
+void InferenceEngine::insertActivation(Activation act) {
+  const auto firedIt = firedByRule_.find(act.rule->name);
+  if (firedIt != firedByRule_.end() &&
+      firedIt->second.contains(act.factIds)) {
+    return;  // refraction: this tuple already fired
+  }
+  TupleSet& tuples = agendaTuples_[act.rule];
+  if (!tuples.insert(act.factIds).second) return;  // already pending
+  for (const FactId id : act.factIds) {
+    if (id != kNoFact) agendaByFact_[id].push_back({act.rule, act.factIds});
+  }
+  agenda_.insert(std::move(act));
+}
+
+void InferenceEngine::eraseAgendaEntry(const Rule* rule,
+                                       const FactTuple& tuple) {
+  // agendaTuples_ is consulted before touching *rule: stale back references
+  // (fired activations, replaced rules) drop out here without a deref.
+  const auto it = agendaTuples_.find(rule);
+  if (it == agendaTuples_.end() || it->second.erase(tuple) == 0) return;
+  if (it->second.empty()) agendaTuples_.erase(it);
+  Activation key;
+  key.rule = rule;
+  for (const FactId id : tuple) key.recency = std::max(key.recency, id);
+  key.factIds = tuple;
+  agenda_.erase(key);
+}
+
+void InferenceEngine::removeAgendaForRule(const Rule* rule) {
+  const auto it = agendaTuples_.find(rule);
+  if (it == agendaTuples_.end()) return;
+  const TupleSet tuples = std::move(it->second);
+  agendaTuples_.erase(it);
+  for (const FactTuple& tuple : tuples) {
+    Activation key;
+    key.rule = rule;
+    for (const FactId id : tuple) key.recency = std::max(key.recency, id);
+    key.factIds = tuple;
+    agenda_.erase(key);
+  }
+}
+
+void InferenceEngine::recordFired(const Activation& act) {
+  firedByRule_[act.rule->name].insert(act.factIds);
+  for (const FactId id : act.factIds) {
+    if (id != kNoFact) {
+      firedByFact_[id].push_back({act.rule->name, act.factIds});
+    }
+  }
+}
+
+void InferenceEngine::onDelta(const FactDelta& delta) {
+  const Fact& fact = *delta.fact;
+
+  if (delta.kind == FactDelta::Kind::kAssert) {
+    // A fact matching a rule's negated pattern can invalidate existing
+    // activations; re-derive those rules wholesale. Rules that see the
+    // template only positively get the cheap seeded join.
+    const auto negIt = negatedByTemplate_.find(fact.templateName);
+    if (negIt != negatedByTemplate_.end()) {
+      for (const Rule* rule : negIt->second) recomputeRule(*rule);
+    }
+    const auto posIt = positiveByTemplate_.find(fact.templateName);
+    if (posIt != positiveByTemplate_.end()) {
+      for (const Rule* rule : posIt->second) {
+        bool alsoNegated = false;
+        for (const Pattern& pattern : rule->lhs) {
+          if (pattern.negated && pattern.templateName == fact.templateName) {
+            alsoNegated = true;
+            break;
+          }
+        }
+        if (!alsoNegated) seedMatch(*rule, fact);
+      }
+    }
+    return;
+  }
+
+  // Retract: drop pending activations that reference the dead fact.
+  const auto byFactIt = agendaByFact_.find(fact.id);
+  if (byFactIt != agendaByFact_.end()) {
+    const auto entries = std::move(byFactIt->second);
+    agendaByFact_.erase(byFactIt);
+    for (const auto& [rule, tuple] : entries) eraseAgendaEntry(rule, tuple);
+  }
+  // Refraction GC: fact ids are never reused, so fired tuples holding the
+  // dead fact can never be re-derived — drop their marks.
+  const auto firedIt = firedByFact_.find(fact.id);
+  if (firedIt != firedByFact_.end()) {
+    for (const auto& [ruleName, tuple] : firedIt->second) {
+      const auto ruleIt = firedByRule_.find(ruleName);
+      if (ruleIt != firedByRule_.end()) {
+        ruleIt->second.erase(tuple);
+        if (ruleIt->second.empty()) firedByRule_.erase(ruleIt);
+      }
+    }
+    firedByFact_.erase(firedIt);
+  }
+  // A retract can satisfy negated patterns; re-derive those rules.
+  const auto negIt = negatedByTemplate_.find(fact.templateName);
+  if (negIt != negatedByTemplate_.end()) {
+    for (const Rule* rule : negIt->second) recomputeRule(*rule);
+  }
 }
 
 std::size_t InferenceEngine::run(std::size_t maxFirings) {
   std::size_t fired = 0;
-  while (fired < maxFirings) {
-    // Rebuild the agenda from working memory (naive re-match: rule/fact
-    // populations in the managers are small; the scaling bench quantifies
-    // the cost honestly).
-    std::vector<Activation> agenda;
-    for (const auto& [name, rule] : rules_) {
-      (void)name;
-      matchRule(rule, agenda);
+  while (fired < maxFirings && !agenda_.empty()) {
+    // The ordered agenda keeps the best activation (salience, recency, rule
+    // name) at begin(); firing may assert/retract facts, whose deltas update
+    // the agenda in place before the next pop.
+    const auto best = agenda_.begin();
+    Activation act = *best;
+    agenda_.erase(best);
+    const auto tuplesIt = agendaTuples_.find(act.rule);
+    if (tuplesIt != agendaTuples_.end()) {
+      tuplesIt->second.erase(act.factIds);
+      if (tuplesIt->second.empty()) agendaTuples_.erase(tuplesIt);
     }
-
-    const Activation* best = nullptr;
-    for (const Activation& act : agenda) {
-      if (firedKeys_.contains(act.key)) continue;
-      if (best == nullptr) {
-        best = &act;
-        continue;
-      }
-      // Conflict resolution: salience, then recency, then rule name.
-      if (act.rule->salience != best->rule->salience) {
-        if (act.rule->salience > best->rule->salience) best = &act;
-      } else if (act.recency != best->recency) {
-        if (act.recency > best->recency) best = &act;
-      } else if (act.rule->name < best->rule->name) {
-        best = &act;
-      }
-    }
-    if (best == nullptr) break;
-
-    firedKeys_.insert(best->key);
-    fire(*best);
+    recordFired(act);
+    fire(act);
     ++fired;
     ++totalFirings_;
   }
@@ -243,10 +402,16 @@ std::optional<Bindings> InferenceEngine::prove(const Pattern& goal,
   if (depth <= 0) return std::nullopt;
 
   // Base case: a live fact satisfies the goal directly.
-  for (const Fact* fact : facts_.byTemplate(goal.templateName)) {
+  std::optional<Bindings> direct;
+  facts_.forEach(goal.templateName, [&](const Fact& fact) {
     Bindings scratch = bindings;
-    if (matchPattern(goal, *fact, scratch)) return scratch;
-  }
+    if (matchPattern(goal, fact, scratch)) {
+      direct = std::move(scratch);
+      return false;
+    }
+    return true;
+  });
+  if (direct.has_value()) return direct;
 
   // Recursive case: a rule whose RHS asserts a matching fact, provided its
   // body can be proven. Rule variables are renamed per depth level.
@@ -367,20 +532,32 @@ std::optional<Bindings> InferenceEngine::proveAll(
   if (goal.negated) {
     // Negation as failure against working memory (non-recursive, as in the
     // forward engine).
-    for (const Fact* fact : facts_.byTemplate(goal.templateName)) {
+    bool blocked = false;
+    facts_.forEach(goal.templateName, [&](const Fact& fact) {
       Bindings scratch = bindings;
-      if (matchPattern(goal, *fact, scratch)) return std::nullopt;
-    }
+      if (matchPattern(goal, fact, scratch)) {
+        blocked = true;
+        return false;
+      }
+      return true;
+    });
+    if (blocked) return std::nullopt;
     return proveAll(goals, tests, index + 1, std::move(bindings), depth);
   }
 
   // Backtrack over direct fact matches first, then rule-derived proofs.
-  for (const Fact* fact : facts_.byTemplate(goal.templateName)) {
+  std::optional<Bindings> result;
+  facts_.forEach(goal.templateName, [&](const Fact& fact) {
     Bindings scratch = bindings;
-    if (!matchPattern(goal, *fact, scratch)) continue;
+    if (!matchPattern(goal, fact, scratch)) return true;
     auto rest = proveAll(goals, tests, index + 1, std::move(scratch), depth);
-    if (rest.has_value()) return rest;
-  }
+    if (rest.has_value()) {
+      result = std::move(rest);
+      return false;
+    }
+    return true;
+  });
+  if (result.has_value()) return result;
   if (depth > 0) {
     auto derived = prove(goal, bindings, depth);
     if (derived.has_value()) {

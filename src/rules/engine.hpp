@@ -4,6 +4,15 @@
 // diagnosis logic is data (rules added/removed at run time — the paper's
 // "dynamic rule distribution"), and their effects on the system happen
 // through registered C++ functions invoked by rule RHS (call ...) actions.
+//
+// Matching is incremental (Rete-inspired): the engine subscribes to the
+// working-memory delta stream and maintains a persistent agenda. An
+// assert/retract re-matches only rules whose alpha profile (the set of
+// template names in their LHS) intersects the delta — and for positive
+// patterns only the delta fact is joined against working memory, instead of
+// rebuilding every activation from scratch. Refraction is tracked per rule
+// as hashed fact tuples, and the agenda is an ordered set (salience,
+// recency, rule name) so run() pops the best activation in O(log n).
 #pragma once
 
 #include <cstdint>
@@ -12,6 +21,8 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "rules/fact.hpp"
@@ -69,8 +80,12 @@ class InferenceEngine {
 
   /// Forward-chain until quiescent or `maxFirings` reached; returns firings.
   /// Refraction: an activation (rule x fact tuple) fires at most once for
-  /// the lifetime of that fact tuple.
+  /// the lifetime of that fact tuple. The agenda is maintained incrementally
+  /// as facts change, so a quiescent run is O(1).
   std::size_t run(std::size_t maxFirings = 10000);
+
+  /// Activations currently eligible to fire (pending, non-refracted).
+  [[nodiscard]] std::size_t agendaSize() const { return agenda_.size(); }
 
   /// Backward-chaining query (the paper's Section 5.3 names backward
   /// chaining as an inferencing alternative; the prototype used forward
@@ -97,31 +112,92 @@ class InferenceEngine {
   [[nodiscard]] const std::string& name() const { return name_; }
 
  private:
+  /// The fact ids an activation matched, one per LHS position (kNoFact for
+  /// negated positions). Together with the rule this is the refraction key.
+  using FactTuple = std::vector<FactId>;
+
+  struct TupleHash {
+    std::size_t operator()(const FactTuple& tuple) const {
+      std::size_t h = 0xcbf29ce484222325ULL;
+      for (const FactId id : tuple) {
+        h ^= id + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      }
+      return h;
+    }
+  };
+  using TupleSet = std::unordered_set<FactTuple, TupleHash>;
+
   struct Activation {
     const Rule* rule = nullptr;
-    std::vector<FactId> factIds;  // per LHS position (kNoFact for negated)
+    FactTuple factIds;   // per LHS position (kNoFact for negated)
     Bindings bindings;
     FactId recency = 0;  // newest positive fact involved
-    std::string key;     // refraction key
   };
 
-  void matchRule(const Rule& rule, std::vector<Activation>& out) const;
+  /// Conflict resolution: salience desc, recency desc, rule name asc; the
+  /// fact tuple makes the order total (and the set agenda duplicate-free,
+  /// since salience/recency/bindings are functions of rule + tuple).
+  struct AgendaOrder {
+    bool operator()(const Activation& a, const Activation& b) const {
+      if (a.rule->salience != b.rule->salience) {
+        return a.rule->salience > b.rule->salience;
+      }
+      if (a.recency != b.recency) return a.recency > b.recency;
+      if (a.rule->name != b.rule->name) return a.rule->name < b.rule->name;
+      return a.factIds < b.factIds;
+    }
+  };
+
+  /// Enumerate matches of `rule` from `position` on. When `pinned` is given,
+  /// the positive pattern at `pinnedPos` matches only that fact (delta
+  /// seeding); otherwise every position ranges over working memory.
+  void matchScan(const Rule& rule, std::size_t position, Bindings bindings,
+                 FactTuple factIds, const Fact* pinned, std::size_t pinnedPos,
+                 std::vector<Activation>& out) const;
+
+  void onDelta(const FactDelta& delta);
+  void seedMatch(const Rule& rule, const Fact& fact);
+  void recomputeRule(const Rule& rule);
+  void insertActivation(Activation act);
+  void eraseAgendaEntry(const Rule* rule, const FactTuple& tuple);
+  void removeAgendaForRule(const Rule* rule);
+  void recordFired(const Activation& act);
+  void indexRule(const Rule& rule);
+  void unindexRule(const Rule& rule);
+
   std::optional<Bindings> prove(const Pattern& goal, const Bindings& bindings,
                                 int depth) const;
   std::optional<Bindings> proveAll(const std::vector<Pattern>& goals,
                                    const std::vector<ConditionTest>& tests,
                                    std::size_t index, Bindings bindings,
                                    int depth) const;
-  void matchFrom(const Rule& rule, std::size_t position, Bindings bindings,
-                 std::vector<FactId> factIds, std::vector<Activation>& out) const;
   void fire(const Activation& activation);
   void reportError(std::string message);
 
   std::string name_;
   FactRepository facts_;
-  std::map<std::string, Rule> rules_;
+  std::map<std::string, Rule> rules_;  // node-stable: agenda holds Rule*
   std::map<std::string, EngineFunction> functions_;
-  std::set<std::string> firedKeys_;
+
+  // Alpha profile: template name -> rules with a positive / negated pattern
+  // on it. A delta touches only the rules these indexes name.
+  std::unordered_map<std::string, std::vector<const Rule*>> positiveByTemplate_;
+  std::unordered_map<std::string, std::vector<const Rule*>> negatedByTemplate_;
+
+  // The persistent agenda plus lookup mirrors: per-rule live tuples (dedup +
+  // rule removal) and per-fact back references (retract invalidation; may
+  // hold stale entries, validated against agendaTuples_ before use).
+  std::set<Activation, AgendaOrder> agenda_;
+  std::unordered_map<const Rule*, TupleSet> agendaTuples_;
+  std::unordered_map<FactId, std::vector<std::pair<const Rule*, FactTuple>>>
+      agendaByFact_;
+
+  // Refraction: fired tuples per rule (O(1) wipe on rule replacement) with
+  // per-fact back references so dead facts' marks are garbage collected.
+  std::unordered_map<std::string, TupleSet> firedByRule_;
+  std::unordered_map<FactId, std::vector<std::pair<std::string, FactTuple>>>
+      firedByFact_;
+
   std::uint64_t totalFirings_ = 0;
   std::uint64_t actionErrors_ = 0;
   std::vector<std::string> errorLog_;

@@ -1,8 +1,17 @@
 #include "rules/fact.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace softqos::rules {
+
+namespace {
+
+inline std::size_t hashCombine(std::size_t seed, std::size_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace
 
 std::string Fact::toString() const {
   std::string out = "(" + templateName;
@@ -13,23 +22,88 @@ std::string Fact::toString() const {
   return out;
 }
 
-FactId FactRepository::assertFact(const std::string& templateName,
-                                  SlotMap slots) {
-  for (const auto& [id, fact] : live_) {
-    if (fact.templateName == templateName && fact.slots == slots) return id;
+std::size_t FactRepository::contentHash(const std::string& templateName,
+                                        const SlotMap& slots) {
+  std::size_t h = std::hash<std::string>{}(templateName);
+  for (const auto& [name, value] : slots) {  // SlotMap is ordered: stable hash
+    h = hashCombine(h, std::hash<std::string>{}(name));
+    h = hashCombine(h, value.hash());
   }
+  return h;
+}
+
+std::size_t FactRepository::alphaHash(const std::string& templateName,
+                                      const std::string& slot,
+                                      const Value& value) {
+  std::size_t h = std::hash<std::string>{}(templateName);
+  h = hashCombine(h, std::hash<std::string>{}(slot) ^ 0x517cc1b727220a95ULL);
+  return hashCombine(h, value.hash());
+}
+
+FactId FactRepository::insert(const std::string& templateName, SlotMap slots) {
   const FactId id = nextId_++;
   Fact f;
   f.id = id;
   f.templateName = templateName;
   f.slots = std::move(slots);
-  live_.emplace(id, std::move(f));
+  const auto [it, inserted] = live_.emplace(id, std::move(f));
+  const Fact& stored = it->second;
+  (void)inserted;
+  byTemplate_[templateName].emplace(id, &stored);
+  byContent_[contentHash(templateName, stored.slots)].push_back(id);
+  for (const auto& [name, value] : stored.slots) {
+    alpha_[alphaHash(templateName, name, value)].emplace(id, &stored);
+  }
+  publish(FactDelta::Kind::kAssert, stored);
+  return id;
+}
+
+bool FactRepository::remove(FactId id) {
+  const auto it = live_.find(id);
+  if (it == live_.end()) return false;
+  // Move the fact out so the retract delta can refer to it after the indexes
+  // have dropped it.
+  Fact gone = std::move(it->second);
+  live_.erase(it);
+
+  const auto tmplIt = byTemplate_.find(gone.templateName);
+  if (tmplIt != byTemplate_.end()) {
+    tmplIt->second.erase(id);
+    if (tmplIt->second.empty()) byTemplate_.erase(tmplIt);
+  }
+  const auto contentIt = byContent_.find(contentHash(gone.templateName, gone.slots));
+  if (contentIt != byContent_.end()) {
+    auto& ids = contentIt->second;
+    ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
+    if (ids.empty()) byContent_.erase(contentIt);
+  }
+  for (const auto& [name, value] : gone.slots) {
+    const auto alphaIt = alpha_.find(alphaHash(gone.templateName, name, value));
+    if (alphaIt != alpha_.end()) {
+      alphaIt->second.erase(id);
+      if (alphaIt->second.empty()) alpha_.erase(alphaIt);
+    }
+  }
+  publish(FactDelta::Kind::kRetract, gone);
+  return true;
+}
+
+FactId FactRepository::assertFact(const std::string& templateName,
+                                  SlotMap slots) {
+  const auto bucket = byContent_.find(contentHash(templateName, slots));
+  if (bucket != byContent_.end()) {
+    for (const FactId id : bucket->second) {
+      const Fact& fact = live_.at(id);
+      if (fact.templateName == templateName && fact.slots == slots) return id;
+    }
+  }
+  const FactId id = insert(templateName, std::move(slots));
   notifyChange();
   return id;
 }
 
 bool FactRepository::retract(FactId id) {
-  if (live_.erase(id) == 0) return false;
+  if (!remove(id)) return false;
   notifyChange();
   return true;
 }
@@ -37,24 +111,27 @@ bool FactRepository::retract(FactId id) {
 FactId FactRepository::modify(FactId id, const SlotMap& changes) {
   const auto it = live_.find(id);
   if (it == live_.end()) return kNoFact;
-  Fact updated = it->second;
-  for (const auto& [slot, value] : changes) updated.slots[slot] = value;
-  live_.erase(it);
-  return assertFact(updated.templateName, std::move(updated.slots));
+  SlotMap updated = it->second.slots;
+  for (const auto& [slot, value] : changes) updated[slot] = value;
+  if (updated == it->second.slots) return id;  // no-op: keep id, no deltas
+  const std::string templateName = it->second.templateName;
+  remove(id);
+  return assertFact(templateName, std::move(updated));
 }
 
 std::size_t FactRepository::retractTemplate(const std::string& templateName) {
-  std::size_t n = 0;
-  for (auto it = live_.begin(); it != live_.end();) {
-    if (it->second.templateName == templateName) {
-      it = live_.erase(it);
-      ++n;
-    } else {
-      ++it;
+  std::vector<FactId> ids;
+  const auto it = byTemplate_.find(templateName);
+  if (it != byTemplate_.end()) {
+    ids.reserve(it->second.size());
+    for (const auto& [id, fact] : it->second) {
+      (void)fact;
+      ids.push_back(id);
     }
   }
-  if (n > 0) notifyChange();
-  return n;
+  for (const FactId id : ids) remove(id);
+  if (!ids.empty()) notifyChange();
+  return ids.size();
 }
 
 const Fact* FactRepository::find(FactId id) const {
@@ -65,11 +142,25 @@ const Fact* FactRepository::find(FactId id) const {
 std::vector<const Fact*> FactRepository::byTemplate(
     const std::string& templateName) const {
   std::vector<const Fact*> out;
-  for (const auto& [id, fact] : live_) {
+  const auto it = byTemplate_.find(templateName);
+  if (it == byTemplate_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [id, fact] : it->second) {
     (void)id;
-    if (fact.templateName == templateName) out.push_back(&fact);
+    out.push_back(fact);
   }
   return out;
+}
+
+void FactRepository::forEach(
+    const std::string& templateName,
+    const std::function<bool(const Fact&)>& visit) const {
+  const auto it = byTemplate_.find(templateName);
+  if (it == byTemplate_.end()) return;
+  for (const auto& [id, fact] : it->second) {
+    (void)id;
+    if (!visit(*fact)) return;
+  }
 }
 
 std::vector<const Fact*> FactRepository::all() const {
@@ -79,35 +170,61 @@ std::vector<const Fact*> FactRepository::all() const {
     (void)id;
     out.push_back(&fact);
   }
+  std::sort(out.begin(), out.end(),
+            [](const Fact* a, const Fact* b) { return a->id < b->id; });
   return out;
 }
 
 const Fact* FactRepository::findWhere(const std::string& templateName,
                                       const SlotMap& slots) const {
-  for (const auto& [id, fact] : live_) {
+  if (slots.empty()) {
+    const auto it = byTemplate_.find(templateName);
+    return it == byTemplate_.end() ? nullptr : it->second.begin()->second;
+  }
+  // Probe the alpha bucket of the first constrained slot; candidates still
+  // verify every slot (the bucket may hold hash collisions).
+  const auto& [probeSlot, probeValue] = *slots.begin();
+  const auto bucket = alpha_.find(alphaHash(templateName, probeSlot, probeValue));
+  if (bucket == alpha_.end()) return nullptr;
+  for (const auto& [id, fact] : bucket->second) {
     (void)id;
-    if (fact.templateName != templateName) continue;
+    if (fact->templateName != templateName) continue;
     bool ok = true;
     for (const auto& [name, value] : slots) {
-      const Value* actual = fact.slot(name);
+      const Value* actual = fact->slot(name);
       if (actual == nullptr || !(*actual == value)) {
         ok = false;
         break;
       }
     }
-    if (ok) return &fact;
+    if (ok) return fact;
   }
   return nullptr;
 }
 
 void FactRepository::clear() {
   if (live_.empty()) return;
-  live_.clear();
+  std::vector<FactId> ids;
+  ids.reserve(live_.size());
+  for (const auto& [id, fact] : live_) {
+    (void)fact;
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (const FactId id : ids) remove(id);
   notifyChange();
 }
 
 void FactRepository::notifyChange() {
   if (listener_) listener_();
+}
+
+void FactRepository::publish(FactDelta::Kind kind, const Fact& fact) {
+  if (!deltaListener_) return;
+  FactDelta delta;
+  delta.kind = kind;
+  delta.fact = &fact;
+  deltaListener_(delta);
 }
 
 }  // namespace softqos::rules

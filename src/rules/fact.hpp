@@ -1,10 +1,17 @@
 // Template facts and the fact repository (the engine's working memory).
+//
+// Working memory is fully indexed: facts are reachable by id, by template
+// name (ordered by id, i.e. by recency), by (template, slot, value) alpha
+// key, and by content hash (duplicate suppression). Mutations publish
+// per-fact deltas so the inference engine can maintain its agenda
+// incrementally instead of re-matching the whole rule base.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "rules/value.hpp"
@@ -30,11 +37,27 @@ struct Fact {
   [[nodiscard]] std::string toString() const;
 };
 
-/// Working memory: assert/retract/modify with duplicate suppression and
-/// change listeners (the engine subscribes to refresh its agenda).
+/// One working-memory change. `fact` is valid only for the duration of the
+/// listener callback (for retracts it refers to the already-removed fact).
+struct FactDelta {
+  enum class Kind { kAssert, kRetract };
+  Kind kind = Kind::kAssert;
+  const Fact* fact = nullptr;
+};
+
+/// Working memory: assert/retract/modify with duplicate suppression, indexed
+/// lookup, and change listeners (the engine subscribes to the delta stream to
+/// maintain its agenda incrementally).
 class FactRepository {
  public:
   using Listener = std::function<void()>;
+  using DeltaListener = std::function<void(const FactDelta&)>;
+
+  FactRepository() = default;
+  // The indexes hold pointers into live_; copying would alias another
+  // repository's storage.
+  FactRepository(const FactRepository&) = delete;
+  FactRepository& operator=(const FactRepository&) = delete;
 
   /// Assert a fact. Duplicate of a live fact (same template + slots) is
   /// suppressed, returning the existing id (CLIPS semantics).
@@ -44,7 +67,9 @@ class FactRepository {
   bool retract(FactId id);
 
   /// Retract + re-assert with changed slots; returns the new fact id, or
-  /// kNoFact if `id` is unknown.
+  /// kNoFact if `id` is unknown. A modify that leaves every slot unchanged
+  /// is a no-op: the fact keeps its id and no delta is published (so rules
+  /// that already fired on it do not re-activate).
   FactId modify(FactId id, const SlotMap& changes);
 
   /// Retract every fact of the given template; returns how many went.
@@ -56,21 +81,52 @@ class FactRepository {
   [[nodiscard]] std::vector<const Fact*> all() const;
   [[nodiscard]] std::size_t size() const { return live_.size(); }
 
+  /// Visit every live fact of a template in recency (id) order, without
+  /// building a temporary vector. The visitor returns false to stop early.
+  void forEach(const std::string& templateName,
+               const std::function<bool(const Fact&)>& visit) const;
+
   /// First live fact matching template + all given slot values (queries from
-  /// manager code); nullptr if none.
+  /// manager code); nullptr if none. Served from the (template, slot, value)
+  /// alpha index: only facts matching the first given slot are examined.
   [[nodiscard]] const Fact* findWhere(const std::string& templateName,
                                       const SlotMap& slots) const;
 
+  /// Coarse change ping (legacy interface): invoked once per mutating call
+  /// that changed working memory.
   void setChangeListener(Listener listener) { listener_ = std::move(listener); }
+
+  /// Per-fact delta stream; fires once per asserted/retracted fact, after
+  /// all indexes reflect the change (a modify publishes retract + assert).
+  void setDeltaListener(DeltaListener listener) {
+    deltaListener_ = std::move(listener);
+  }
 
   void clear();
 
  private:
+  FactId insert(const std::string& templateName, SlotMap slots);
+  /// Remove `id` from all indexes and publish the retract delta; the legacy
+  /// listener is NOT notified (callers decide how to coalesce).
+  bool remove(FactId id);
   void notifyChange();
+  void publish(FactDelta::Kind kind, const Fact& fact);
 
-  std::map<FactId, Fact> live_;
+  static std::size_t contentHash(const std::string& templateName,
+                                 const SlotMap& slots);
+  static std::size_t alphaHash(const std::string& templateName,
+                               const std::string& slot, const Value& value);
+
+  std::unordered_map<FactId, Fact> live_;
+  // Template index: id-ordered so iteration preserves assertion order.
+  std::unordered_map<std::string, std::map<FactId, const Fact*>> byTemplate_;
+  // Duplicate-suppression index: content hash -> candidate ids.
+  std::unordered_map<std::size_t, std::vector<FactId>> byContent_;
+  // Alpha index: (template, slot, value) hash -> id-ordered facts.
+  std::unordered_map<std::size_t, std::map<FactId, const Fact*>> alpha_;
   FactId nextId_ = 1;
   Listener listener_;
+  DeltaListener deltaListener_;
 };
 
 }  // namespace softqos::rules

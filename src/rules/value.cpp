@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <functional>
 #include <stdexcept>
 
 namespace softqos::rules {
@@ -113,6 +114,22 @@ std::optional<int> Value::compare(const Value& a, const Value& b) {
     return x - y;
   }
   return std::nullopt;
+}
+
+std::size_t Value::hash() const {
+  // Numerics hash their double view so Value::integer(5) and Value::real(5.0),
+  // which compare equal, land in the same bucket.
+  if (isNumeric()) return std::hash<double>{}(numeric());
+  switch (type_) {
+    case Type::kString:
+      return std::hash<std::string>{}(std::get<std::string>(data_)) ^ 0x9e3779b9u;
+    case Type::kSymbol:
+      return std::hash<std::string>{}(std::get<std::string>(data_));
+    case Type::kBool:
+      return std::get<bool>(data_) ? 0x85ebca6bu : 0xc2b2ae35u;
+    default:
+      return 0;
+  }
 }
 
 std::string Value::toString() const {

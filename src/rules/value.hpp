@@ -2,6 +2,7 @@
 // (fact slots, rule-test operands, action arguments).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -50,6 +51,10 @@ class Value {
 
   /// Render for traces and reports (strings are quoted).
   [[nodiscard]] std::string toString() const;
+
+  /// Hash consistent with operator==: numerics that compare equal across
+  /// int/float hash identically (both hash their double view).
+  [[nodiscard]] std::size_t hash() const;
 
  private:
   Type type_;

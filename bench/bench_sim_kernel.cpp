@@ -1,0 +1,216 @@
+// Microbenchmarks for the discrete-event kernel hot paths: schedule/cancel
+// churn (the RPC-timeout pattern), recurring-timer storms (sensor ticks, CPU
+// quanta), metric recording, disabled tracing, and an end-to-end testbed run.
+//
+// Recorded to BENCH_sim.json by scripts/bench.sh sim; successive PRs keep the
+// benchmark names stable so the numbers form a trajectory.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/testbed.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace softqos;
+
+// RPC-timeout pattern: against a standing population of near-term pending
+// events, each operation arms a timeout far beyond all of them and cancels
+// it before it fires (responses almost always beat their timeout).
+void ScheduleCancelChurn(benchmark::State& state) {
+  const auto standing = static_cast<std::size_t>(state.range(0));
+  sim::Simulation s;
+  std::uint64_t fired = 0;
+  std::vector<sim::EventId> keep;
+  keep.reserve(standing);
+  for (std::size_t i = 0; i < standing; ++i) {
+    keep.push_back(s.after(sim::sec(60) + sim::msec(static_cast<std::int64_t>(i)),
+                           [&fired] { ++fired; }));
+  }
+  for (auto _ : state) {
+    const sim::EventId id = s.after(sim::sec(3600), [&fired] { ++fired; });
+    s.cancel(id);
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(ScheduleCancelChurn)->Arg(64)->Arg(1024)->Arg(16384);
+
+// Drain pattern: schedule near-future one-shot events and execute them.
+void ScheduleFireDrain(benchmark::State& state) {
+  const auto batch = static_cast<std::int64_t>(state.range(0));
+  sim::Simulation s;
+  std::uint64_t fired = 0;
+  for (auto _ : state) {
+    for (std::int64_t i = 0; i < batch; ++i) {
+      s.after(i % 7, [&fired] { ++fired; });
+    }
+    s.runAll();
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(ScheduleFireDrain)->Arg(1024);
+
+// Recurring-timer storm: `range(0)` tickers at 1ms, simulating 100ms per
+// iteration (the sensor-tick / CPU-quantum / traffic-pacing shape).
+void PeriodicTickStorm(benchmark::State& state) {
+  const auto tickers = static_cast<std::size_t>(state.range(0));
+  sim::Simulation s;
+  struct Ticker {
+    sim::Simulation& s;
+    std::uint64_t ticks = 0;
+    sim::EventId ev = sim::kInvalidEvent;
+    explicit Ticker(sim::Simulation& sm) : s(sm) {}
+    void arm() {
+      ev = s.after(sim::msec(1), [this] {
+        ++ticks;
+        arm();
+      });
+    }
+  };
+  std::vector<std::unique_ptr<Ticker>> ts;
+  for (std::size_t i = 0; i < tickers; ++i) {
+    ts.push_back(std::make_unique<Ticker>(s));
+    ts.back()->arm();
+  }
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    s.runUntil(s.now() + sim::msec(100));
+  }
+  for (const auto& t : ts) total += t->ticks;
+  benchmark::DoNotOptimize(total);
+  state.SetItemsProcessed(state.iterations() * tickers * 100);
+}
+BENCHMARK(PeriodicTickStorm)->Arg(4)->Arg(64);
+
+// Same storm through first-class periodic events: one slot per ticker,
+// re-armed in place instead of a fresh schedule() per tick.
+void PeriodicTickStormEvery(benchmark::State& state) {
+  const auto tickers = static_cast<std::size_t>(state.range(0));
+  sim::Simulation s;
+  std::vector<std::uint64_t> ticks(tickers, 0);
+  std::vector<sim::EventId> evs;
+  evs.reserve(tickers);
+  for (std::size_t i = 0; i < tickers; ++i) {
+    evs.push_back(s.every(sim::msec(1), [&ticks, i] { ++ticks[i]; }));
+  }
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    s.runUntil(s.now() + sim::msec(100));
+  }
+  for (const sim::EventId ev : evs) s.cancel(ev);
+  for (const std::uint64_t t : ticks) total += t;
+  benchmark::DoNotOptimize(total);
+  state.SetItemsProcessed(state.iterations() * tickers * 100);
+}
+BENCHMARK(PeriodicTickStormEvery)->Arg(4)->Arg(64);
+
+// String-keyed metric recording (the seed API; kept as the comparison
+// baseline for the handle-based path). The series is cleared every 64Ki
+// samples so the benchmark measures steady-state recording, not the memory
+// wall of an unbounded vector.
+void MetricSampleByName(benchmark::State& state) {
+  sim::MetricRegistry m;
+  sim::SimTime t = 0;
+  std::size_t n = 0;
+  for (auto _ : state) {
+    m.sample("app.video.fps", ++t, 29.7);
+    if (++n == 65536) {
+      n = 0;
+      m.clear();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(MetricSampleByName);
+
+// Handle-based recording: intern once, record through the pointer. Same
+// periodic clear as the by-name variant (clear() invalidates handles, so
+// re-intern — the amortized cost is part of the deal).
+void MetricSampleHandle(benchmark::State& state) {
+  sim::MetricRegistry m;
+  sim::TimeSeries* fps = m.seriesHandle("app.video.fps");
+  sim::SimTime t = 0;
+  std::size_t n = 0;
+  for (auto _ : state) {
+    fps->record(++t, 29.7);
+    if (++n == 65536) {
+      n = 0;
+      m.clear();
+      fps = m.seriesHandle("app.video.fps");
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(MetricSampleHandle);
+
+void MetricCounterByName(benchmark::State& state) {
+  sim::MetricRegistry m;
+  for (auto _ : state) {
+    m.count("host.client.dispatches");
+  }
+  benchmark::DoNotOptimize(m.counter("host.client.dispatches"));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(MetricCounterByName);
+
+void MetricCounterHandle(benchmark::State& state) {
+  sim::MetricRegistry m;
+  sim::Counter dispatches = m.counterHandle("host.client.dispatches");
+  for (auto _ : state) {
+    dispatches.add();
+    benchmark::ClobberMemory();
+  }
+  benchmark::DoNotOptimize(dispatches.value());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(MetricCounterHandle);
+
+// Disabled tracing where the message is still materialized at the call site.
+void TraceDisabledEager(benchmark::State& state) {
+  sim::Simulation s;  // trace level defaults to kOff
+  std::uint64_t pid = 0;
+  for (auto _ : state) {
+    s.debug("qoshm:client", "boost pid " + std::to_string(++pid) + " by 10");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(TraceDisabledEager);
+
+// Lazy form: the message lambda is never invoked when the level is disabled.
+void TraceDisabledLazy(benchmark::State& state) {
+  sim::Simulation s;  // trace level defaults to kOff
+  std::uint64_t pid = 0;
+  for (auto _ : state) {
+    ++pid;
+    s.debug("qoshm:client", [&] {
+      return "boost pid " + std::to_string(pid) + " by 10";
+    });
+    benchmark::DoNotOptimize(pid);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(TraceDisabledLazy);
+
+// End-to-end: the fig3 testbed (video + managers + cross traffic) for one
+// simulated second, construction included.
+void Fig3EndToEnd(benchmark::State& state) {
+  for (auto _ : state) {
+    apps::TestbedConfig cfg;
+    cfg.seed = 42;
+    apps::Testbed tb(cfg);
+    tb.startVideo();
+    tb.setCrossTraffic(6.0);
+    const double fps = tb.measureFps(sim::sec(1));
+    benchmark::DoNotOptimize(fps);
+  }
+}
+BENCHMARK(Fig3EndToEnd)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

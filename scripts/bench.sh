@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Run a benchmark suite and record the results as JSON at the repo root, so
+# successive PRs leave a perf trajectory:
+#
+#   scripts/bench.sh rules [build-dir]   -> BENCH_rules.json  (inference engine)
+#   scripts/bench.sh sim   [build-dir]   -> BENCH_sim.json    (event kernel)
+set -euo pipefail
+
+usage() {
+  echo "usage: scripts/bench.sh <rules|sim> [build-dir]" >&2
+  exit 2
+}
+
+[[ $# -ge 1 ]] || usage
+suite="$1"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${2:-$repo_root/build}"
+
+case "$suite" in
+  rules) target="abl_inference_scaling"; out="$repo_root/BENCH_rules.json" ;;
+  sim)   target="bench_sim_kernel";      out="$repo_root/BENCH_sim.json" ;;
+  *) usage ;;
+esac
+
+bench="$build_dir/bench/$target"
+if [[ ! -x "$bench" ]]; then
+  echo "building $target in $build_dir ..." >&2
+  cmake -B "$build_dir" -S "$repo_root" >/dev/null
+  cmake --build "$build_dir" --target "$target" -j >/dev/null
+fi
+
+"$bench" --benchmark_format=json --benchmark_repetitions=1 > "$out"
+echo "wrote $out" >&2
+python3 - "$out" <<'EOF' || true
+import json, sys
+data = json.load(open(sys.argv[1]))
+for b in data.get("benchmarks", []):
+    print(f"{b['name']:45s} {b['real_time']:14.1f} {b['time_unit']}")
+EOF

@@ -1,27 +1,5 @@
 #!/usr/bin/env bash
-# Run the inference-engine scaling benchmark and record the results in
-# BENCH_rules.json at the repo root, so successive PRs leave a perf
-# trajectory for the managers' hottest path.
+# Back-compat wrapper: the suites now live behind scripts/bench.sh.
 #
 # Usage: scripts/bench_rules.sh [build-dir]
-set -euo pipefail
-
-repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-$repo_root/build}"
-bench="$build_dir/bench/abl_inference_scaling"
-
-if [[ ! -x "$bench" ]]; then
-  echo "building benchmarks in $build_dir ..." >&2
-  cmake -B "$build_dir" -S "$repo_root" >/dev/null
-  cmake --build "$build_dir" --target abl_inference_scaling -j >/dev/null
-fi
-
-out="$repo_root/BENCH_rules.json"
-"$bench" --benchmark_format=json --benchmark_repetitions=1 > "$out"
-echo "wrote $out" >&2
-python3 - "$out" <<'EOF' || true
-import json, sys
-data = json.load(open(sys.argv[1]))
-for b in data.get("benchmarks", []):
-    print(f"{b['name']:45s} {b['real_time']:14.1f} {b['time_unit']}")
-EOF
+exec "$(dirname "$0")/bench.sh" rules "$@"

@@ -30,10 +30,12 @@ void WebServerApp::stop() {
 }
 
 void WebServerApp::scheduleArrival() {
-  arrivalEvent_ = sim_.after(rng_.expGap(config_.meanInterArrival), [this] {
+  // One recurring event drives the Poisson arrival process; each arrival
+  // re-times the next by a fresh exponential gap.
+  arrivalEvent_ = sim_.every(rng_.expGap(config_.meanInterArrival), [this] {
     queue_.push_back(sim_.now());
     if (worker_ != nullptr) worker_->signal();
-    scheduleArrival();
+    sim_.reschedule(arrivalEvent_, rng_.expGap(config_.meanInterArrival));
   });
 }
 

@@ -48,10 +48,11 @@ std::size_t PolicyAgent::registerProcess(const Registration& registration) {
   registration.coordinator->installPolicies(compiled);
   sessions_[registration.pid] = registration;
   ++registrations_;
-  sim_.debug("policy-agent", "registered pid " +
-                                 std::to_string(registration.pid) + " (" +
-                                 registration.executable + "), " +
-                                 std::to_string(compiled.size()) + " policies");
+  sim_.debug("policy-agent", [&] {
+    return "registered pid " + std::to_string(registration.pid) + " (" +
+           registration.executable + "), " + std::to_string(compiled.size()) +
+           " policies";
+  });
   return compiled.size();
 }
 
@@ -93,9 +94,10 @@ void PolicyAgent::enableAutoPush() {
         try {
           refresh(pid);
         } catch (const PolicyAgentError& e) {
-          sim_.warn("policy-agent",
-                    "auto-push to pid " + std::to_string(pid) + " failed: " +
-                        e.what());
+          sim_.warn("policy-agent", [&] {
+            return "auto-push to pid " + std::to_string(pid) +
+                   " failed: " + e.what();
+          });
         }
       }
     });

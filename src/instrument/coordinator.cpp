@@ -96,7 +96,8 @@ void Coordinator::attachControlQueue(osim::MessageQueue& queue) {
     ControlCommand command;
     if (!ControlCommand::parse(d.payload, command)) {
       ++controlsRejected_;
-      sim_.warn("coordinator", "unparseable control command: " + d.payload);
+      sim_.warn("coordinator",
+                [&] { return "unparseable control command: " + d.payload; });
       return;
     }
     executeControl(command);
@@ -106,7 +107,8 @@ void Coordinator::attachControlQueue(osim::MessageQueue& queue) {
 bool Coordinator::executeControl(const ControlCommand& command) {
   const auto reject = [this](const std::string& why) {
     ++controlsRejected_;
-    sim_.warn("coordinator", "control command rejected: " + why);
+    sim_.warn("coordinator",
+              [&] { return "control command rejected: " + why; });
     return false;
   };
   switch (command.kind) {
@@ -210,13 +212,17 @@ void Coordinator::sendTransitionReport(PolicyObject& po) {
 }
 
 void Coordinator::scheduleRepeat(PolicyObject& po) {
-  po.repeatEvent = sim_.after(repeatInterval_, [this, &po] {
-    po.repeatEvent = sim::kInvalidEvent;
-    if (!po.violated) return;
+  po.repeatEvent = sim_.every(repeatInterval_, [this, &po] {
+    if (!po.violated) {
+      // Safety net: evaluate() cancels on the clear transition, but a policy
+      // flipped without a transition report must not keep repeating.
+      sim_.cancel(po.repeatEvent);
+      po.repeatEvent = sim::kInvalidEvent;
+      return;
+    }
     // Still violated: re-run the do-list with fresh readings so the manager
     // can iterate toward a suitable allocation (Section 2).
     sendTransitionReport(po);
-    scheduleRepeat(po);
   });
 }
 
@@ -228,8 +234,9 @@ void Coordinator::executeDoList(PolicyObject& po, ViolationReport& report,
       case policy::PolicyAction::Kind::kSensorRead: {
         Sensor* sensor = registry_.sensor(action.target);
         if (sensor == nullptr) {
-          sim_.warn("coordinator",
-                    "do-list reads unknown sensor " + action.target);
+          sim_.warn("coordinator", [&] {
+            return "do-list reads unknown sensor " + action.target;
+          });
           break;
         }
         // read() returns a character string (Section 5.2); the coordinator
@@ -248,8 +255,9 @@ void Coordinator::executeDoList(PolicyObject& po, ViolationReport& report,
         if (!runActuators) break;
         Actuator* actuator = registry_.actuator(action.target);
         if (actuator == nullptr) {
-          sim_.warn("coordinator",
-                    "do-list invokes unknown actuator " + action.target);
+          sim_.warn("coordinator", [&] {
+            return "do-list invokes unknown actuator " + action.target;
+          });
           break;
         }
         actuator->invoke(action.arguments);

@@ -16,7 +16,7 @@ TrendMonitor::~TrendMonitor() { stop(); }
 
 void TrendMonitor::start() {
   if (event_ != sim::kInvalidEvent) return;
-  event_ = sim_.after(config_.sampleInterval, [this] { sample(); });
+  event_ = sim_.every(config_.sampleInterval, [this] { sample(); });
 }
 
 void TrendMonitor::stop() {
@@ -26,7 +26,6 @@ void TrendMonitor::stop() {
 }
 
 void TrendMonitor::sample() {
-  event_ = sim_.after(config_.sampleInterval, [this] { sample(); });
   ++samples_;
 
   const double current = sensor_.currentValue();

@@ -76,12 +76,11 @@ void Sensor::setTickInterval(sim::SimDuration interval) {
 }
 
 void Sensor::scheduleTick() {
-  tickEvent_ = sim_.after(tickInterval_, [this] {
-    tickEvent_ = sim::kInvalidEvent;
-    if (!enabled_) return;
+  // One periodic event per sensor; disabling or re-tuning the cadence
+  // cancels/re-arms it, so the closure here never needs a liveness check.
+  tickEvent_ = sim_.every(tickInterval_, [this] {
     onTick();
     evaluate(currentValue());
-    if (tickInterval_ > 0) scheduleTick();
   });
 }
 

@@ -16,6 +16,7 @@ QoSDomainManager::QoSDomainManager(sim::Simulation& simulation,
     : sim_(simulation),
       network_(network),
       name_(std::move(name)),
+      traceName_("qosdm:" + name_),
       config_(config),
       engine_("qosdm:" + name_) {
   registerEngineFunctions();
@@ -75,8 +76,9 @@ void QoSDomainManager::distributeHostRules(const std::string& ruleText) {
     rpc_->call(hostName, config_.hostManagerPort, "set-rules", ruleText,
                [this, hostName](bool ok, const std::string& body) {
                  if (!ok || body.rfind("OK", 0) != 0) {
-                   sim_.warn("qosdm:" + name_,
-                             "rule push to " + hostName + " failed");
+                   sim_.warn(traceName_, [&] {
+                     return "rule push to " + hostName + " failed";
+                   });
                  }
                });
   }
@@ -88,7 +90,7 @@ void QoSDomainManager::registerEngineFunctions() {
     const std::string kind = args[1].asString();
     ++diagnoses_[kind];
     lastDiagnosis_ = kind;
-    sim_.info("qosdm:" + name_, "diagnosis: " + kind);
+    sim_.info(traceName_, [&] { return "diagnosis: " + kind; });
   });
 
   engine_.registerFunction("boost-server", [this](const std::vector<Value>& args) {
@@ -119,9 +121,11 @@ void QoSDomainManager::registerEngineFunctions() {
   });
 
   engine_.registerFunction("log", [this](const std::vector<Value>& args) {
-    std::ostringstream out;
-    for (const Value& v : args) out << v.toString() << " ";
-    sim_.info("qosdm:" + name_, out.str());
+    sim_.info(traceName_, [&] {
+      std::ostringstream out;
+      for (const Value& v : args) out << v.toString() << " ";
+      return out.str();
+    });
   });
 }
 
@@ -154,12 +158,11 @@ void QoSDomainManager::rerouteAroundCongestion() {
     network_.setLinkEnabled(hottestChannel_.first, hottestChannel_.second,
                             true);
     ++rerouteRollbacks_;
-    sim_.info("qosdm:" + name_,
-              "reroute rolled back: no alternative path exists");
+    sim_.info(traceName_, "reroute rolled back: no alternative path exists");
     return;
   }
   ++reroutes_;
-  sim_.info("qosdm:" + name_, "rerouted traffic around congested link");
+  sim_.info(traceName_, "rerouted traffic around congested link");
 }
 
 void QoSDomainManager::handleEscalation(

@@ -97,6 +97,7 @@ class QoSDomainManager {
   sim::Simulation& sim_;
   net::Network& network_;
   std::string name_;
+  std::string traceName_;  // "qosdm:<name>", cached off the trace hot path
   DomainManagerConfig config_;
   rules::InferenceEngine engine_;
   std::unique_ptr<net::RpcEndpoint> rpc_;

@@ -12,6 +12,7 @@ QoSHostManager::QoSHostManager(sim::Simulation& simulation, osim::Host& host,
                                net::Network* network, HostManagerConfig config)
     : sim_(simulation),
       host_(host),
+      traceName_("qoshm:" + host.name()),
       config_(std::move(config)),
       engine_("qoshm:" + host.name()),
       cpuManager_(host),
@@ -50,16 +51,18 @@ void QoSHostManager::registerEngineFunctions() {
     if (cpuManager_.tsSaturated(pid)) {
       if (cpuManager_.rtShare(pid) == 0 && cpuManager_.grantRtShare(pid, 85)) {
         ++rtGrants_;
-        sim_.info("qoshm:" + host_.name(),
-                  "TS saturated; granting RT share to pid " + std::to_string(pid));
+        sim_.info(traceName_, [&] {
+          return "TS saturated; granting RT share to pid " + std::to_string(pid);
+        });
       }
       return;
     }
     if (cpuManager_.adjustTsPriority(pid, delta)) {
       ++boosts_;
-      sim_.debug("qoshm:" + host_.name(),
-                 "boost pid " + std::to_string(pid) + " by " +
-                     std::to_string(delta));
+      sim_.debug(traceName_, [&] {
+        return "boost pid " + std::to_string(pid) + " by " +
+               std::to_string(delta);
+      });
     }
   });
 
@@ -110,9 +113,11 @@ void QoSHostManager::registerEngineFunctions() {
   });
 
   engine_.registerFunction("log", [this](const std::vector<Value>& args) {
-    std::ostringstream out;
-    for (const Value& v : args) out << v.toString() << " ";
-    sim_.info("qoshm:" + host_.name(), out.str());
+    sim_.info(traceName_, [&] {
+      std::ostringstream out;
+      for (const Value& v : args) out << v.toString() << " ";
+      return out.str();
+    });
   });
 }
 
@@ -276,9 +281,10 @@ void QoSHostManager::escalate(std::uint32_t pid) {
   lastEscalationAt_[pid] = sim_.now();
   ++escalations_;
   if (rpc_ == nullptr || config_.domainManagerHost.empty()) {
-    sim_.warn("qoshm:" + host_.name(),
-              "escalation for pid " + std::to_string(pid) +
-                  " dropped (no domain manager configured)");
+    sim_.warn(traceName_, [&] {
+      return "escalation for pid " + std::to_string(pid) +
+             " dropped (no domain manager configured)";
+    });
     return;
   }
   const auto it = lastReport_.find(pid);
@@ -287,7 +293,7 @@ void QoSHostManager::escalate(std::uint32_t pid) {
              it->second.serialize(),
              [this](bool ok, const std::string&) {
                if (!ok) {
-                 sim_.warn("qoshm:" + host_.name(), "escalation RPC timed out");
+                 sim_.warn(traceName_, "escalation RPC timed out");
                }
              });
 }

@@ -84,6 +84,7 @@ class QoSHostManager {
 
   sim::Simulation& sim_;
   osim::Host& host_;
+  std::string traceName_;  // "qoshm:<host>", cached off the trace hot path
   HostManagerConfig config_;
   rules::InferenceEngine engine_;
   CpuResourceManager cpuManager_;

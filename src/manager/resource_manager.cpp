@@ -30,7 +30,7 @@ bool CpuResourceManager::setTsPriority(osim::Pid pid, int upri) {
 }
 
 int CpuResourceManager::tsPriority(osim::Pid pid) const {
-  const osim::Process* p = const_cast<CpuResourceManager*>(this)->host().find(pid);
+  const osim::Process* p = host().find(pid);
   return p == nullptr ? 0 : p->tsUserPriority();
 }
 
@@ -49,7 +49,7 @@ bool CpuResourceManager::grantRtShare(osim::Pid pid, int percent) {
 }
 
 int CpuResourceManager::rtShare(osim::Pid pid) const {
-  const osim::Process* p = const_cast<CpuResourceManager*>(this)->host().find(pid);
+  const osim::Process* p = host().find(pid);
   return p == nullptr ? 0 : p->rtGrant().sharePercent;
 }
 
@@ -71,8 +71,7 @@ bool MemoryResourceManager::setResidentCap(osim::Pid pid, std::int64_t pages) {
 }
 
 std::int64_t MemoryResourceManager::residentCap(osim::Pid pid) const {
-  const osim::Process* p =
-      const_cast<MemoryResourceManager*>(this)->host().find(pid);
+  const osim::Process* p = host().find(pid);
   return p == nullptr ? -1 : p->memoryCapPages();
 }
 
@@ -87,10 +86,9 @@ bool MemoryResourceManager::growResidentCap(osim::Pid pid, std::int64_t pages) {
 }
 
 int MemoryResourceManager::slowdownPercent(osim::Pid pid) const {
-  auto& self = const_cast<MemoryResourceManager&>(*this);
-  const osim::Process* p = self.host().find(pid);
+  const osim::Process* p = host().find(pid);
   if (p == nullptr) return 100;
-  return self.host().memory().slowdownPercent(*p);
+  return host().memory().slowdownPercent(*p);
 }
 
 }  // namespace softqos::manager

@@ -22,6 +22,7 @@ class ResourceManager {
 
   [[nodiscard]] virtual std::string resourceName() const = 0;
   [[nodiscard]] osim::Host& host() { return host_; }
+  [[nodiscard]] const osim::Host& host() const { return host_; }
   [[nodiscard]] std::uint64_t adjustments() const { return adjustments_; }
 
  protected:

@@ -29,7 +29,7 @@ void TrafficSource::start(NodeId destination) {
   phaseEndsAt_ =
       network_.sim().now() +
       (config_.onOff ? rng_.expGap(config_.onMean) : sim::sec(1) * 1000000);
-  emitNext();
+  emitNext();  // emits immediately; arms the recurring pacing timer
 }
 
 void TrafficSource::stop() {
@@ -63,7 +63,15 @@ void TrafficSource::emitNext() {
     network_.forward(id(), std::move(p));
     ++sent_;
   }
-  event_ = s.after(rng_.expGap(meanGap()), [this] { emitNext(); });
+  // One recurring event paces the whole stream: each emission re-times the
+  // next occurrence by a fresh exponential gap instead of allocating a new
+  // closure per packet.
+  const sim::SimDuration gap = rng_.expGap(meanGap());
+  if (event_ == sim::kInvalidEvent) {
+    event_ = s.every(gap, [this] { emitNext(); });
+  } else {
+    s.reschedule(event_, gap);
+  }
 }
 
 }  // namespace softqos::net

@@ -171,11 +171,13 @@ void Cpu::stopSlice(Process* p, bool requeue) {
 
 void Cpu::ensureAgingScheduled() {
   if (agingEvent_ != sim::kInvalidEvent) return;
-  agingEvent_ = sim_.after(agingInterval_, [this] {
-    agingEvent_ = sim::kInvalidEvent;
+  agingEvent_ = sim_.every(agingInterval_, [this] {
     const std::size_t promoted = scheduler_.applyAging(sim_.now(), agingInterval_);
     if (promoted > 0) preemptIfNeeded();
-    if (activeCount() > 0) ensureAgingScheduled();
+    if (activeCount() == 0) {
+      sim_.cancel(agingEvent_);
+      agingEvent_ = sim::kInvalidEvent;
+    }
   });
 }
 

@@ -10,7 +10,10 @@ Host::Host(sim::Simulation& simulation, std::string name, HostConfig config)
       config_(config),
       cpu_(simulation, *this),
       memory_(*this, config.memoryPages),
-      load_(simulation, [this] { return cpu_.activeCount(); }) {
+      load_(simulation, [this] { return cpu_.activeCount(); }),
+      spawned_(simulation.metrics().counterHandle("host." + name_ + ".spawned")),
+      terminated_(
+          simulation.metrics().counterHandle("host." + name_ + ".terminated")) {
   load_.setKeepRunning([this] { return liveProcessCount() > 0; });
 }
 
@@ -24,7 +27,7 @@ std::shared_ptr<Process> Host::spawn(std::string processName,
   table_.emplace(pid, proc);
   memory_.rebalance();
   load_.start();
-  sim_.metrics().count("host." + name_ + ".spawned");
+  spawned_.add();
   proc->start(std::move(behaviour));
   return proc;
 }
@@ -32,13 +35,19 @@ std::shared_ptr<Process> Host::spawn(std::string processName,
 bool Host::kill(Pid pid) {
   Process* p = find(pid);
   if (p == nullptr || p->terminated()) return false;
-  sim_.info("host." + name_, "killing pid " + std::to_string(pid) + " (" +
-                                 p->name() + ")");
+  sim_.info("host." + name_, [&] {
+    return "killing pid " + std::to_string(pid) + " (" + p->name() + ")";
+  });
   p->terminate();
   return true;
 }
 
 Process* Host::find(Pid pid) {
+  const auto it = table_.find(pid);
+  return it == table_.end() ? nullptr : it->second.get();
+}
+
+const Process* Host::find(Pid pid) const {
   const auto it = table_.find(pid);
   return it == table_.end() ? nullptr : it->second.get();
 }
@@ -79,11 +88,22 @@ Socket* Host::socket(Socket::Fd fd) {
 void Host::connectLocal(const std::shared_ptr<Socket>& a,
                         const std::shared_ptr<Socket>& b,
                         sim::SimDuration latency) {
-  a->setTransmit([this, b, latency](Message m) {
-    sim_.after(latency, [b, m = std::move(m)]() mutable { b->deliver(std::move(m)); });
+  // Weak captures: each transmit closure referencing the peer's shared_ptr
+  // would form a cycle (a owns a closure owning b and vice versa) and leak
+  // both sockets. In-flight deliveries still pin the peer via the event.
+  a->setTransmit([this, bw = std::weak_ptr<Socket>(b), latency](Message m) {
+    if (auto peer = bw.lock()) {
+      sim_.after(latency, [peer, m = std::move(m)]() mutable {
+        peer->deliver(std::move(m));
+      });
+    }
   });
-  b->setTransmit([this, a, latency](Message m) {
-    sim_.after(latency, [a, m = std::move(m)]() mutable { a->deliver(std::move(m)); });
+  b->setTransmit([this, aw = std::weak_ptr<Socket>(a), latency](Message m) {
+    if (auto peer = aw.lock()) {
+      sim_.after(latency, [peer, m = std::move(m)]() mutable {
+        peer->deliver(std::move(m));
+      });
+    }
   });
 }
 
@@ -100,7 +120,7 @@ void Host::shutdown() {
 }
 
 void Host::onProcessTerminated(Process& p) {
-  sim_.metrics().count("host." + name_ + ".terminated");
+  terminated_.add();
   (void)p;
   memory_.rebalance();
 }

@@ -46,6 +46,7 @@ class Host {
   bool kill(Pid pid);
 
   [[nodiscard]] Process* find(Pid pid);
+  [[nodiscard]] const Process* find(Pid pid) const;
   [[nodiscard]] const std::map<Pid, std::shared_ptr<Process>>& processes() const {
     return table_;
   }
@@ -85,6 +86,8 @@ class Host {
   Cpu cpu_;
   MemoryModel memory_;
   LoadAverage load_;
+  sim::Counter spawned_;     // interned once; bumped per spawn without a
+  sim::Counter terminated_;  // string build + map lookup
   std::map<Pid, std::shared_ptr<Process>> table_;
   std::map<std::string, std::unique_ptr<MessageQueue>> queues_;
   std::map<Socket::Fd, std::shared_ptr<Socket>> sockets_;

@@ -17,7 +17,7 @@ LoadAverage::~LoadAverage() { stop(); }
 
 void LoadAverage::start() {
   if (event_ != sim::kInvalidEvent) return;
-  event_ = sim_.after(interval_, [this] { sample(); });
+  event_ = sim_.every(interval_, [this] { sample(); });
 }
 
 void LoadAverage::stop() {
@@ -30,10 +30,8 @@ void LoadAverage::sample() {
   const double n = static_cast<double>(source_());
   value_ = value_ * decay_ + n * (1.0 - decay_);
   if (keepRunning_ && !keepRunning_()) {
-    event_ = sim::kInvalidEvent;  // idle host: let the event queue drain
-    return;
+    stop();  // idle host: let the event queue drain
   }
-  event_ = sim_.after(interval_, [this] { sample(); });
 }
 
 }  // namespace softqos::osim

@@ -126,9 +126,8 @@ void Process::setRtGrant(RtGrant grant) {
 }
 
 void Process::scheduleRtRefresh() {
-  rtRefreshEvent_ = host_.sim().after(rtGrant_.period, [this] {
+  rtRefreshEvent_ = host_.sim().every(rtGrant_.period, [this] {
     rtBudgetLeft_ = rtGrant_.budgetPerPeriod();
-    scheduleRtRefresh();
     host_.cpu().onPriorityChanged(this);
   });
 }

@@ -1,0 +1,121 @@
+// Small-buffer-optimized, move-only callable for the event kernel.
+//
+// std::function's inline buffer (16 bytes in libstdc++) is too small for the
+// closures the simulator actually schedules — a socket delivery captures a
+// continuation plus a Message (~130 bytes), a NIC hop captures a whole Packet
+// — so nearly every scheduled event paid a heap allocation. SmallCallback
+// stores captures up to kInlineCapacity bytes in place and only falls back to
+// the heap above that, which covers every closure in the tree today.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace softqos::sim {
+
+class SmallCallback {
+ public:
+  /// Sized to hold the largest hot-path closure (socket delivery: a
+  /// std::function continuation + an osim::Message) without spilling.
+  static constexpr std::size_t kInlineCapacity = 168;
+
+  SmallCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (fitsInline<Fn>()) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  SmallCallback(SmallCallback&& other) noexcept { moveFrom(other); }
+
+  SmallCallback& operator=(SmallCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      moveFrom(other);
+    }
+    return *this;
+  }
+
+  SmallCallback(const SmallCallback&) = delete;
+  SmallCallback& operator=(const SmallCallback&) = delete;
+
+  ~SmallCallback() { reset(); }
+
+  /// Invoke the stored callable. The callable stays valid and may be invoked
+  /// again (periodic events fire the same closure every period).
+  void operator()() { ops_->invoke(storage_); }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  /// True when the callable lives in the inline buffer (diagnostics/tests).
+  [[nodiscard]] bool isInline() const { return ops_ != nullptr && ops_->inlined; }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* from, void* to);  // move-construct to, destroy from
+    void (*destroy)(void*);
+    bool inlined;
+  };
+
+  template <typename Fn>
+  static constexpr bool fitsInline() {
+    return sizeof(Fn) <= kInlineCapacity &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {
+      [](void* o) { (*std::launder(reinterpret_cast<Fn*>(o)))(); },
+      [](void* from, void* to) {
+        Fn* src = std::launder(reinterpret_cast<Fn*>(from));
+        ::new (to) Fn(std::move(*src));
+        src->~Fn();
+      },
+      [](void* o) { std::launder(reinterpret_cast<Fn*>(o))->~Fn(); },
+      /*inlined=*/true,
+  };
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps = {
+      [](void* o) { (**std::launder(reinterpret_cast<Fn**>(o)))(); },
+      [](void* from, void* to) {
+        ::new (to) Fn*(*std::launder(reinterpret_cast<Fn**>(from)));
+      },
+      [](void* o) { delete *std::launder(reinterpret_cast<Fn**>(o)); },
+      /*inlined=*/false,
+  };
+
+  void moveFrom(SmallCallback& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(other.storage_, storage_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte storage_[kInlineCapacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace softqos::sim

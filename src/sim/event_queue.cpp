@@ -4,37 +4,199 @@
 
 namespace softqos::sim {
 
+std::uint32_t EventQueue::resolve(EventId id) const {
+  const auto low = static_cast<std::uint32_t>(id & 0xffffffffu);
+  if (low == 0) return kNpos;
+  const std::uint32_t idx = low - 1;
+  if (idx >= slots_.size()) return kNpos;
+  const Slot& s = slots_[idx];
+  if (s.state == SlotState::kFree) return kNpos;
+  if (s.generation != static_cast<std::uint32_t>(id >> 32)) return kNpos;
+  return idx;
+}
+
+std::uint32_t EventQueue::allocSlot() {
+  if (freeHead_ != kNpos) {
+    const std::uint32_t idx = freeHead_;
+    freeHead_ = slots_[idx].nextFree;
+    slots_[idx].nextFree = kNpos;
+    return idx;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::freeSlot(std::uint32_t idx) {
+  Slot& s = slots_[idx];
+  s.cb.reset();  // release captures eagerly, not at slot reuse
+  s.state = SlotState::kFree;
+  s.heapPos = kNpos;
+  s.period = 0;
+  ++s.generation;  // stale handles to this slot stop resolving
+  s.nextFree = freeHead_;
+  freeHead_ = idx;
+  --live_;
+}
+
 EventId EventQueue::schedule(SimTime when, Callback cb) {
   assert(cb && "scheduling an empty callback");
-  const EventId id = nextId_++;
-  heap_.push(Entry{when, id, std::move(cb)});
-  pending_.insert(id);
+  const std::uint32_t idx = allocSlot();
+  Slot& s = slots_[idx];
+  s.when = when;
+  s.seq = ++seqCounter_;
+  s.period = 0;
+  s.state = SlotState::kQueued;
+  s.cb = std::move(cb);
+  heapPush(idx);
+  ++live_;
+  ++scheduled_;
+  return makeId(idx, s.generation);
+}
+
+EventId EventQueue::schedulePeriodic(SimTime first, SimDuration period,
+                                     Callback cb) {
+  assert(cb && "scheduling an empty callback");
+  assert(period > 0 && "periodic events need a positive period");
+  const EventId id = schedule(first, std::move(cb));
+  slots_[resolve(id)].period = period;
   return id;
 }
 
-bool EventQueue::cancel(EventId id) { return pending_.erase(id) != 0; }
-
-void EventQueue::dropDeadFront() {
-  while (!heap_.empty() && !pending_.contains(heap_.top().id)) heap_.pop();
+bool EventQueue::cancel(EventId id) {
+  const std::uint32_t idx = resolve(id);
+  if (idx == kNpos) return false;
+  Slot& s = slots_[idx];
+  if (s.state == SlotState::kQueued) heapRemove(s.heapPos);
+  // kFiring: the callback was moved out for invocation; finishFire() will see
+  // the generation bump and drop it instead of re-arming.
+  freeSlot(idx);
+  return true;
 }
 
+bool EventQueue::reschedulePeriodic(EventId id, SimTime now,
+                                    SimDuration period) {
+  assert(period > 0 && "periodic events need a positive period");
+  const std::uint32_t idx = resolve(id);
+  if (idx == kNpos) return false;
+  Slot& s = slots_[idx];
+  if (s.period <= 0) return false;
+  s.period = period;
+  if (s.state == SlotState::kQueued) {
+    heapRemove(s.heapPos);
+    s.when = now + period;
+    s.seq = ++seqCounter_;
+    heapPush(idx);
+  }
+  // kFiring: finishFire() re-arms at fire-time + the updated period.
+  return true;
+}
+
+bool EventQueue::isPending(EventId id) const { return resolve(id) != kNpos; }
+
 SimTime EventQueue::nextTime() const {
-  auto* self = const_cast<EventQueue*>(this);
-  self->dropDeadFront();
-  assert(!self->heap_.empty() && "nextTime() on empty queue");
-  return self->heap_.top().when;
+  assert(!heap_.empty() && "nextTime() on empty queue");
+  return slots_[heap_.front()].when;
+}
+
+EventQueue::Firing EventQueue::beginFire() {
+  assert(!heap_.empty() && "beginFire() on empty queue");
+  const std::uint32_t idx = heap_.front();
+  Slot& s = slots_[idx];
+  Firing f;
+  f.when = s.when;
+  f.id = makeId(idx, s.generation);
+  f.cb = std::move(s.cb);
+  f.periodic = s.period > 0;
+  heapRemove(0);
+  if (f.periodic) {
+    s.state = SlotState::kFiring;  // stays live: cancel/reschedule still work
+  } else {
+    freeSlot(idx);
+  }
+  return f;
+}
+
+void EventQueue::finishFire(Firing&& f) {
+  if (!f.periodic) return;
+  const std::uint32_t idx = resolve(f.id);
+  if (idx == kNpos) return;  // cancelled from inside its own callback
+  Slot& s = slots_[idx];
+  assert(s.state == SlotState::kFiring);
+  s.cb = std::move(f.cb);
+  s.when = f.when + s.period;
+  s.seq = ++seqCounter_;  // re-arm orders after events the callback scheduled
+  s.state = SlotState::kQueued;
+  heapPush(idx);
 }
 
 std::pair<SimTime, EventQueue::Callback> EventQueue::pop() {
-  dropDeadFront();
-  assert(!heap_.empty() && "pop() on empty queue");
-  // priority_queue::top() returns const&; the entry is discarded immediately
-  // after, so moving the callback out through a non-const reference is safe.
-  Entry& top = const_cast<Entry&>(heap_.top());
-  std::pair<SimTime, Callback> out{top.when, std::move(top.cb)};
-  pending_.erase(top.id);
-  heap_.pop();
-  return out;
+  Firing f = beginFire();
+  if (f.periodic) {
+    const std::uint32_t idx = resolve(f.id);
+    if (idx != kNpos) freeSlot(idx);
+  }
+  return {f.when, std::move(f.cb)};
+}
+
+void EventQueue::heapPush(std::uint32_t idx) {
+  slots_[idx].heapPos = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(idx);
+  siftUp(slots_[idx].heapPos);
+}
+
+void EventQueue::heapRemove(std::uint32_t pos) {
+  assert(pos < heap_.size());
+  slots_[heap_[pos]].heapPos = kNpos;
+  const auto last = static_cast<std::uint32_t>(heap_.size() - 1);
+  if (pos != last) {
+    const std::uint32_t moved = heap_[last];
+    heap_.pop_back();
+    heap_[pos] = moved;
+    slots_[moved].heapPos = pos;
+    // The displaced element may need to move either direction.
+    siftDown(pos);
+    if (slots_[moved].heapPos == pos) siftUp(pos);
+  } else {
+    heap_.pop_back();
+  }
+}
+
+void EventQueue::siftUp(std::uint32_t pos) {
+  const std::uint32_t idx = heap_[pos];
+  while (pos > 0) {
+    const std::uint32_t parent = (pos - 1) / 2;
+    if (!before(idx, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    slots_[heap_[pos]].heapPos = pos;
+    pos = parent;
+  }
+  heap_[pos] = idx;
+  slots_[idx].heapPos = pos;
+}
+
+void EventQueue::siftDown(std::uint32_t pos) {
+  const std::uint32_t n = static_cast<std::uint32_t>(heap_.size());
+  const std::uint32_t idx = heap_[pos];
+  while (true) {
+    std::uint32_t best = pos;
+    const std::uint32_t l = 2 * pos + 1;
+    const std::uint32_t r = 2 * pos + 2;
+    std::uint32_t bestIdx = idx;
+    if (l < n && before(heap_[l], bestIdx)) {
+      best = l;
+      bestIdx = heap_[l];
+    }
+    if (r < n && before(heap_[r], bestIdx)) {
+      best = r;
+      bestIdx = heap_[r];
+    }
+    if (best == pos) break;
+    heap_[pos] = heap_[best];
+    slots_[heap_[pos]].heapPos = pos;
+    pos = best;
+  }
+  heap_[pos] = idx;
+  slots_[idx].heapPos = pos;
 }
 
 }  // namespace softqos::sim

@@ -1,77 +1,150 @@
 // Deterministic event queue for the softqos discrete-event kernel.
+//
+// Events live in a pooled slot arena; a binary heap of slot indices orders
+// them by (timestamp, insertion sequence), so events at equal timestamps fire
+// in insertion order and whole-system runs stay bit-reproducible. EventId
+// handles encode (slot, generation): cancelling a stale handle after the slot
+// was recycled is a safe no-op. Cancellation removes the heap entry eagerly
+// (no tombstones accumulate under cancel-heavy workloads such as RPC
+// timeouts) and returns the slot to a free list for reuse.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "sim/time.hpp"
 
 namespace softqos::sim {
 
-/// Handle identifying a scheduled event; usable for cancellation.
+/// Handle identifying a scheduled event; usable for cancellation. Encodes the
+/// arena slot in the low 32 bits (offset by one so 0 stays invalid) and the
+/// slot's generation in the high 32 bits.
 using EventId = std::uint64_t;
 
 /// Sentinel returned when no event was scheduled.
 inline constexpr EventId kInvalidEvent = 0;
 
-/// Priority queue of timed callbacks with stable ordering and cancellation.
-///
-/// Events at equal timestamps fire in insertion order, which makes whole-system
-/// runs bit-reproducible. Cancellation is O(1): the id is removed from the
-/// pending set and its heap entry dropped lazily when it reaches the front.
+/// Pooled, generation-stamped priority queue of timed callbacks with stable
+/// FIFO ordering at equal timestamps and eager cancellation.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallCallback;
 
-  /// Schedule `cb` to fire at absolute time `when`. `when` must be >= the time
-  /// of the most recently popped event (the kernel enforces monotonicity).
+  /// One event popped for execution. For a periodic event the slot stays live
+  /// ("firing") while the callback runs so its id remains cancellable; the
+  /// kernel hands the record back via finishFire() to re-arm it.
+  struct Firing {
+    SimTime when = 0;
+    EventId id = kInvalidEvent;
+    Callback cb;
+    bool periodic = false;
+  };
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedule `cb` to fire once at absolute time `when`. `when` must be >= the
+  /// time of the most recently popped event (the kernel enforces monotonicity).
   EventId schedule(SimTime when, Callback cb);
 
-  /// Cancel a previously scheduled event. Safe to call with an id that already
-  /// fired or was cancelled; returns true if the event was still pending.
+  /// Schedule `cb` to fire at `first` and then every `period` ticks. The
+  /// returned id stays valid across occurrences. `period` must be > 0.
+  EventId schedulePeriodic(SimTime first, SimDuration period, Callback cb);
+
+  /// Cancel a scheduled event (one-shot or periodic; also valid while the
+  /// event's own callback is running). Safe with stale or invalid ids;
+  /// returns true if the event was still live. The callback is destroyed and
+  /// the heap entry removed immediately.
   bool cancel(EventId id);
 
-  /// True if `id` is scheduled and has neither fired nor been cancelled.
-  [[nodiscard]] bool isPending(EventId id) const { return pending_.contains(id); }
+  /// Re-time a periodic event: its next occurrence moves to `now + period`
+  /// (or, when called from inside the firing callback, to fire-time + period)
+  /// and subsequent occurrences follow every `period`. Returns false for
+  /// stale ids or one-shot events.
+  bool reschedulePeriodic(EventId id, SimTime now, SimDuration period);
+
+  /// True if `id` is live: scheduled, or a periodic event currently firing.
+  [[nodiscard]] bool isPending(EventId id) const;
 
   /// True when no live events remain.
-  [[nodiscard]] bool empty() const { return pending_.empty(); }
+  [[nodiscard]] bool empty() const { return live_ == 0; }
 
-  /// Number of live (scheduled, not cancelled, not fired) events.
-  [[nodiscard]] std::size_t size() const { return pending_.size(); }
+  /// Number of live events.
+  [[nodiscard]] std::size_t size() const { return live_; }
 
   /// Timestamp of the earliest live event. Precondition: !empty().
   [[nodiscard]] SimTime nextTime() const;
 
-  /// Pop and return the earliest live event. Precondition: !empty().
-  /// The caller (Simulation) invokes the callback after advancing the clock.
+  /// Pop the earliest event and remove it entirely (a periodic event is
+  /// deactivated). Precondition: !empty(). The kernel's fire path is
+  /// beginFire()/finishFire(); pop() serves tests and ad-hoc draining.
   std::pair<SimTime, Callback> pop();
 
-  /// Total events scheduled over the queue's lifetime (diagnostics).
-  [[nodiscard]] std::uint64_t totalScheduled() const { return nextId_ - 1; }
+  /// Remove the earliest event for execution. The caller invokes `cb` after
+  /// advancing the clock, then must pass the record to finishFire().
+  Firing beginFire();
+
+  /// Complete a fire: re-arms a periodic event at when + period with a fresh
+  /// insertion sequence number (unless it was cancelled, or rescheduled, from
+  /// inside its own callback). One-shot records are a no-op.
+  void finishFire(Firing&& f);
+
+  /// Total events scheduled over the queue's lifetime, periodic re-arms
+  /// excluded (diagnostics).
+  [[nodiscard]] std::uint64_t totalScheduled() const { return scheduled_; }
+
+  /// Number of arena slots ever allocated (diagnostics: bounded by the peak
+  /// number of simultaneously live events, not by total throughput).
+  [[nodiscard]] std::size_t slotCapacity() const { return slots_.size(); }
 
  private:
-  struct Entry {
+  static constexpr std::uint32_t kNpos = 0xffffffffu;
+
+  enum class SlotState : std::uint8_t { kFree, kQueued, kFiring };
+
+  struct Slot {
     SimTime when = 0;
-    EventId id = kInvalidEvent;  // doubles as the insertion sequence number
+    std::uint64_t seq = 0;       // FIFO tie-break at equal timestamps
+    SimDuration period = 0;      // 0 = one-shot
+    std::uint32_t generation = 1;
+    std::uint32_t heapPos = kNpos;
+    std::uint32_t nextFree = kNpos;
+    SlotState state = SlotState::kFree;
     Callback cb;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.id > b.id;
-    }
-  };
 
-  void dropDeadFront();
+  static EventId makeId(std::uint32_t slot, std::uint32_t generation) {
+    return (static_cast<EventId>(generation) << 32) |
+           (static_cast<EventId>(slot) + 1);
+  }
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<EventId> pending_;
-  EventId nextId_ = 1;
+  /// Slot index for `id`, or kNpos if the handle is stale/invalid.
+  [[nodiscard]] std::uint32_t resolve(EventId id) const;
+
+  std::uint32_t allocSlot();
+  void freeSlot(std::uint32_t idx);
+
+  [[nodiscard]] bool before(std::uint32_t a, std::uint32_t b) const {
+    const Slot& sa = slots_[a];
+    const Slot& sb = slots_[b];
+    if (sa.when != sb.when) return sa.when < sb.when;
+    return sa.seq < sb.seq;
+  }
+
+  void heapPush(std::uint32_t idx);
+  void heapRemove(std::uint32_t pos);
+  void siftUp(std::uint32_t pos);
+  void siftDown(std::uint32_t pos);
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> heap_;  // slot indices ordered by (when, seq)
+  std::uint32_t freeHead_ = kNpos;
+  std::size_t live_ = 0;
+  std::uint64_t seqCounter_ = 0;
+  std::uint64_t scheduled_ = 0;
 };
 
 }  // namespace softqos::sim

@@ -25,9 +25,16 @@ double Summary::variance() const {
 
 double Summary::stddev() const { return std::sqrt(variance()); }
 
-void TimeSeries::record(SimTime t, double value) {
-  samples_.emplace_back(t, value);
-  summary_.add(value);
+const Summary& TimeSeries::summary() const {
+  if (dirty_) {
+    summary_ = Summary();
+    for (const auto& [t, v] : samples_) {
+      (void)t;
+      summary_.add(v);
+    }
+    dirty_ = false;
+  }
+  return summary_;
 }
 
 Summary TimeSeries::summaryFrom(SimTime from) const {

@@ -2,6 +2,12 @@
 //
 // Experiments record series through a MetricRegistry owned by the Simulation;
 // bench harnesses read the summaries to print paper-style tables.
+//
+// Steady-path recording is allocation- and lookup-free: callers intern a
+// Counter or TimeSeries handle once (string lookup at registration only) and
+// record through the handle afterwards. Handles stay valid for the registry's
+// lifetime — entries live in node-stable maps — but are invalidated by
+// clear().
 #pragma once
 
 #include <cstdint>
@@ -35,15 +41,20 @@ class Summary {
   double sum_ = 0.0;
 };
 
-/// A named time series of (time, value) samples plus a running summary.
+/// A named time series of (time, value) samples plus summary statistics.
+/// Recording is just an append; the summary is computed on first read and
+/// cached (experiments record millions of samples and read the summary once).
 class TimeSeries {
  public:
-  void record(SimTime t, double value);
+  void record(SimTime t, double value) {
+    samples_.emplace_back(t, value);
+    dirty_ = true;
+  }
 
   [[nodiscard]] const std::vector<std::pair<SimTime, double>>& samples() const {
     return samples_;
   }
-  [[nodiscard]] const Summary& summary() const { return summary_; }
+  [[nodiscard]] const Summary& summary() const;
 
   /// Summary restricted to samples with t >= from (e.g. skip warm-up).
   [[nodiscard]] Summary summaryFrom(SimTime from) const;
@@ -53,16 +64,49 @@ class TimeSeries {
 
  private:
   std::vector<std::pair<SimTime, double>> samples_;
-  Summary summary_;
+  mutable Summary summary_;
+  mutable bool dirty_ = false;
+};
+
+/// Interned handle to a registry counter: one pointer-chase to bump, no
+/// string lookup. Copyable; a default-constructed handle ignores add().
+class Counter {
+ public:
+  Counter() = default;
+
+  void add(std::int64_t delta = 1) {
+    if (v_ != nullptr) *v_ += delta;
+  }
+  [[nodiscard]] std::int64_t value() const { return v_ != nullptr ? *v_ : 0; }
+  [[nodiscard]] explicit operator bool() const { return v_ != nullptr; }
+
+ private:
+  friend class MetricRegistry;
+  explicit Counter(std::int64_t* v) : v_(v) {}
+  std::int64_t* v_ = nullptr;
 };
 
 /// Registry of named counters and time series, keyed by string.
 class MetricRegistry {
  public:
+  /// Intern a counter handle (created at zero on first use). The handle is
+  /// stable until clear().
+  [[nodiscard]] Counter counterHandle(const std::string& name) {
+    return Counter(&counters_[name]);
+  }
+
+  /// Intern a series handle (created on first use). The pointer is stable
+  /// until clear().
+  [[nodiscard]] TimeSeries* seriesHandle(const std::string& name) {
+    return &series_[name];
+  }
+
   /// Add `delta` to the named counter (created at zero on first use).
+  /// String-keyed convenience; hot paths should intern a handle instead.
   void count(const std::string& name, std::int64_t delta = 1);
 
   /// Record a sample on the named series (created on first use).
+  /// String-keyed convenience; hot paths should intern a handle instead.
   void sample(const std::string& name, SimTime t, double value);
 
   [[nodiscard]] std::int64_t counter(const std::string& name) const;
@@ -74,6 +118,7 @@ class MetricRegistry {
     return series_;
   }
 
+  /// Drops all metrics. Invalidates interned handles.
   void clear();
 
  private:

@@ -15,11 +15,26 @@ EventId Simulation::at(SimTime when, EventQueue::Callback cb) {
   return queue_.schedule(when, std::move(cb));
 }
 
+EventId Simulation::every(SimDuration period, EventQueue::Callback cb) {
+  if (period <= 0) {
+    throw std::invalid_argument("Simulation::every: period must be positive");
+  }
+  return queue_.schedulePeriodic(now_ + period, period, std::move(cb));
+}
+
+bool Simulation::reschedule(EventId id, SimDuration period) {
+  if (period <= 0) {
+    throw std::invalid_argument("Simulation::reschedule: period must be positive");
+  }
+  return queue_.reschedulePeriodic(id, now_, period);
+}
+
 void Simulation::executeOne() {
-  auto [when, cb] = queue_.pop();
-  assert(when >= now_ && "event queue produced a time in the past");
-  now_ = when;
-  cb();
+  EventQueue::Firing f = queue_.beginFire();
+  assert(f.when >= now_ && "event queue produced a time in the past");
+  now_ = f.when;
+  f.cb();
+  queue_.finishFire(std::move(f));
 }
 
 std::uint64_t Simulation::runUntil(SimTime until) {

@@ -6,9 +6,10 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <string_view>
+#include <type_traits>
+#include <utility>
 
 #include "sim/event_queue.hpp"
 #include "sim/metrics.hpp"
@@ -33,6 +34,16 @@ class Simulation {
 
   /// Schedule `cb` at absolute time `when` (>= now()).
   EventId at(SimTime when, EventQueue::Callback cb);
+
+  /// Schedule `cb` to run every `period` ticks (> 0), first at now + period.
+  /// The closure is constructed once and reused across occurrences; the
+  /// returned id stays valid until cancelled (including from inside `cb`).
+  EventId every(SimDuration period, EventQueue::Callback cb);
+
+  /// Move a periodic event's next occurrence to now + `period` (from inside
+  /// its own callback: fire-time + `period`) and make subsequent occurrences
+  /// follow every `period`. Returns false for stale ids / one-shot events.
+  bool reschedule(EventId id, SimDuration period);
 
   /// Cancel a pending event; returns true if it was still pending.
   bool cancel(EventId id) { return queue_.cancel(id); }
@@ -59,18 +70,49 @@ class Simulation {
   Trace& trace() { return trace_; }
   EventQueue& queue() { return queue_; }
 
-  /// Convenience logging helpers stamping the current simulated time.
+  /// Convenience logging helpers stamping the current simulated time. The
+  /// level guard runs before anything else so disabled tracing costs one
+  /// branch (the argument strings are still materialized by the caller; use
+  /// the lazy overloads below on hot paths).
   void debug(std::string component, std::string message) {
-    trace_.log(now_, TraceLevel::kDebug, std::move(component), std::move(message));
+    if (trace_.enabled(TraceLevel::kDebug)) {
+      trace_.log(now_, TraceLevel::kDebug, std::move(component), std::move(message));
+    }
   }
   void info(std::string component, std::string message) {
-    trace_.log(now_, TraceLevel::kInfo, std::move(component), std::move(message));
+    if (trace_.enabled(TraceLevel::kInfo)) {
+      trace_.log(now_, TraceLevel::kInfo, std::move(component), std::move(message));
+    }
   }
   void warn(std::string component, std::string message) {
-    trace_.log(now_, TraceLevel::kWarn, std::move(component), std::move(message));
+    if (trace_.enabled(TraceLevel::kWarn)) {
+      trace_.log(now_, TraceLevel::kWarn, std::move(component), std::move(message));
+    }
+  }
+
+  /// Lazy logging: `make` is only invoked (and its message only built) when
+  /// the level is enabled. It may return anything convertible to std::string.
+  template <typename Fn, typename = std::enable_if_t<std::is_invocable_v<Fn&>>>
+  void debug(std::string_view component, Fn&& make) {
+    logLazy(TraceLevel::kDebug, component, std::forward<Fn>(make));
+  }
+  template <typename Fn, typename = std::enable_if_t<std::is_invocable_v<Fn&>>>
+  void info(std::string_view component, Fn&& make) {
+    logLazy(TraceLevel::kInfo, component, std::forward<Fn>(make));
+  }
+  template <typename Fn, typename = std::enable_if_t<std::is_invocable_v<Fn&>>>
+  void warn(std::string_view component, Fn&& make) {
+    logLazy(TraceLevel::kWarn, component, std::forward<Fn>(make));
   }
 
  private:
+  template <typename Fn>
+  void logLazy(TraceLevel level, std::string_view component, Fn&& make) {
+    if (trace_.enabled(level)) {
+      trace_.log(now_, level, std::string(component), std::string(make()));
+    }
+  }
+
   void executeOne();
 
   std::uint64_t seed_;

@@ -30,6 +30,10 @@ class Trace {
   void setLevel(TraceLevel level) { level_ = level; }
   [[nodiscard]] TraceLevel level() const { return level_; }
 
+  /// True when records at `level` would be retained. Callers guard message
+  /// construction with this so disabled tracing costs one branch.
+  [[nodiscard]] bool enabled(TraceLevel level) const { return level >= level_; }
+
   /// Mirror retained records to `os` (pass nullptr to stop mirroring).
   void mirrorTo(std::ostream* os) { mirror_ = os; }
 

@@ -89,6 +89,36 @@ TEST(EventQueue, IsPendingLifecycle) {
   EXPECT_FALSE(q.isPending(a));
 }
 
+TEST(EventQueue, StaleIdAfterCancelDoesNotTouchReusedSlot) {
+  EventQueue q;
+  const EventId a = q.schedule(1, [] {});
+  ASSERT_TRUE(q.cancel(a));
+  // The freed slot is recycled for b; the stale handle must not resolve.
+  const EventId b = q.schedule(2, [] {});
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(q.cancel(a));
+  EXPECT_FALSE(q.isPending(a));
+  EXPECT_TRUE(q.isPending(b));
+  EXPECT_TRUE(q.cancel(b));
+}
+
+TEST(EventQueue, StaleIdAfterFireDoesNotTouchReusedSlot) {
+  EventQueue q;
+  const EventId a = q.schedule(1, [] {});
+  q.pop();
+  const EventId b = q.schedule(2, [] {});
+  EXPECT_FALSE(q.cancel(a));
+  EXPECT_TRUE(q.isPending(b));
+}
+
+TEST(EventQueue, SlotsAreReusedInsteadOfGrowingTheArena) {
+  EventQueue q;
+  for (int round = 0; round < 1000; ++round) {
+    q.cancel(q.schedule(round + 1, [] {}));
+  }
+  EXPECT_LE(q.slotCapacity(), 4u);
+}
+
 // ---- Simulation ----
 
 TEST(Simulation, ClockAdvancesToEventTime) {
@@ -158,6 +188,91 @@ TEST(Simulation, ZeroDelayEventFiresAtCurrentTime) {
     s.after(0, [&] { EXPECT_EQ(s.now(), msec(1)); });
   });
   s.runAll();
+}
+
+// ---- Periodic events ----
+
+TEST(Simulation, EveryFiresAtFixedPeriod) {
+  Simulation s;
+  std::vector<SimTime> fires;
+  const EventId id = s.every(msec(10), [&] { fires.push_back(s.now()); });
+  s.runUntil(msec(35));
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_EQ(fires, (std::vector<SimTime>{msec(10), msec(20), msec(30)}));
+}
+
+TEST(Simulation, EveryRejectsNonPositivePeriod) {
+  Simulation s;
+  EXPECT_THROW(s.every(0, [] {}), std::invalid_argument);
+  EXPECT_THROW(s.every(-msec(1), [] {}), std::invalid_argument);
+}
+
+TEST(Simulation, EveryCallbackCanCancelItself) {
+  Simulation s;
+  int fired = 0;
+  EventId id = kInvalidEvent;
+  id = s.every(msec(1), [&] {
+    if (++fired == 3) s.cancel(id);
+  });
+  s.runAll();
+  EXPECT_EQ(fired, 3);
+  EXPECT_FALSE(s.cancel(id));  // already dead
+}
+
+TEST(Simulation, CancelBetweenOccurrencesStopsPeriodic) {
+  Simulation s;
+  int fired = 0;
+  const EventId id = s.every(msec(10), [&] { ++fired; });
+  s.after(msec(25), [&] { EXPECT_TRUE(s.cancel(id)); });
+  s.runAll();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, RescheduleInsideOwnCallbackRetimesNextFire) {
+  // The random-gap pacing idiom (traffic sources, Poisson arrivals): each
+  // occurrence re-times the next one from inside the firing callback.
+  Simulation s;
+  std::vector<SimTime> fires;
+  EventId id = kInvalidEvent;
+  id = s.every(msec(10), [&] {
+    fires.push_back(s.now());
+    s.reschedule(id, msec(3));
+  });
+  s.runUntil(msec(17));
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_EQ(fires, (std::vector<SimTime>{msec(10), msec(13), msec(16)}));
+}
+
+TEST(Simulation, RescheduleQueuedPeriodicMovesNextFire) {
+  Simulation s;
+  std::vector<SimTime> fires;
+  const EventId id = s.every(msec(10), [&] { fires.push_back(s.now()); });
+  s.after(msec(4), [&] { EXPECT_TRUE(s.reschedule(id, msec(2))); });
+  s.runUntil(msec(8));
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_EQ(fires, (std::vector<SimTime>{msec(6), msec(8)}));
+}
+
+TEST(Simulation, RescheduleDeadEventReturnsFalse) {
+  Simulation s;
+  const EventId id = s.every(msec(1), [] {});
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.reschedule(id, msec(5)));
+}
+
+TEST(Simulation, PeriodicReArmLosesTiesToCallbackScheduledWork) {
+  // The re-arm happens after the callback returns, so events the callback
+  // schedules for the same future timestamp fire first — matching the old
+  // reschedule-at-end-of-callback idiom bit for bit.
+  Simulation s;
+  std::vector<int> order;
+  const EventId id = s.every(msec(10), [&] {
+    order.push_back(1);
+    s.after(msec(10), [&] { order.push_back(2); });
+  });
+  s.runUntil(msec(20));
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 1}));
 }
 
 // ---- RandomStream ----

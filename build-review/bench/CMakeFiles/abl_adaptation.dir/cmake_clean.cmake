@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_adaptation.dir/abl_adaptation.cpp.o"
+  "CMakeFiles/abl_adaptation.dir/abl_adaptation.cpp.o.d"
+  "abl_adaptation"
+  "abl_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_admin_constraints.dir/abl_admin_constraints.cpp.o"
+  "CMakeFiles/abl_admin_constraints.dir/abl_admin_constraints.cpp.o.d"
+  "abl_admin_constraints"
+  "abl_admin_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_admin_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_fault_localization.dir/abl_fault_localization.cpp.o"
+  "CMakeFiles/abl_fault_localization.dir/abl_fault_localization.cpp.o.d"
+  "abl_fault_localization"
+  "abl_fault_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_fault_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_inference_scaling.cpp" "bench/CMakeFiles/abl_inference_scaling.dir/abl_inference_scaling.cpp.o" "gcc" "bench/CMakeFiles/abl_inference_scaling.dir/abl_inference_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/apps/CMakeFiles/softqos_apps.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/distribution/CMakeFiles/softqos_distribution.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/manager/CMakeFiles/softqos_manager.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/instrument/CMakeFiles/softqos_instrument.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/policy/CMakeFiles/softqos_policy.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ldapdir/CMakeFiles/softqos_ldapdir.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/softqos_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/osim/CMakeFiles/softqos_osim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/rules/CMakeFiles/softqos_rules.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/softqos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_inference_scaling.dir/abl_inference_scaling.cpp.o"
+  "CMakeFiles/abl_inference_scaling.dir/abl_inference_scaling.cpp.o.d"
+  "abl_inference_scaling"
+  "abl_inference_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_inference_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

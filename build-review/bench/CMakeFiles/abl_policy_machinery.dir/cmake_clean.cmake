@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_policy_machinery.dir/abl_policy_machinery.cpp.o"
+  "CMakeFiles/abl_policy_machinery.dir/abl_policy_machinery.cpp.o.d"
+  "abl_policy_machinery"
+  "abl_policy_machinery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_policy_machinery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_proactive.dir/abl_proactive.cpp.o"
+  "CMakeFiles/abl_proactive.dir/abl_proactive.cpp.o.d"
+  "abl_proactive"
+  "abl_proactive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_proactive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sim_kernel.dir/bench_sim_kernel.cpp.o"
+  "CMakeFiles/bench_sim_kernel.dir/bench_sim_kernel.cpp.o.d"
+  "bench_sim_kernel"
+  "bench_sim_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sim_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_video_throughput.dir/fig3_video_throughput.cpp.o"
+  "CMakeFiles/fig3_video_throughput.dir/fig3_video_throughput.cpp.o.d"
+  "fig3_video_throughput"
+  "fig3_video_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_video_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

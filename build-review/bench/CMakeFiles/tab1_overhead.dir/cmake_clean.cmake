@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_overhead.dir/tab1_overhead.cpp.o"
+  "CMakeFiles/tab1_overhead.dir/tab1_overhead.cpp.o.d"
+  "tab1_overhead"
+  "tab1_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

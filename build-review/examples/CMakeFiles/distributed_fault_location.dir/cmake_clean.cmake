@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_fault_location.dir/distributed_fault_location.cpp.o"
+  "CMakeFiles/distributed_fault_location.dir/distributed_fault_location.cpp.o.d"
+  "distributed_fault_location"
+  "distributed_fault_location.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_fault_location.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

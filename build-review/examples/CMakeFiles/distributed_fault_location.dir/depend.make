@@ -1,0 +1,2 @@
+# Empty dependencies file for distributed_fault_location.
+# This may be replaced when dependencies are built.

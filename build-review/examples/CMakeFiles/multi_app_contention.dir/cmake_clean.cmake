@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_app_contention.dir/multi_app_contention.cpp.o"
+  "CMakeFiles/multi_app_contention.dir/multi_app_contention.cpp.o.d"
+  "multi_app_contention"
+  "multi_app_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_app_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_admin.dir/policy_admin.cpp.o"
+  "CMakeFiles/policy_admin.dir/policy_admin.cpp.o.d"
+  "policy_admin"
+  "policy_admin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_admin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_playback.dir/video_playback.cpp.o"
+  "CMakeFiles/video_playback.dir/video_playback.cpp.o.d"
+  "video_playback"
+  "video_playback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_playback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softqos_apps.dir/game.cpp.o"
+  "CMakeFiles/softqos_apps.dir/game.cpp.o.d"
+  "CMakeFiles/softqos_apps.dir/loadgen.cpp.o"
+  "CMakeFiles/softqos_apps.dir/loadgen.cpp.o.d"
+  "CMakeFiles/softqos_apps.dir/testbed.cpp.o"
+  "CMakeFiles/softqos_apps.dir/testbed.cpp.o.d"
+  "CMakeFiles/softqos_apps.dir/video.cpp.o"
+  "CMakeFiles/softqos_apps.dir/video.cpp.o.d"
+  "CMakeFiles/softqos_apps.dir/video_model.cpp.o"
+  "CMakeFiles/softqos_apps.dir/video_model.cpp.o.d"
+  "CMakeFiles/softqos_apps.dir/webserver.cpp.o"
+  "CMakeFiles/softqos_apps.dir/webserver.cpp.o.d"
+  "libsoftqos_apps.a"
+  "libsoftqos_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softqos_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

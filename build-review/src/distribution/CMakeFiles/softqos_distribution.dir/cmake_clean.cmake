@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softqos_distribution.dir/admin.cpp.o"
+  "CMakeFiles/softqos_distribution.dir/admin.cpp.o.d"
+  "CMakeFiles/softqos_distribution.dir/policy_agent.cpp.o"
+  "CMakeFiles/softqos_distribution.dir/policy_agent.cpp.o.d"
+  "CMakeFiles/softqos_distribution.dir/qorms.cpp.o"
+  "CMakeFiles/softqos_distribution.dir/qorms.cpp.o.d"
+  "CMakeFiles/softqos_distribution.dir/repository.cpp.o"
+  "CMakeFiles/softqos_distribution.dir/repository.cpp.o.d"
+  "libsoftqos_distribution.a"
+  "libsoftqos_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softqos_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

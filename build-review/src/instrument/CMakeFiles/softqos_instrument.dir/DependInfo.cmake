@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/instrument/actuator.cpp" "src/instrument/CMakeFiles/softqos_instrument.dir/actuator.cpp.o" "gcc" "src/instrument/CMakeFiles/softqos_instrument.dir/actuator.cpp.o.d"
+  "/root/repo/src/instrument/control.cpp" "src/instrument/CMakeFiles/softqos_instrument.dir/control.cpp.o" "gcc" "src/instrument/CMakeFiles/softqos_instrument.dir/control.cpp.o.d"
+  "/root/repo/src/instrument/coordinator.cpp" "src/instrument/CMakeFiles/softqos_instrument.dir/coordinator.cpp.o" "gcc" "src/instrument/CMakeFiles/softqos_instrument.dir/coordinator.cpp.o.d"
+  "/root/repo/src/instrument/proactive.cpp" "src/instrument/CMakeFiles/softqos_instrument.dir/proactive.cpp.o" "gcc" "src/instrument/CMakeFiles/softqos_instrument.dir/proactive.cpp.o.d"
+  "/root/repo/src/instrument/registry.cpp" "src/instrument/CMakeFiles/softqos_instrument.dir/registry.cpp.o" "gcc" "src/instrument/CMakeFiles/softqos_instrument.dir/registry.cpp.o.d"
+  "/root/repo/src/instrument/report.cpp" "src/instrument/CMakeFiles/softqos_instrument.dir/report.cpp.o" "gcc" "src/instrument/CMakeFiles/softqos_instrument.dir/report.cpp.o.d"
+  "/root/repo/src/instrument/sensor.cpp" "src/instrument/CMakeFiles/softqos_instrument.dir/sensor.cpp.o" "gcc" "src/instrument/CMakeFiles/softqos_instrument.dir/sensor.cpp.o.d"
+  "/root/repo/src/instrument/sensors.cpp" "src/instrument/CMakeFiles/softqos_instrument.dir/sensors.cpp.o" "gcc" "src/instrument/CMakeFiles/softqos_instrument.dir/sensors.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/osim/CMakeFiles/softqos_osim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/policy/CMakeFiles/softqos_policy.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/softqos_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ldapdir/CMakeFiles/softqos_ldapdir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softqos_instrument.dir/actuator.cpp.o"
+  "CMakeFiles/softqos_instrument.dir/actuator.cpp.o.d"
+  "CMakeFiles/softqos_instrument.dir/control.cpp.o"
+  "CMakeFiles/softqos_instrument.dir/control.cpp.o.d"
+  "CMakeFiles/softqos_instrument.dir/coordinator.cpp.o"
+  "CMakeFiles/softqos_instrument.dir/coordinator.cpp.o.d"
+  "CMakeFiles/softqos_instrument.dir/proactive.cpp.o"
+  "CMakeFiles/softqos_instrument.dir/proactive.cpp.o.d"
+  "CMakeFiles/softqos_instrument.dir/registry.cpp.o"
+  "CMakeFiles/softqos_instrument.dir/registry.cpp.o.d"
+  "CMakeFiles/softqos_instrument.dir/report.cpp.o"
+  "CMakeFiles/softqos_instrument.dir/report.cpp.o.d"
+  "CMakeFiles/softqos_instrument.dir/sensor.cpp.o"
+  "CMakeFiles/softqos_instrument.dir/sensor.cpp.o.d"
+  "CMakeFiles/softqos_instrument.dir/sensors.cpp.o"
+  "CMakeFiles/softqos_instrument.dir/sensors.cpp.o.d"
+  "libsoftqos_instrument.a"
+  "libsoftqos_instrument.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softqos_instrument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

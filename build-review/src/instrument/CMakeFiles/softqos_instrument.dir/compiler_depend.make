@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for softqos_instrument.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ldapdir/directory.cpp" "src/ldapdir/CMakeFiles/softqos_ldapdir.dir/directory.cpp.o" "gcc" "src/ldapdir/CMakeFiles/softqos_ldapdir.dir/directory.cpp.o.d"
+  "/root/repo/src/ldapdir/dn.cpp" "src/ldapdir/CMakeFiles/softqos_ldapdir.dir/dn.cpp.o" "gcc" "src/ldapdir/CMakeFiles/softqos_ldapdir.dir/dn.cpp.o.d"
+  "/root/repo/src/ldapdir/entry.cpp" "src/ldapdir/CMakeFiles/softqos_ldapdir.dir/entry.cpp.o" "gcc" "src/ldapdir/CMakeFiles/softqos_ldapdir.dir/entry.cpp.o.d"
+  "/root/repo/src/ldapdir/filter.cpp" "src/ldapdir/CMakeFiles/softqos_ldapdir.dir/filter.cpp.o" "gcc" "src/ldapdir/CMakeFiles/softqos_ldapdir.dir/filter.cpp.o.d"
+  "/root/repo/src/ldapdir/ldif.cpp" "src/ldapdir/CMakeFiles/softqos_ldapdir.dir/ldif.cpp.o" "gcc" "src/ldapdir/CMakeFiles/softqos_ldapdir.dir/ldif.cpp.o.d"
+  "/root/repo/src/ldapdir/schema.cpp" "src/ldapdir/CMakeFiles/softqos_ldapdir.dir/schema.cpp.o" "gcc" "src/ldapdir/CMakeFiles/softqos_ldapdir.dir/schema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softqos_ldapdir.dir/directory.cpp.o"
+  "CMakeFiles/softqos_ldapdir.dir/directory.cpp.o.d"
+  "CMakeFiles/softqos_ldapdir.dir/dn.cpp.o"
+  "CMakeFiles/softqos_ldapdir.dir/dn.cpp.o.d"
+  "CMakeFiles/softqos_ldapdir.dir/entry.cpp.o"
+  "CMakeFiles/softqos_ldapdir.dir/entry.cpp.o.d"
+  "CMakeFiles/softqos_ldapdir.dir/filter.cpp.o"
+  "CMakeFiles/softqos_ldapdir.dir/filter.cpp.o.d"
+  "CMakeFiles/softqos_ldapdir.dir/ldif.cpp.o"
+  "CMakeFiles/softqos_ldapdir.dir/ldif.cpp.o.d"
+  "CMakeFiles/softqos_ldapdir.dir/schema.cpp.o"
+  "CMakeFiles/softqos_ldapdir.dir/schema.cpp.o.d"
+  "libsoftqos_ldapdir.a"
+  "libsoftqos_ldapdir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softqos_ldapdir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

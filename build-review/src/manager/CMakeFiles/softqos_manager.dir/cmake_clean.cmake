@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softqos_manager.dir/default_rules.cpp.o"
+  "CMakeFiles/softqos_manager.dir/default_rules.cpp.o.d"
+  "CMakeFiles/softqos_manager.dir/domain_manager.cpp.o"
+  "CMakeFiles/softqos_manager.dir/domain_manager.cpp.o.d"
+  "CMakeFiles/softqos_manager.dir/host_manager.cpp.o"
+  "CMakeFiles/softqos_manager.dir/host_manager.cpp.o.d"
+  "CMakeFiles/softqos_manager.dir/resource_manager.cpp.o"
+  "CMakeFiles/softqos_manager.dir/resource_manager.cpp.o.d"
+  "libsoftqos_manager.a"
+  "libsoftqos_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softqos_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

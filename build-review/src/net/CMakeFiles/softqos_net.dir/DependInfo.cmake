@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/channel.cpp" "src/net/CMakeFiles/softqos_net.dir/channel.cpp.o" "gcc" "src/net/CMakeFiles/softqos_net.dir/channel.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/softqos_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/softqos_net.dir/network.cpp.o.d"
+  "/root/repo/src/net/nic.cpp" "src/net/CMakeFiles/softqos_net.dir/nic.cpp.o" "gcc" "src/net/CMakeFiles/softqos_net.dir/nic.cpp.o.d"
+  "/root/repo/src/net/rpc.cpp" "src/net/CMakeFiles/softqos_net.dir/rpc.cpp.o" "gcc" "src/net/CMakeFiles/softqos_net.dir/rpc.cpp.o.d"
+  "/root/repo/src/net/switch.cpp" "src/net/CMakeFiles/softqos_net.dir/switch.cpp.o" "gcc" "src/net/CMakeFiles/softqos_net.dir/switch.cpp.o.d"
+  "/root/repo/src/net/traffic.cpp" "src/net/CMakeFiles/softqos_net.dir/traffic.cpp.o" "gcc" "src/net/CMakeFiles/softqos_net.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/osim/CMakeFiles/softqos_osim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/softqos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

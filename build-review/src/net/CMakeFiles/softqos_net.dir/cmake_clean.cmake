@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softqos_net.dir/channel.cpp.o"
+  "CMakeFiles/softqos_net.dir/channel.cpp.o.d"
+  "CMakeFiles/softqos_net.dir/network.cpp.o"
+  "CMakeFiles/softqos_net.dir/network.cpp.o.d"
+  "CMakeFiles/softqos_net.dir/nic.cpp.o"
+  "CMakeFiles/softqos_net.dir/nic.cpp.o.d"
+  "CMakeFiles/softqos_net.dir/rpc.cpp.o"
+  "CMakeFiles/softqos_net.dir/rpc.cpp.o.d"
+  "CMakeFiles/softqos_net.dir/switch.cpp.o"
+  "CMakeFiles/softqos_net.dir/switch.cpp.o.d"
+  "CMakeFiles/softqos_net.dir/traffic.cpp.o"
+  "CMakeFiles/softqos_net.dir/traffic.cpp.o.d"
+  "libsoftqos_net.a"
+  "libsoftqos_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softqos_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/osim/cpu.cpp" "src/osim/CMakeFiles/softqos_osim.dir/cpu.cpp.o" "gcc" "src/osim/CMakeFiles/softqos_osim.dir/cpu.cpp.o.d"
+  "/root/repo/src/osim/host.cpp" "src/osim/CMakeFiles/softqos_osim.dir/host.cpp.o" "gcc" "src/osim/CMakeFiles/softqos_osim.dir/host.cpp.o.d"
+  "/root/repo/src/osim/loadavg.cpp" "src/osim/CMakeFiles/softqos_osim.dir/loadavg.cpp.o" "gcc" "src/osim/CMakeFiles/softqos_osim.dir/loadavg.cpp.o.d"
+  "/root/repo/src/osim/memory.cpp" "src/osim/CMakeFiles/softqos_osim.dir/memory.cpp.o" "gcc" "src/osim/CMakeFiles/softqos_osim.dir/memory.cpp.o.d"
+  "/root/repo/src/osim/msgqueue.cpp" "src/osim/CMakeFiles/softqos_osim.dir/msgqueue.cpp.o" "gcc" "src/osim/CMakeFiles/softqos_osim.dir/msgqueue.cpp.o.d"
+  "/root/repo/src/osim/process.cpp" "src/osim/CMakeFiles/softqos_osim.dir/process.cpp.o" "gcc" "src/osim/CMakeFiles/softqos_osim.dir/process.cpp.o.d"
+  "/root/repo/src/osim/scheduler.cpp" "src/osim/CMakeFiles/softqos_osim.dir/scheduler.cpp.o" "gcc" "src/osim/CMakeFiles/softqos_osim.dir/scheduler.cpp.o.d"
+  "/root/repo/src/osim/socket.cpp" "src/osim/CMakeFiles/softqos_osim.dir/socket.cpp.o" "gcc" "src/osim/CMakeFiles/softqos_osim.dir/socket.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/sim/CMakeFiles/softqos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

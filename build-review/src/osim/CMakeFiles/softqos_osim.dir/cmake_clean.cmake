@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softqos_osim.dir/cpu.cpp.o"
+  "CMakeFiles/softqos_osim.dir/cpu.cpp.o.d"
+  "CMakeFiles/softqos_osim.dir/host.cpp.o"
+  "CMakeFiles/softqos_osim.dir/host.cpp.o.d"
+  "CMakeFiles/softqos_osim.dir/loadavg.cpp.o"
+  "CMakeFiles/softqos_osim.dir/loadavg.cpp.o.d"
+  "CMakeFiles/softqos_osim.dir/memory.cpp.o"
+  "CMakeFiles/softqos_osim.dir/memory.cpp.o.d"
+  "CMakeFiles/softqos_osim.dir/msgqueue.cpp.o"
+  "CMakeFiles/softqos_osim.dir/msgqueue.cpp.o.d"
+  "CMakeFiles/softqos_osim.dir/process.cpp.o"
+  "CMakeFiles/softqos_osim.dir/process.cpp.o.d"
+  "CMakeFiles/softqos_osim.dir/scheduler.cpp.o"
+  "CMakeFiles/softqos_osim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/softqos_osim.dir/socket.cpp.o"
+  "CMakeFiles/softqos_osim.dir/socket.cpp.o.d"
+  "libsoftqos_osim.a"
+  "libsoftqos_osim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softqos_osim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

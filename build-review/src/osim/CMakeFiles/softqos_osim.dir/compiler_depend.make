@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for softqos_osim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/compile.cpp" "src/policy/CMakeFiles/softqos_policy.dir/compile.cpp.o" "gcc" "src/policy/CMakeFiles/softqos_policy.dir/compile.cpp.o.d"
+  "/root/repo/src/policy/condition.cpp" "src/policy/CMakeFiles/softqos_policy.dir/condition.cpp.o" "gcc" "src/policy/CMakeFiles/softqos_policy.dir/condition.cpp.o.d"
+  "/root/repo/src/policy/expr.cpp" "src/policy/CMakeFiles/softqos_policy.dir/expr.cpp.o" "gcc" "src/policy/CMakeFiles/softqos_policy.dir/expr.cpp.o.d"
+  "/root/repo/src/policy/ldap_mapping.cpp" "src/policy/CMakeFiles/softqos_policy.dir/ldap_mapping.cpp.o" "gcc" "src/policy/CMakeFiles/softqos_policy.dir/ldap_mapping.cpp.o.d"
+  "/root/repo/src/policy/model.cpp" "src/policy/CMakeFiles/softqos_policy.dir/model.cpp.o" "gcc" "src/policy/CMakeFiles/softqos_policy.dir/model.cpp.o.d"
+  "/root/repo/src/policy/parser.cpp" "src/policy/CMakeFiles/softqos_policy.dir/parser.cpp.o" "gcc" "src/policy/CMakeFiles/softqos_policy.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/ldapdir/CMakeFiles/softqos_ldapdir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

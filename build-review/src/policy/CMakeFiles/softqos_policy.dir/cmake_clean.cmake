@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softqos_policy.dir/compile.cpp.o"
+  "CMakeFiles/softqos_policy.dir/compile.cpp.o.d"
+  "CMakeFiles/softqos_policy.dir/condition.cpp.o"
+  "CMakeFiles/softqos_policy.dir/condition.cpp.o.d"
+  "CMakeFiles/softqos_policy.dir/expr.cpp.o"
+  "CMakeFiles/softqos_policy.dir/expr.cpp.o.d"
+  "CMakeFiles/softqos_policy.dir/ldap_mapping.cpp.o"
+  "CMakeFiles/softqos_policy.dir/ldap_mapping.cpp.o.d"
+  "CMakeFiles/softqos_policy.dir/model.cpp.o"
+  "CMakeFiles/softqos_policy.dir/model.cpp.o.d"
+  "CMakeFiles/softqos_policy.dir/parser.cpp.o"
+  "CMakeFiles/softqos_policy.dir/parser.cpp.o.d"
+  "libsoftqos_policy.a"
+  "libsoftqos_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softqos_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

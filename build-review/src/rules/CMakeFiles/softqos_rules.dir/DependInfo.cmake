@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rules/engine.cpp" "src/rules/CMakeFiles/softqos_rules.dir/engine.cpp.o" "gcc" "src/rules/CMakeFiles/softqos_rules.dir/engine.cpp.o.d"
+  "/root/repo/src/rules/fact.cpp" "src/rules/CMakeFiles/softqos_rules.dir/fact.cpp.o" "gcc" "src/rules/CMakeFiles/softqos_rules.dir/fact.cpp.o.d"
+  "/root/repo/src/rules/parser.cpp" "src/rules/CMakeFiles/softqos_rules.dir/parser.cpp.o" "gcc" "src/rules/CMakeFiles/softqos_rules.dir/parser.cpp.o.d"
+  "/root/repo/src/rules/pattern.cpp" "src/rules/CMakeFiles/softqos_rules.dir/pattern.cpp.o" "gcc" "src/rules/CMakeFiles/softqos_rules.dir/pattern.cpp.o.d"
+  "/root/repo/src/rules/value.cpp" "src/rules/CMakeFiles/softqos_rules.dir/value.cpp.o" "gcc" "src/rules/CMakeFiles/softqos_rules.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/sim/CMakeFiles/softqos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softqos_rules.dir/engine.cpp.o"
+  "CMakeFiles/softqos_rules.dir/engine.cpp.o.d"
+  "CMakeFiles/softqos_rules.dir/fact.cpp.o"
+  "CMakeFiles/softqos_rules.dir/fact.cpp.o.d"
+  "CMakeFiles/softqos_rules.dir/parser.cpp.o"
+  "CMakeFiles/softqos_rules.dir/parser.cpp.o.d"
+  "CMakeFiles/softqos_rules.dir/pattern.cpp.o"
+  "CMakeFiles/softqos_rules.dir/pattern.cpp.o.d"
+  "CMakeFiles/softqos_rules.dir/value.cpp.o"
+  "CMakeFiles/softqos_rules.dir/value.cpp.o.d"
+  "libsoftqos_rules.a"
+  "libsoftqos_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softqos_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

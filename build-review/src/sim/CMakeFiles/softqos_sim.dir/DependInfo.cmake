@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/csv.cpp" "src/sim/CMakeFiles/softqos_sim.dir/csv.cpp.o" "gcc" "src/sim/CMakeFiles/softqos_sim.dir/csv.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/softqos_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/softqos_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/sim/CMakeFiles/softqos_sim.dir/metrics.cpp.o" "gcc" "src/sim/CMakeFiles/softqos_sim.dir/metrics.cpp.o.d"
+  "/root/repo/src/sim/random.cpp" "src/sim/CMakeFiles/softqos_sim.dir/random.cpp.o" "gcc" "src/sim/CMakeFiles/softqos_sim.dir/random.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/sim/CMakeFiles/softqos_sim.dir/simulation.cpp.o" "gcc" "src/sim/CMakeFiles/softqos_sim.dir/simulation.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/softqos_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/softqos_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softqos_sim.dir/csv.cpp.o"
+  "CMakeFiles/softqos_sim.dir/csv.cpp.o.d"
+  "CMakeFiles/softqos_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/softqos_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/softqos_sim.dir/metrics.cpp.o"
+  "CMakeFiles/softqos_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/softqos_sim.dir/random.cpp.o"
+  "CMakeFiles/softqos_sim.dir/random.cpp.o.d"
+  "CMakeFiles/softqos_sim.dir/simulation.cpp.o"
+  "CMakeFiles/softqos_sim.dir/simulation.cpp.o.d"
+  "CMakeFiles/softqos_sim.dir/trace.cpp.o"
+  "CMakeFiles/softqos_sim.dir/trace.cpp.o.d"
+  "libsoftqos_sim.a"
+  "libsoftqos_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softqos_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

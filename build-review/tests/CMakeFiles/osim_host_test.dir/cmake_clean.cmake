@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osim_host_test.dir/osim_host_test.cpp.o"
+  "CMakeFiles/osim_host_test.dir/osim_host_test.cpp.o.d"
+  "osim_host_test"
+  "osim_host_test.pdb"
+  "osim_host_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osim_host_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osim_process_test.dir/osim_process_test.cpp.o"
+  "CMakeFiles/osim_process_test.dir/osim_process_test.cpp.o.d"
+  "osim_process_test"
+  "osim_process_test.pdb"
+  "osim_process_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osim_process_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

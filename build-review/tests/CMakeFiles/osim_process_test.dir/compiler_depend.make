@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for osim_process_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osim_sched_test.dir/osim_sched_test.cpp.o"
+  "CMakeFiles/osim_sched_test.dir/osim_sched_test.cpp.o.d"
+  "osim_sched_test"
+  "osim_sched_test.pdb"
+  "osim_sched_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osim_sched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rules_incremental_test.dir/rules_incremental_test.cpp.o"
+  "CMakeFiles/rules_incremental_test.dir/rules_incremental_test.cpp.o.d"
+  "rules_incremental_test"
+  "rules_incremental_test.pdb"
+  "rules_incremental_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rules_incremental_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

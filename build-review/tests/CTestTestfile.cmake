@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/sim_test[1]_include.cmake")
+include("/root/repo/build-review/tests/determinism_test[1]_include.cmake")
+include("/root/repo/build-review/tests/osim_process_test[1]_include.cmake")
+include("/root/repo/build-review/tests/osim_sched_test[1]_include.cmake")
+include("/root/repo/build-review/tests/osim_host_test[1]_include.cmake")
+include("/root/repo/build-review/tests/net_test[1]_include.cmake")
+include("/root/repo/build-review/tests/rules_test[1]_include.cmake")
+include("/root/repo/build-review/tests/rules_incremental_test[1]_include.cmake")
+include("/root/repo/build-review/tests/ldap_test[1]_include.cmake")
+include("/root/repo/build-review/tests/policy_test[1]_include.cmake")
+include("/root/repo/build-review/tests/instrument_test[1]_include.cmake")
+include("/root/repo/build-review/tests/manager_test[1]_include.cmake")
+include("/root/repo/build-review/tests/distribution_test[1]_include.cmake")
+include("/root/repo/build-review/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-review/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build-review/tests/property_test[1]_include.cmake")

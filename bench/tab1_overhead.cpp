@@ -49,7 +49,10 @@ struct Setup {
     registry.addSensor(std::move(b));
     coord = std::make_unique<instrument::Coordinator>(
         s, "client-host", 1, "VideoApplication", registry,
-        [this](const instrument::ViolationReport&) { ++notifications; });
+        [this](const instrument::ViolationReport&) {
+          ++notifications;
+          return true;
+        });
     coord->setRepeatInterval(0);
   }
 };

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Chaos soak under sanitizers: build the ASan+UBSan tree and repeat the
+# fault-injection soak suite (5 seeds, crash + partition + lossy heal, each
+# replayed for byte-identical traces) N times.
+#
+#   scripts/chaos.sh [iterations] [build-dir]   (default: 5 iterations,
+#                                                build-sanitize/)
+set -euo pipefail
+
+iterations="${1:-5}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${2:-$repo_root/build-sanitize}"
+
+"$repo_root/scripts/check_tree.sh"
+
+echo "configuring sanitized build in $build_dir ..." >&2
+cmake -B "$build_dir" -S "$repo_root" -DSOFTQOS_SANITIZE=ON >/dev/null
+cmake --build "$build_dir" --target chaos_soak_test faults_test -j >/dev/null
+
+for ((i = 1; i <= iterations; i++)); do
+  echo "=== chaos soak iteration $i/$iterations ===" >&2
+  "$build_dir/tests/faults_test" --gtest_brief=1
+  "$build_dir/tests/chaos_soak_test" --gtest_brief=1
+done
+
+echo "chaos soak: $iterations iteration(s) clean under ASan+UBSan" >&2

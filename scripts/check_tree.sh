@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tree hygiene: fail if any tracked file lives under a build directory.
+# Build trees (build/, build-sanitize/, build-review/, ...) are generated;
+# tracking them bloats the repository and breaks clean checkouts.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+tracked="$(git ls-files | grep -E '^build[^/]*/' || true)"
+if [[ -n "$tracked" ]]; then
+  echo "error: build artifacts are tracked in git:" >&2
+  echo "$tracked" | head -20 >&2
+  count="$(echo "$tracked" | wc -l)"
+  echo "($count file(s); run: git rm -r --cached <dir>)" >&2
+  exit 1
+fi
+
+echo "tree hygiene OK: no tracked build artifacts" >&2

@@ -38,7 +38,7 @@ std::size_t GameApp::instrument(distribution::PolicyAgent& agent,
   coordinator_ = std::make_unique<instrument::Coordinator>(
       sim_, host_.name(), proc_->pid(), "GameEngine", registry_,
       [&queue, pid = proc_->pid()](const instrument::ViolationReport& r) {
-        queue.send(r.serialize(), pid);
+        return queue.send(r.serialize(), pid);
       });
 
   distribution::PolicyAgent::Registration reg;

@@ -63,11 +63,18 @@ Testbed::Testbed(TestbedConfig config)
     manager::HostManagerConfig hmCfg;
     hmCfg.domainManagerHost = mgmtHost.name();
     hmCfg.domainManagerPort = 7100;
+    hmCfg.factTtl = config_.factTtl;
+    hmCfg.escalationMaxAttempts = config_.rpcMaxAttempts;
     clientHm = &qorms.createHostManager(clientHost, hmCfg);
     serverHm = &qorms.createHostManager(serverHost, hmCfg);
+    manager::DomainManagerConfig dmCfg;
+    dmCfg.heartbeatInterval = config_.heartbeatInterval;
+    dmCfg.heartbeatMissThreshold = config_.heartbeatMissThreshold;
+    dmCfg.rpcMaxAttempts = config_.rpcMaxAttempts;
     dm = &qorms.createDomainManager(mgmtHost, "domain-a",
                                     {clientHost.name(), serverHost.name(),
-                                     mgmtHost.name()});
+                                     mgmtHost.name()},
+                                    dmCfg);
 
     seedVideoModel(qorms.repository());
     qorms.admin().addPolicyText(

@@ -32,6 +32,12 @@ struct TestbedConfig {
   double policyTolUp = 4.0;
   double policyTolDown = 3.0;
   double policyJitterMax = 1.25;
+  // Self-healing knobs for chaos experiments. All default off/single-shot so
+  // a testbed without them behaves byte-identically to earlier builds.
+  sim::SimDuration heartbeatInterval = 0;  // DM liveness probing (0 = off)
+  int heartbeatMissThreshold = 3;
+  sim::SimDuration factTtl = 0;            // HM stale-fact expiry (0 = off)
+  int rpcMaxAttempts = 1;                  // management-RPC retry budget
 };
 
 class Testbed {

@@ -179,7 +179,7 @@ std::size_t VideoSession::instrument(distribution::PolicyAgent& agent,
   coordinator_ = std::make_unique<instrument::Coordinator>(
       sim_, clientHost_.name(), client_->pid(), "VideoApplication", registry_,
       [&queue, pid = client_->pid()](const instrument::ViolationReport& r) {
-        queue.send(r.serialize(), pid);
+        return queue.send(r.serialize(), pid);
       });
 
   distribution::PolicyAgent::Registration reg;

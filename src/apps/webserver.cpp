@@ -72,7 +72,7 @@ std::size_t WebServerApp::instrument(distribution::PolicyAgent& agent,
   coordinator_ = std::make_unique<instrument::Coordinator>(
       sim_, host_.name(), worker_->pid(), "WebServer", registry_,
       [&queue, pid = worker_->pid()](const instrument::ViolationReport& r) {
-        queue.send(r.serialize(), pid);
+        return queue.send(r.serialize(), pid);
       });
 
   distribution::PolicyAgent::Registration reg;

@@ -1,0 +1,139 @@
+#include "faults/fault_plan.hpp"
+
+#include <sstream>
+
+namespace softqos::faults {
+
+FaultEvent& FaultPlan::append(sim::SimTime at, FaultEvent::Kind kind) {
+  FaultEvent event;
+  event.at = at;
+  event.kind = kind;
+  events_.push_back(std::move(event));
+  return events_.back();
+}
+
+FaultPlan& FaultPlan::hostCrash(sim::SimTime at, const std::string& host) {
+  append(at, FaultEvent::Kind::kHostCrash).host = host;
+  return *this;
+}
+
+FaultPlan& FaultPlan::hostRestart(sim::SimTime at, const std::string& host) {
+  append(at, FaultEvent::Kind::kHostRestart).host = host;
+  return *this;
+}
+
+FaultPlan& FaultPlan::processKill(sim::SimTime at, const std::string& host,
+                                  osim::Pid pid) {
+  FaultEvent& event = append(at, FaultEvent::Kind::kProcessKill);
+  event.host = host;
+  event.pid = pid;
+  return *this;
+}
+
+FaultPlan& FaultPlan::linkCut(sim::SimTime at, const std::string& a,
+                              const std::string& b) {
+  FaultEvent& event = append(at, FaultEvent::Kind::kLinkCut);
+  event.nodeA = a;
+  event.nodeB = b;
+  return *this;
+}
+
+FaultPlan& FaultPlan::linkHeal(sim::SimTime at, const std::string& a,
+                               const std::string& b) {
+  FaultEvent& event = append(at, FaultEvent::Kind::kLinkHeal);
+  event.nodeA = a;
+  event.nodeB = b;
+  return *this;
+}
+
+FaultPlan& FaultPlan::linkDegrade(sim::SimTime at, const std::string& a,
+                                  const std::string& b,
+                                  net::LinkFaultProfile profile) {
+  FaultEvent& event = append(at, FaultEvent::Kind::kLinkDegrade);
+  event.nodeA = a;
+  event.nodeB = b;
+  event.profile = profile;
+  return *this;
+}
+
+FaultPlan& FaultPlan::linkRestore(sim::SimTime at, const std::string& a,
+                                  const std::string& b) {
+  FaultEvent& event = append(at, FaultEvent::Kind::kLinkRestore);
+  event.nodeA = a;
+  event.nodeB = b;
+  return *this;
+}
+
+FaultPlan& FaultPlan::managerCrash(sim::SimTime at, const std::string& host) {
+  append(at, FaultEvent::Kind::kManagerCrash).host = host;
+  return *this;
+}
+
+FaultPlan& FaultPlan::managerRestart(sim::SimTime at, const std::string& host) {
+  append(at, FaultEvent::Kind::kManagerRestart).host = host;
+  return *this;
+}
+
+FaultPlan& FaultPlan::domainManagerCrash(sim::SimTime at,
+                                         const std::string& seatHost) {
+  append(at, FaultEvent::Kind::kDomainManagerCrash).host = seatHost;
+  return *this;
+}
+
+FaultPlan& FaultPlan::domainManagerRestart(sim::SimTime at,
+                                           const std::string& seatHost) {
+  append(at, FaultEvent::Kind::kDomainManagerRestart).host = seatHost;
+  return *this;
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream out;
+  for (const FaultEvent& event : events_) {
+    out << "t=" << event.at << ' ' << faultKindName(event.kind);
+    switch (event.kind) {
+      case FaultEvent::Kind::kHostCrash:
+      case FaultEvent::Kind::kHostRestart:
+      case FaultEvent::Kind::kManagerCrash:
+      case FaultEvent::Kind::kManagerRestart:
+      case FaultEvent::Kind::kDomainManagerCrash:
+      case FaultEvent::Kind::kDomainManagerRestart:
+        out << ' ' << event.host;
+        break;
+      case FaultEvent::Kind::kProcessKill:
+        out << ' ' << event.host << " pid=" << event.pid;
+        break;
+      case FaultEvent::Kind::kLinkCut:
+      case FaultEvent::Kind::kLinkHeal:
+      case FaultEvent::Kind::kLinkRestore:
+        out << ' ' << event.nodeA << "<->" << event.nodeB;
+        break;
+      case FaultEvent::Kind::kLinkDegrade:
+        out << ' ' << event.nodeA << "<->" << event.nodeB
+            << " loss=" << event.profile.lossRate
+            << " corrupt=" << event.profile.corruptRate
+            << " delay+=" << event.profile.extraDelay;
+        break;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+const char* faultKindName(FaultEvent::Kind kind) {
+  switch (kind) {
+    case FaultEvent::Kind::kHostCrash: return "host-crash";
+    case FaultEvent::Kind::kHostRestart: return "host-restart";
+    case FaultEvent::Kind::kProcessKill: return "process-kill";
+    case FaultEvent::Kind::kLinkCut: return "link-cut";
+    case FaultEvent::Kind::kLinkHeal: return "link-heal";
+    case FaultEvent::Kind::kLinkDegrade: return "link-degrade";
+    case FaultEvent::Kind::kLinkRestore: return "link-restore";
+    case FaultEvent::Kind::kManagerCrash: return "manager-crash";
+    case FaultEvent::Kind::kManagerRestart: return "manager-restart";
+    case FaultEvent::Kind::kDomainManagerCrash: return "dm-crash";
+    case FaultEvent::Kind::kDomainManagerRestart: return "dm-restart";
+  }
+  return "unknown";
+}
+
+}  // namespace softqos::faults

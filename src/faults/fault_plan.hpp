@@ -1,0 +1,85 @@
+// Deterministic fault-injection schedules (the "chaos script").
+//
+// A FaultPlan is a declarative, simulation-clock-stamped list of faults to
+// inject: host crash/restart, process kill, link degradation (loss,
+// corruption, latency), link/partition cuts, and manager-daemon crashes.
+// The plan itself holds no randomness — all stochastic fault behaviour
+// (per-packet loss/corruption draws) flows through the FaultInjector's
+// seeded sim::RandomStream, so a chaos run with the same master seed and the
+// same plan is byte-reproducible.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "osim/process.hpp"
+#include "sim/time.hpp"
+
+namespace softqos::faults {
+
+struct FaultEvent {
+  enum class Kind {
+    kHostCrash,        // power off `host`: kill processes, drop inbound
+    kHostRestart,      // power `host` back on (processes stay dead)
+    kProcessKill,      // kill `pid` on `host`
+    kLinkCut,          // hard partition of the duplex link nodeA <-> nodeB
+    kLinkHeal,         // remove the cut
+    kLinkDegrade,      // apply `profile` (loss/corruption/extra delay)
+    kLinkRestore,      // clear any degradation profile
+    kManagerCrash,     // crash the QoS Host Manager daemon on `host`
+    kManagerRestart,   // restart that daemon
+    kDomainManagerCrash,   // crash the QoS Domain Manager seated on `host`
+    kDomainManagerRestart  // restart it
+  };
+
+  sim::SimTime at = 0;
+  Kind kind = Kind::kHostCrash;
+  std::string host;           // host/process/manager faults
+  osim::Pid pid = 0;          // kProcessKill
+  std::string nodeA, nodeB;   // link faults (network node names, duplex)
+  net::LinkFaultProfile profile;  // kLinkDegrade
+};
+
+/// Builder for a scripted fault schedule. Methods append and return *this so
+/// plans read like a timeline:
+///
+///   FaultPlan plan;
+///   plan.hostCrash(sim::sec(10), "server-host")
+///       .hostRestart(sim::sec(18), "server-host")
+///       .linkCut(sim::sec(25), "switch-a", "switch-b")
+///       .linkHeal(sim::sec(30), "switch-a", "switch-b");
+class FaultPlan {
+ public:
+  FaultPlan& hostCrash(sim::SimTime at, const std::string& host);
+  FaultPlan& hostRestart(sim::SimTime at, const std::string& host);
+  FaultPlan& processKill(sim::SimTime at, const std::string& host, osim::Pid pid);
+  FaultPlan& linkCut(sim::SimTime at, const std::string& a, const std::string& b);
+  FaultPlan& linkHeal(sim::SimTime at, const std::string& a, const std::string& b);
+  FaultPlan& linkDegrade(sim::SimTime at, const std::string& a,
+                         const std::string& b, net::LinkFaultProfile profile);
+  FaultPlan& linkRestore(sim::SimTime at, const std::string& a,
+                         const std::string& b);
+  FaultPlan& managerCrash(sim::SimTime at, const std::string& host);
+  FaultPlan& managerRestart(sim::SimTime at, const std::string& host);
+  FaultPlan& domainManagerCrash(sim::SimTime at, const std::string& seatHost);
+  FaultPlan& domainManagerRestart(sim::SimTime at, const std::string& seatHost);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const { return events_; }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+  /// Human-readable timeline (one "t=<ticks> <fault>" line per event, in
+  /// plan order) for logs and golden-trace comparisons.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  FaultEvent& append(sim::SimTime at, FaultEvent::Kind kind);
+
+  std::vector<FaultEvent> events_;
+};
+
+/// Stable name for a fault kind ("host-crash", "link-cut", ...).
+[[nodiscard]] const char* faultKindName(FaultEvent::Kind kind);
+
+}  // namespace softqos::faults

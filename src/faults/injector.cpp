@@ -1,0 +1,166 @@
+#include "faults/injector.hpp"
+
+#include <string>
+#include <utility>
+
+#include "manager/domain_manager.hpp"
+#include "manager/host_manager.hpp"
+#include "net/node.hpp"
+
+namespace softqos::faults {
+
+namespace {
+constexpr std::string_view kComponent = "fault-injector";
+}  // namespace
+
+FaultInjector::FaultInjector(sim::Simulation& simulation, net::Network& network)
+    : sim_(simulation), net_(network), linkRandom_(sim_.stream("faults:link")) {}
+
+void FaultInjector::registerHost(osim::Host& host) {
+  hosts_[host.name()] = &host;
+}
+
+void FaultInjector::registerHostManager(const std::string& hostName,
+                                        manager::QoSHostManager& hm) {
+  hostManagers_[hostName] = &hm;
+}
+
+void FaultInjector::registerDomainManager(const std::string& seatHost,
+                                          manager::QoSDomainManager& dm) {
+  domainManagers_[seatHost] = &dm;
+}
+
+void FaultInjector::arm(const FaultPlan& plan) {
+  for (const FaultEvent& event : plan.events()) {
+    sim_.at(event.at, [this, event] { fire(event); });
+  }
+}
+
+osim::Host* FaultInjector::findHost(const std::string& name) {
+  auto it = hosts_.find(name);
+  return it == hosts_.end() ? nullptr : it->second;
+}
+
+void FaultInjector::applyLinkProfile(const FaultEvent& event,
+                                     const net::LinkFaultProfile& profile,
+                                     sim::RandomStream* random) {
+  net::NetNode* a = net_.nodeByName(event.nodeA);
+  net::NetNode* b = net_.nodeByName(event.nodeB);
+  net::Channel* ab =
+      (a != nullptr && b != nullptr) ? net_.channel(a->id(), b->id()) : nullptr;
+  net::Channel* ba =
+      (a != nullptr && b != nullptr) ? net_.channel(b->id(), a->id()) : nullptr;
+  if (ab == nullptr || ba == nullptr) {
+    ++misses_;
+    sim_.warn(std::string(kComponent), "no such link " + event.nodeA + "<->" +
+                                           event.nodeB + " for " +
+                                           faultKindName(event.kind));
+    return;
+  }
+  ab->setFaultProfile(profile, random);
+  ba->setFaultProfile(profile, random);
+  ++injected_;
+  sim_.warn(std::string(kComponent),
+            std::string(faultKindName(event.kind)) + " " + event.nodeA +
+                "<->" + event.nodeB);
+}
+
+void FaultInjector::fire(const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultEvent::Kind::kHostCrash: {
+      osim::Host* host = findHost(event.host);
+      if (host == nullptr || !host->crash()) {
+        ++misses_;
+        return;
+      }
+      // The machine takes its co-located daemons down with it.
+      auto hm = hostManagers_.find(event.host);
+      if (hm != hostManagers_.end()) hm->second->crash();
+      auto dm = domainManagers_.find(event.host);
+      if (dm != domainManagers_.end()) dm->second->crash();
+      ++injected_;
+      sim_.warn(std::string(kComponent), "host-crash " + event.host);
+      return;
+    }
+    case FaultEvent::Kind::kHostRestart: {
+      osim::Host* host = findHost(event.host);
+      if (host == nullptr || !host->restart()) {
+        ++misses_;
+        return;
+      }
+      auto hm = hostManagers_.find(event.host);
+      if (hm != hostManagers_.end()) hm->second->restartDaemon();
+      auto dm = domainManagers_.find(event.host);
+      if (dm != domainManagers_.end()) dm->second->restartDaemon();
+      ++injected_;
+      sim_.info(std::string(kComponent), "host-restart " + event.host);
+      return;
+    }
+    case FaultEvent::Kind::kProcessKill: {
+      osim::Host* host = findHost(event.host);
+      if (host == nullptr || !host->kill(event.pid)) {
+        ++misses_;
+        return;
+      }
+      ++injected_;
+      sim_.warn(std::string(kComponent), "process-kill " + event.host +
+                                             " pid=" + std::to_string(event.pid));
+      return;
+    }
+    case FaultEvent::Kind::kLinkCut: {
+      net::LinkFaultProfile profile;
+      profile.down = true;
+      applyLinkProfile(event, profile, nullptr);
+      return;
+    }
+    case FaultEvent::Kind::kLinkHeal:
+    case FaultEvent::Kind::kLinkRestore:
+      applyLinkProfile(event, net::LinkFaultProfile{}, nullptr);
+      return;
+    case FaultEvent::Kind::kLinkDegrade:
+      applyLinkProfile(event, event.profile, &linkRandom_);
+      return;
+    case FaultEvent::Kind::kManagerCrash: {
+      auto it = hostManagers_.find(event.host);
+      if (it == hostManagers_.end() || !it->second->crash()) {
+        ++misses_;
+        return;
+      }
+      ++injected_;
+      sim_.warn(std::string(kComponent), "manager-crash " + event.host);
+      return;
+    }
+    case FaultEvent::Kind::kManagerRestart: {
+      auto it = hostManagers_.find(event.host);
+      if (it == hostManagers_.end() || !it->second->restartDaemon()) {
+        ++misses_;
+        return;
+      }
+      ++injected_;
+      sim_.info(std::string(kComponent), "manager-restart " + event.host);
+      return;
+    }
+    case FaultEvent::Kind::kDomainManagerCrash: {
+      auto it = domainManagers_.find(event.host);
+      if (it == domainManagers_.end() || !it->second->crash()) {
+        ++misses_;
+        return;
+      }
+      ++injected_;
+      sim_.warn(std::string(kComponent), "dm-crash " + event.host);
+      return;
+    }
+    case FaultEvent::Kind::kDomainManagerRestart: {
+      auto it = domainManagers_.find(event.host);
+      if (it == domainManagers_.end() || !it->second->restartDaemon()) {
+        ++misses_;
+        return;
+      }
+      ++injected_;
+      sim_.info(std::string(kComponent), "dm-restart " + event.host);
+      return;
+    }
+  }
+}
+
+}  // namespace softqos::faults

@@ -1,0 +1,75 @@
+// FaultInjector: arms a FaultPlan against a live testbed, executing each
+// scripted fault at its simulation-clock timestamp.
+//
+// Determinism contract: the injector schedules plan events through the
+// simulation kernel (same ordering rules as every other event) and owns one
+// named sim::RandomStream ("faults:link") that channels consult for
+// per-packet loss/corruption draws. The stream is derived from the master
+// seed independently of construction order, so identical (seed, plan) pairs
+// replay byte-identical runs, and a run with no armed plan draws nothing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "faults/fault_plan.hpp"
+#include "net/network.hpp"
+#include "osim/host.hpp"
+#include "sim/random.hpp"
+#include "sim/simulation.hpp"
+
+namespace softqos::manager {
+class QoSHostManager;
+class QoSDomainManager;
+}  // namespace softqos::manager
+
+namespace softqos::faults {
+
+class FaultInjector {
+ public:
+  FaultInjector(sim::Simulation& simulation, net::Network& network);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Register targets the plan may reference. Host managers and the domain
+  /// manager are keyed by the host they run on: crashing a host also crashes
+  /// its co-located daemons (a machine going down takes its agents with it),
+  /// and restarting it brings them back.
+  void registerHost(osim::Host& host);
+  void registerHostManager(const std::string& hostName,
+                           manager::QoSHostManager& hm);
+  void registerDomainManager(const std::string& seatHost,
+                             manager::QoSDomainManager& dm);
+
+  /// Schedule every event of `plan` on the simulation clock. May be called
+  /// more than once (plans accumulate). Events referencing unregistered
+  /// targets are counted in misses() and otherwise ignored at fire time.
+  void arm(const FaultPlan& plan);
+
+  [[nodiscard]] std::uint64_t injected() const { return injected_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+  /// The stream backing per-packet loss/corruption draws (exposed for tests
+  /// asserting replay determinism).
+  [[nodiscard]] sim::RandomStream& linkRandom() { return linkRandom_; }
+
+ private:
+  void fire(const FaultEvent& event);
+  void applyLinkProfile(const FaultEvent& event,
+                        const net::LinkFaultProfile& profile,
+                        sim::RandomStream* random);
+  [[nodiscard]] osim::Host* findHost(const std::string& name);
+
+  sim::Simulation& sim_;
+  net::Network& net_;
+  sim::RandomStream linkRandom_;
+  std::map<std::string, osim::Host*> hosts_;
+  std::map<std::string, manager::QoSHostManager*> hostManagers_;
+  std::map<std::string, manager::QoSDomainManager*> domainManagers_;
+  std::uint64_t injected_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace softqos::faults

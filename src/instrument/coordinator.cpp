@@ -19,6 +19,7 @@ Coordinator::~Coordinator() {
   for (const auto& po : policies_) {
     if (po->repeatEvent != sim::kInvalidEvent) sim_.cancel(po->repeatEvent);
   }
+  if (flushEvent_ != sim::kInvalidEvent) sim_.cancel(flushEvent_);
 }
 
 void Coordinator::installPolicies(
@@ -248,7 +249,7 @@ void Coordinator::executeDoList(PolicyObject& po, ViolationReport& report,
         break;
       }
       case policy::PolicyAction::Kind::kNotifyHostManager:
-        if (notify_) notify_(report);
+        deliver(report);
         notified = true;
         break;
       case policy::PolicyAction::Kind::kActuatorInvoke: {
@@ -267,7 +268,33 @@ void Coordinator::executeDoList(PolicyObject& po, ViolationReport& report,
   }
   // A clear transition is always worth reporting even if the policy's
   // do-list has no explicit notify (the manager needs it to decay boosts).
-  if (!notified && !report.violated && notify_) notify_(report);
+  if (!notified && !report.violated) deliver(report);
+}
+
+void Coordinator::deliver(const ViolationReport& report) {
+  if (!notify_) return;
+  if (buffer_.empty() && notify_(report)) return;
+
+  // The manager is unreachable (or older reports are already queued and
+  // must stay in order): store locally and retransmit on recovery.
+  if (buffer_.size() >= kMaxBufferedReports) {
+    buffer_.pop_front();
+    ++bufferOverflows_;
+  }
+  buffer_.push_back(report);
+  if (flushEvent_ == sim::kInvalidEvent) {
+    flushEvent_ = sim_.every(flushInterval_, [this] { flushBuffered(); });
+  }
+}
+
+void Coordinator::flushBuffered() {
+  while (!buffer_.empty()) {
+    if (!notify_(buffer_.front())) return;  // still unreachable; keep waiting
+    buffer_.pop_front();
+    ++retransmitted_;
+  }
+  sim_.cancel(flushEvent_);
+  flushEvent_ = sim::kInvalidEvent;
 }
 
 }  // namespace softqos::instrument

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -32,7 +33,10 @@ class Coordinator {
  public:
   /// `notify` delivers a report to the QoS Host Manager (typically a message
   /// queue send); the coordinator neither knows nor cares what is behind it.
-  using NotifyFn = std::function<void(const ViolationReport&)>;
+  /// It returns whether delivery was accepted: on false (manager daemon
+  /// down, kernel queue full) the coordinator buffers the report locally and
+  /// retransmits when the manager becomes reachable again.
+  using NotifyFn = std::function<bool(const ViolationReport&)>;
 
   Coordinator(sim::Simulation& simulation, std::string hostName,
               std::uint32_t pid, std::string executable,
@@ -92,6 +96,15 @@ class Coordinator {
   [[nodiscard]] std::uint64_t violationsReported() const { return violations_; }
   [[nodiscard]] std::uint64_t clearsReported() const { return clears_; }
 
+  // ---- Store-and-forward stats (manager outage survival) ----
+  /// Reports currently waiting for the manager to come back.
+  [[nodiscard]] std::size_t bufferedReports() const { return buffer_.size(); }
+  /// Buffered reports eventually delivered on retransmission.
+  [[nodiscard]] std::uint64_t retransmittedReports() const { return retransmitted_; }
+  /// Reports dropped because the local buffer overflowed (oldest first —
+  /// the freshest observations are the ones worth keeping).
+  [[nodiscard]] std::uint64_t bufferOverflows() const { return bufferOverflows_; }
+
  private:
   struct PolicyObject {
     policy::CompiledPolicy compiled;
@@ -107,6 +120,8 @@ class Coordinator {
   void evaluate(PolicyObject& po);
   void executeDoList(PolicyObject& po, ViolationReport& report,
                      bool runActuators);
+  void deliver(const ViolationReport& report);
+  void flushBuffered();
 
   sim::Simulation& sim_;
   std::string hostName_;
@@ -123,6 +138,15 @@ class Coordinator {
   std::uint64_t clears_ = 0;
   std::uint64_t controlsExecuted_ = 0;
   std::uint64_t controlsRejected_ = 0;
+
+  // Store-and-forward buffer: armed only after a failed delivery, so a
+  // healthy deployment schedules no extra events.
+  std::deque<ViolationReport> buffer_;
+  sim::EventId flushEvent_ = sim::kInvalidEvent;
+  sim::SimDuration flushInterval_ = sim::msec(500);
+  std::uint64_t retransmitted_ = 0;
+  std::uint64_t bufferOverflows_ = 0;
+  static constexpr std::size_t kMaxBufferedReports = 64;
 };
 
 }  // namespace softqos::instrument

@@ -139,11 +139,25 @@ std::string defaultDomainRules(const DomainRuleThresholds& t) {
   const std::string utilHigh = num(t.netUtilHigh);
 
   return std::string(R"(
-; ---- Server process is gone: restart it (adaptation, Section 3.1).
+; ---- Heartbeat protocol hypothesis: the server's whole host stopped
+; ---- answering liveness probes. Diagnose without waiting on host-stats
+; ---- evidence; the restart is issued anyway (retries carry it across the
+; ---- outage) and recovery revalidation backstops it.
+(defrule diagnose-host-failure
+  (declare (salience 40))
+  (escalation (id ?e) (server ?s) (spid ?sp))
+  (host-failure (host ?s))
+  =>
+  (call diagnose ?e host-failure)
+  (call restart-server ?s ?sp))
+
+; ---- Server process is gone (but its host still answers): restart it
+; ---- (adaptation, Section 3.1).
 (defrule diagnose-process-failure
   (declare (salience 30))
   (escalation (id ?e) (server ?s) (spid ?sp))
   (server-stats (id ?e) (alive 0))
+  (not (host-failure (host ?s)))
   =>
   (call diagnose ?e process-failure)
   (call restart-server ?s ?sp))

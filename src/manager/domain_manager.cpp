@@ -43,6 +43,144 @@ QoSDomainManager::QoSDomainManager(sim::Simulation& simulation,
 
 void QoSDomainManager::addManagedHost(const std::string& hostName) {
   managedHosts_.insert(hostName);
+  if (config_.heartbeatInterval > 0) armHeartbeat();
+}
+
+net::RpcEndpoint::CallOptions QoSDomainManager::rpcOptions() const {
+  net::RpcEndpoint::CallOptions options;
+  options.timeout = config_.rpcTimeout;
+  options.maxAttempts = config_.rpcMaxAttempts;
+  return options;
+}
+
+void QoSDomainManager::armHeartbeat() {
+  if (heartbeatEvent_ != sim::kInvalidEvent) return;
+  heartbeatEvent_ = sim_.every(config_.heartbeatInterval,
+                               [this] { pingManagedHosts(); });
+}
+
+void QoSDomainManager::pingManagedHosts() {
+  if (crashed_) return;
+  // std::set iteration: alphabetical host order, deterministic across runs.
+  for (const std::string& hostName : managedHosts_) {
+    HostLiveness& lv = liveness_[hostName];
+    if (lv.probePending) continue;  // previous probe still in flight
+    lv.probePending = true;
+    ++heartbeatsSent_;
+    net::RpcEndpoint::CallOptions probe;
+    probe.timeout = config_.heartbeatTimeout;
+    probe.maxAttempts = 1;  // misses ARE the signal; retries would blunt it
+    rpc_->call(hostName, config_.hostManagerPort, "hm-ping", "",
+               [this, hostName](bool ok, const std::string&) {
+                 onHeartbeatReply(hostName, ok);
+               },
+               probe);
+  }
+}
+
+void QoSDomainManager::onHeartbeatReply(const std::string& hostName, bool ok) {
+  HostLiveness& lv = liveness_[hostName];
+  lv.probePending = false;
+  if (ok) {
+    lv.consecutiveMisses = 0;
+    lv.everAlive = true;
+    if (lv.down) markHostRecovered(hostName);
+    return;
+  }
+  ++heartbeatMisses_;
+  ++lv.consecutiveMisses;
+  // A host that never answered is unknown, not failed: the testbed seats
+  // this manager on a host with no Host Manager of its own, and a fresh
+  // deployment must not diagnose half its fleet dead before daemons finish
+  // starting.
+  if (!lv.everAlive || lv.down) return;
+  if (lv.consecutiveMisses >= config_.heartbeatMissThreshold) {
+    markHostDown(hostName);
+  }
+}
+
+void QoSDomainManager::markHostDown(const std::string& hostName) {
+  HostLiveness& lv = liveness_[hostName];
+  lv.down = true;
+  ++hostFailures_;
+  sim_.warn(traceName_, [&] {
+    return "heartbeats lapsed: asserting host-failure hypothesis for " +
+           hostName;
+  });
+  rules::SlotMap slots;
+  slots.emplace("host", Value::symbol(hostName));
+  lv.failureFact = engine_.facts().assertFact("host-failure", std::move(slots));
+  engine_.run();
+}
+
+void QoSDomainManager::markHostRecovered(const std::string& hostName) {
+  HostLiveness& lv = liveness_[hostName];
+  lv.down = false;
+  ++hostRecoveries_;
+  sim_.info(traceName_, [&] { return "host " + hostName + " recovered"; });
+  if (lv.failureFact != rules::kNoFact) {
+    engine_.facts().retract(lv.failureFact);
+    lv.failureFact = rules::kNoFact;
+  }
+  engine_.run();
+  revalidateServicesOn(hostName);
+}
+
+void QoSDomainManager::revalidateServicesOn(const std::string& hostName) {
+  // A restarted host comes back with an empty process table: every service
+  // bound to it must be probed and, when dead, restarted through the host
+  // manager's restart hook.
+  for (const auto& [exec, binding] : services_) {
+    if (binding.serverHost != hostName) continue;
+    const osim::Pid pid = binding.serverPid;
+    rpc_->call(hostName, config_.hostManagerPort, "host-stats",
+               "pid=" + std::to_string(pid),
+               [this, hostName, pid](bool ok, const std::string& body) {
+                 if (!ok) return;  // still unreachable; next recovery retries
+                 int aliveInt = 0;
+                 double load = 0.0;
+                 std::sscanf(body.c_str(), "load=%lf;alive=%d", &load,
+                             &aliveInt);
+                 if (aliveInt != 0) return;
+                 ++recoveryRestarts_;
+                 ++restarts_;
+                 sim_.info(traceName_, [&] {
+                   return "revalidation: restarting dead service pid " +
+                          std::to_string(pid) + " on " + hostName;
+                 });
+                 rpc_->call(hostName, config_.hostManagerPort, "restart",
+                            "pid=" + std::to_string(pid),
+                            [](bool, const std::string&) {}, rpcOptions());
+               },
+               rpcOptions());
+  }
+}
+
+bool QoSDomainManager::hostMarkedDown(const std::string& hostName) const {
+  const auto it = liveness_.find(hostName);
+  return it != liveness_.end() && it->second.down;
+}
+
+bool QoSDomainManager::crash() {
+  if (crashed_) return false;
+  crashed_ = true;
+  sim_.warn(traceName_, "domain manager daemon crashed");
+  rpc_->setEnabled(false);
+  // Working memory and liveness hypotheses are lost with the daemon.
+  engine_.facts().clear();
+  for (auto& [host, lv] : liveness_) {
+    (void)host;
+    lv = HostLiveness{};
+  }
+  return true;
+}
+
+bool QoSDomainManager::restartDaemon() {
+  if (!crashed_) return false;
+  crashed_ = false;
+  sim_.info(traceName_, "domain manager daemon restarted");
+  rpc_->setEnabled(true);
+  return true;
 }
 
 bool QoSDomainManager::manages(const std::string& hostName) const {
@@ -102,7 +240,7 @@ void QoSDomainManager::registerEngineFunctions() {
     body << "pid=" << pid << ";delta=" << delta;
     ++serverBoosts_;
     rpc_->call(serverHost, config_.hostManagerPort, "boost", body.str(),
-               [](bool, const std::string&) {});
+               [](bool, const std::string&) {}, rpcOptions());
   });
 
   engine_.registerFunction("restart-server",
@@ -112,7 +250,8 @@ void QoSDomainManager::registerEngineFunctions() {
     const auto pid = static_cast<osim::Pid>(args[1].asInt());
     ++restarts_;
     rpc_->call(serverHost, config_.hostManagerPort, "restart",
-               "pid=" + std::to_string(pid), [](bool, const std::string&) {});
+               "pid=" + std::to_string(pid), [](bool, const std::string&) {},
+               rpcOptions());
   });
 
   engine_.registerFunction("reroute-congested",
@@ -167,6 +306,7 @@ void QoSDomainManager::rerouteAroundCongestion() {
 
 void QoSDomainManager::handleEscalation(
     const instrument::ViolationReport& report, bool forwarded) {
+  if (crashed_) return;  // direct calls while the daemon is down go nowhere
   ++received_;
 
   const auto it = services_.find(report.executable);
@@ -204,6 +344,7 @@ void QoSDomainManager::handleEscalation(
       binding.serverHost, config_.hostManagerPort, "host-stats",
       "pid=" + std::to_string(binding.serverPid),
       [this, eid, report, binding](bool ok, const std::string& body) {
+        if (crashed_) return;  // daemon died while the query was in flight
         bool alive = false;
         double load = 0.0;
         double slowdown = 100.0;
@@ -216,7 +357,8 @@ void QoSDomainManager::handleEscalation(
         // An unreachable host manager is indistinguishable from a dead one;
         // treat it as a process/host failure.
         runDiagnosis(eid, report, binding, alive, load, slowdown);
-      });
+      },
+      rpcOptions());
 }
 
 void QoSDomainManager::runDiagnosis(std::uint64_t escalationId,

@@ -28,6 +28,19 @@ struct DomainManagerConfig {
   int hostManagerPort = 7001;  // where host managers listen in this domain
   DomainRuleThresholds thresholds;
   bool loadDefaultRules = true;
+  /// Heartbeat/liveness protocol over the managed Host Managers: every
+  /// `heartbeatInterval` the domain manager probes each managed host's
+  /// manager daemon ("hm-ping"); `heartbeatMissThreshold` consecutive
+  /// unanswered probes on a host that has answered at least once assert a
+  /// `host-failure` hypothesis fact for the rule base. 0 disables the
+  /// protocol entirely (default: no new events, byte-identical runs).
+  sim::SimDuration heartbeatInterval = 0;
+  sim::SimDuration heartbeatTimeout = sim::msec(500);
+  int heartbeatMissThreshold = 3;
+  /// Retry policy for diagnosis/corrective RPCs (host-stats, boost,
+  /// restart): attempts = 1 reproduces the old single-shot behaviour.
+  int rpcMaxAttempts = 1;
+  sim::SimDuration rpcTimeout = sim::sec(2);
 };
 
 class QoSDomainManager {
@@ -66,6 +79,16 @@ class QoSDomainManager {
   void handleEscalation(const instrument::ViolationReport& report,
                         bool forwarded);
 
+  // ---- Heartbeat / liveness (Section 5-6 fault localization) ----
+
+  /// True while the liveness protocol currently believes the host is dead.
+  [[nodiscard]] bool hostMarkedDown(const std::string& hostName) const;
+
+  // ---- Fault injection: manager-daemon crash/restart ----
+  bool crash();
+  bool restartDaemon();
+  [[nodiscard]] bool isCrashed() const { return crashed_; }
+
   // ---- Statistics ----
   [[nodiscard]] std::uint64_t escalationsReceived() const { return received_; }
   [[nodiscard]] std::uint64_t forwardsSent() const { return forwards_; }
@@ -78,6 +101,14 @@ class QoSDomainManager {
     return diagnoses_;
   }
   [[nodiscard]] const std::string& lastDiagnosis() const { return lastDiagnosis_; }
+  [[nodiscard]] std::uint64_t heartbeatsSent() const { return heartbeatsSent_; }
+  [[nodiscard]] std::uint64_t heartbeatMisses() const { return heartbeatMisses_; }
+  [[nodiscard]] std::uint64_t hostFailuresDetected() const { return hostFailures_; }
+  [[nodiscard]] std::uint64_t hostRecoveriesDetected() const {
+    return hostRecoveries_;
+  }
+  /// Dead services restarted by post-recovery revalidation.
+  [[nodiscard]] std::uint64_t recoveryRestarts() const { return recoveryRestarts_; }
 
  private:
   struct ServiceBinding {
@@ -85,7 +116,22 @@ class QoSDomainManager {
     osim::Pid serverPid = 0;
   };
 
+  struct HostLiveness {
+    int consecutiveMisses = 0;
+    bool everAlive = false;   // a host that never answered is "unknown", not dead
+    bool down = false;
+    bool probePending = false;
+    rules::FactId failureFact = rules::kNoFact;
+  };
+
   void registerEngineFunctions();
+  [[nodiscard]] net::RpcEndpoint::CallOptions rpcOptions() const;
+  void armHeartbeat();
+  void pingManagedHosts();
+  void onHeartbeatReply(const std::string& hostName, bool ok);
+  void markHostDown(const std::string& hostName);
+  void markHostRecovered(const std::string& hostName);
+  void revalidateServicesOn(const std::string& hostName);
   void runDiagnosis(std::uint64_t escalationId,
                     const instrument::ViolationReport& report,
                     const ServiceBinding& binding, bool alive, double load,
@@ -104,6 +150,9 @@ class QoSDomainManager {
   std::set<std::string> managedHosts_;
   std::vector<std::pair<std::string, int>> peers_;
   std::map<std::string, ServiceBinding> services_;
+  std::map<std::string, HostLiveness> liveness_;
+  sim::EventId heartbeatEvent_ = sim::kInvalidEvent;
+  bool crashed_ = false;
 
   std::uint64_t nextEscalationId_ = 1;
   std::uint64_t received_ = 0;
@@ -116,6 +165,11 @@ class QoSDomainManager {
   std::uint64_t forwards_ = 0;
   std::uint64_t serverBoosts_ = 0;
   std::uint64_t restarts_ = 0;
+  std::uint64_t heartbeatsSent_ = 0;
+  std::uint64_t heartbeatMisses_ = 0;
+  std::uint64_t hostFailures_ = 0;
+  std::uint64_t hostRecoveries_ = 0;
+  std::uint64_t recoveryRestarts_ = 0;
   std::map<std::string, std::uint64_t> diagnoses_;
   std::string lastDiagnosis_;
 };

@@ -1,5 +1,6 @@
 #include "manager/host_manager.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "rules/parser.hpp"
@@ -21,16 +22,71 @@ QoSHostManager::QoSHostManager(sim::Simulation& simulation, osim::Host& host,
   if (config_.loadDefaultRules) loadDefaultRules();
 
   // Coordinators reach the manager through the host message queue.
-  host_.msgQueue(config_.msgQueueKey)
-      .setReceiver([this](const osim::MessageQueue::Datagram& d) {
-        const auto report = instrument::ViolationReport::parse(d.payload);
-        if (report.has_value()) handleReport(*report);
-      });
+  installQueueReceiver();
 
   if (network != nullptr) {
     rpc_ = std::make_unique<net::RpcEndpoint>(*network, host_, config_.rpcPort);
     setupRpcHandlers();
   }
+
+  if (config_.factTtl > 0) {
+    // Sweep at half the TTL so a fact lives at most 1.5x the bound.
+    const sim::SimDuration sweep = std::max<sim::SimDuration>(1, config_.factTtl / 2);
+    sim_.every(sweep, [this] { sweepStaleFacts(); });
+  }
+}
+
+void QoSHostManager::installQueueReceiver() {
+  host_.msgQueue(config_.msgQueueKey)
+      .setReceiver([this](const osim::MessageQueue::Datagram& d) {
+        const auto report = instrument::ViolationReport::parse(d.payload);
+        if (report.has_value()) handleReport(*report);
+      });
+}
+
+bool QoSHostManager::crash() {
+  if (crashed_) return false;
+  crashed_ = true;
+  ++daemonCrashes_;
+  sim_.warn(traceName_, "manager daemon crashed");
+  if (rpc_ != nullptr) rpc_->setEnabled(false);
+  // No receiver: reports accumulate in the kernel queue (and overflow once
+  // its depth is exceeded — that is what the coordinator's local buffer is
+  // for). The daemon's in-memory state is gone.
+  host_.msgQueue(config_.msgQueueKey).setReceiver(nullptr);
+  engine_.facts().clear();
+  lastReport_.clear();
+  lastEscalationAt_.clear();
+  lastReportAt_.clear();
+  return true;
+}
+
+bool QoSHostManager::restartDaemon() {
+  if (!crashed_) return false;
+  crashed_ = false;
+  sim_.info(traceName_, "manager daemon restarted");
+  if (rpc_ != nullptr) rpc_->setEnabled(true);
+  installQueueReceiver();  // drains the backlog that piled up while down
+  return true;
+}
+
+void QoSHostManager::sweepStaleFacts() {
+  const sim::SimTime now = sim_.now();
+  std::vector<std::uint32_t> stale;
+  for (const auto& [pid, at] : lastReportAt_) {
+    if (now - at >= config_.factTtl) stale.push_back(pid);
+  }
+  if (stale.empty()) return;
+  for (const std::uint32_t pid : stale) {
+    retractSessionFacts(pid);
+    lastReportAt_.erase(pid);
+    lastReport_.erase(pid);
+    ++staleExpiries_;
+    sim_.info(traceName_, [&] {
+      return "expired stale session facts for silent pid " + std::to_string(pid);
+    });
+  }
+  engine_.run();  // negated patterns may newly activate
 }
 
 std::vector<std::string> QoSHostManager::loadRuleText(const std::string& text) {
@@ -122,6 +178,13 @@ void QoSHostManager::registerEngineFunctions() {
 }
 
 void QoSHostManager::setupRpcHandlers() {
+  // Domain-manager liveness probe (heartbeat protocol). A crashed daemon or
+  // a dead host never reaches this handler — the probe times out instead.
+  rpc_->setHandler("hm-ping", [this](const std::string&,
+                                     net::RpcEndpoint::Responder respond) {
+    respond("PONG|" + host_.name());
+  });
+
   // Domain-manager query: CPU load, process liveness, memory slowdown.
   rpc_->setHandler("host-stats", [this](const std::string& body,
                                         net::RpcEndpoint::Responder respond) {
@@ -203,8 +266,10 @@ void QoSHostManager::retractSessionFacts(std::uint32_t pid) {
 }
 
 void QoSHostManager::handleReport(const instrument::ViolationReport& report) {
+  if (crashed_) return;  // direct calls while the daemon is down go nowhere
   ++reports_;
   lastReport_[report.pid] = report;
+  lastReportAt_[report.pid] = sim_.now();
 
   // Working memory holds only the latest session state per pid.
   retractSessionFacts(report.pid);
@@ -289,13 +354,17 @@ void QoSHostManager::escalate(std::uint32_t pid) {
   }
   const auto it = lastReport_.find(pid);
   if (it == lastReport_.end()) return;
+  net::RpcEndpoint::CallOptions options;
+  options.timeout = config_.escalationTimeout;
+  options.maxAttempts = config_.escalationMaxAttempts;
   rpc_->call(config_.domainManagerHost, config_.domainManagerPort, "escalate",
              it->second.serialize(),
              [this](bool ok, const std::string&) {
                if (!ok) {
                  sim_.warn(traceName_, "escalation RPC timed out");
                }
-             });
+             },
+             options);
 }
 
 }  // namespace softqos::manager

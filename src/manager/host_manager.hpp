@@ -30,6 +30,16 @@ struct HostManagerConfig {
   int domainManagerPort = 7100;
   HostRuleThresholds thresholds;
   bool loadDefaultRules = true;
+  /// Working-memory staleness bound: session facts (violation / metric /
+  /// proc-stat / alloc-state) for a pid whose coordinator has gone silent
+  /// for this long are retracted, so a crashed process's last sensor
+  /// readings cannot drive adaptation forever. 0 disables expiry (default:
+  /// byte-identical to the pre-fault-injection behaviour).
+  sim::SimDuration factTtl = 0;
+  /// Retry policy for escalation RPCs to the domain manager (attempts = 1
+  /// reproduces the old fire-and-forget timeout behaviour).
+  int escalationMaxAttempts = 1;
+  sim::SimDuration escalationTimeout = sim::sec(2);
 };
 
 class QoSHostManager {
@@ -66,6 +76,21 @@ class QoSHostManager {
     restartHandler_ = std::move(handler);
   }
 
+  // ---- Fault injection: manager-daemon crash/restart ----
+
+  /// Crash the manager daemon: the RPC endpoint stops answering (heartbeats
+  /// included), coordinator reports pile up unread in the kernel message
+  /// queue, and the daemon's working memory (facts, per-pid state) is lost.
+  /// Returns false if already crashed.
+  bool crash();
+
+  /// Restart the daemon: RPC answers again and queued coordinator reports
+  /// are drained. Rules survive (they live in the rule base, re-pushed by
+  /// the domain manager on demand). Returns false if not crashed.
+  bool restartDaemon();
+
+  [[nodiscard]] bool isCrashed() const { return crashed_; }
+
   // ---- Statistics ----
   [[nodiscard]] std::uint64_t reportsReceived() const { return reports_; }
   [[nodiscard]] std::uint64_t boostsApplied() const { return boosts_; }
@@ -75,10 +100,15 @@ class QoSHostManager {
   [[nodiscard]] std::uint64_t memoryGrowths() const { return memGrowths_; }
   [[nodiscard]] std::uint64_t restartsPerformed() const { return restarts_; }
   [[nodiscard]] std::uint64_t rulePushesReceived() const { return rulePushes_; }
+  /// Pids whose session facts were expired by the TTL sweep.
+  [[nodiscard]] std::uint64_t staleExpiries() const { return staleExpiries_; }
+  [[nodiscard]] std::uint64_t daemonCrashes() const { return daemonCrashes_; }
 
  private:
   void registerEngineFunctions();
   void setupRpcHandlers();
+  void installQueueReceiver();
+  void sweepStaleFacts();
   void retractSessionFacts(std::uint32_t pid);
   void escalate(std::uint32_t pid);
 
@@ -93,7 +123,9 @@ class QoSHostManager {
   RestartHandler restartHandler_;
   std::map<std::uint32_t, instrument::ViolationReport> lastReport_;
   std::map<std::uint32_t, sim::SimTime> lastEscalationAt_;
+  std::map<std::uint32_t, sim::SimTime> lastReportAt_;  // TTL bookkeeping
   sim::SimDuration escalationThrottle_ = sim::sec(2);
+  bool crashed_ = false;
 
   std::uint64_t reports_ = 0;
   std::uint64_t boosts_ = 0;
@@ -104,6 +136,8 @@ class QoSHostManager {
   std::uint64_t restarts_ = 0;
   std::uint64_t rulePushes_ = 0;
   std::uint64_t adaptationsRequested_ = 0;
+  std::uint64_t staleExpiries_ = 0;
+  std::uint64_t daemonCrashes_ = 0;
 
  public:
   [[nodiscard]] std::uint64_t adaptationsRequested() const {

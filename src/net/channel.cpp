@@ -10,7 +10,27 @@ namespace softqos::net {
 Channel::Channel(sim::Simulation& simulation, NetNode& to, ChannelConfig config)
     : sim_(simulation), to_(to), config_(config) {}
 
+void Channel::setFaultProfile(LinkFaultProfile profile,
+                              sim::RandomStream* random) {
+  fault_ = profile;
+  faultRandom_ = random;
+}
+
 void Channel::enqueue(Packet packet) {
+  if (fault_.down) {
+    ++faultDrops_;
+    return;
+  }
+  if (fault_.lossRate > 0.0 && faultRandom_ != nullptr &&
+      faultRandom_->chance(fault_.lossRate)) {
+    ++faultDrops_;
+    return;
+  }
+  if (fault_.corruptRate > 0.0 && faultRandom_ != nullptr &&
+      faultRandom_->chance(fault_.corruptRate)) {
+    ++faultCorruptions_;
+    packet.corrupted = true;
+  }
   if (queuedBytes_ + packet.bytes > config_.queueCapacityBytes) {
     ++drops_;
     return;
@@ -39,7 +59,7 @@ void Channel::pump() {
     // Serialization finished: the wire is free for the next packet while this
     // one propagates.
     transmitting_ = false;
-    sim_.after(config_.propagationDelay,
+    sim_.after(config_.propagationDelay + fault_.extraDelay,
                [this, p = std::move(p)]() mutable { to_.onPacket(std::move(p)); });
     pump();
   });

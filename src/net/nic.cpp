@@ -21,20 +21,31 @@ osim::Socket* Nic::boundSocket(int port) {
 }
 
 void Nic::onPacket(Packet packet) {
+  if (!host_.isUp()) {
+    // A crashed host answers nothing: frames die on the wire until restart.
+    ++hostDown_;
+    return;
+  }
   auto it = partial_.find(packet.messageId);
   if (it == partial_.end()) {
-    it = partial_.emplace(packet.messageId, 0).first;
+    it = partial_.emplace(packet.messageId, Partial{}).first;
   }
-  it->second += packet.bytes;
+  it->second.bytes += packet.bytes;
+  it->second.corrupted = it->second.corrupted || packet.corrupted;
 
   if (!packet.lastFragment) return;
 
-  const bool complete = (it->second == packet.messageBytes);
+  const bool complete = (it->second.bytes == packet.messageBytes);
+  const bool corrupted = it->second.corrupted;
   partial_.erase(it);
   if (!complete) {
     // An earlier fragment was dropped in a congested queue: the message is
     // lost (datagram semantics; the video stream tolerates this).
     ++incomplete_;
+    return;
+  }
+  if (corrupted) {
+    ++corrupt_;
     return;
   }
   const auto bound = bindings_.find(packet.dstPort);

@@ -22,6 +22,7 @@ struct Packet {
   std::int64_t bytes = 0;        // this fragment's wire size
   std::int64_t messageBytes = 0; // total size of the carried message
   bool lastFragment = false;
+  bool corrupted = false;        // flipped bits on a degraded link (fault injection)
   osim::Message message;         // metadata, populated on the last fragment
   sim::SimTime injectedAt = 0;
 };

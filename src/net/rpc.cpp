@@ -1,10 +1,29 @@
 #include "net/rpc.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+#include <optional>
 #include <utility>
 
 #include "net/nic.hpp"
 
 namespace softqos::net {
+
+namespace {
+
+/// Strict unsigned parse: the whole string must be digits. Corrupted or
+/// malformed frames yield nullopt instead of UB/throws.
+std::optional<std::uint64_t> parseU64(const std::string& s) {
+  if (s.empty() || s.size() > 19) return std::nullopt;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+}  // namespace
 
 std::vector<std::string> splitString(const std::string& s, char delim,
                                      std::size_t maxParts) {
@@ -26,7 +45,11 @@ std::vector<std::string> splitString(const std::string& s, char delim,
 }
 
 RpcEndpoint::RpcEndpoint(Network& network, osim::Host& host, int port)
-    : network_(network), hostName_(host.name()), port_(port) {
+    : network_(network),
+      hostName_(host.name()),
+      port_(port),
+      backoffRandom_(network.sim().stream("rpc:" + host.name() + ":" +
+                                          std::to_string(port))) {
   socket_ = host.createSocket();
   Nic& nic = network_.attachHost(host);
   nic.bind(port_, socket_);
@@ -49,37 +72,126 @@ void RpcEndpoint::sendRaw(const std::string& destHost, int destPort,
 void RpcEndpoint::call(const std::string& destHost, int destPort,
                        const std::string& method, const std::string& body,
                        ReplyCont onReply, sim::SimDuration timeout) {
+  CallOptions options;
+  options.timeout = timeout;
+  call(destHost, destPort, method, body, std::move(onReply), options);
+}
+
+void RpcEndpoint::call(const std::string& destHost, int destPort,
+                       const std::string& method, const std::string& body,
+                       ReplyCont onReply, const CallOptions& options) {
+  if (!enabled_) {
+    // A crashed daemon issues nothing; fail asynchronously to preserve the
+    // "exactly once, never re-entrant" continuation contract.
+    network_.sim().after(0, [cont = std::move(onReply)] {
+      if (cont) cont(false, "");
+    });
+    return;
+  }
   const std::uint64_t id = nextCallId_++;
   PendingCall pc;
   pc.cont = std::move(onReply);
-  pc.timeoutEvent = network_.sim().after(timeout, [this, id] {
-    const auto it = pending_.find(id);
-    if (it == pending_.end()) return;
-    ReplyCont cont = std::move(it->second.cont);
+  pc.destHost = destHost;
+  pc.destPort = destPort;
+  // Frame: Q|<id>|<replyHost>|<replyPort>|<method>|<body>
+  pc.payload = "Q|" + std::to_string(id) + "|" + hostName_ + "|" +
+               std::to_string(port_) + "|" + method + "|" + body;
+  pc.options = options;
+  pc.options.maxAttempts = std::max(1, options.maxAttempts);
+  pc.timeoutEvent = network_.sim().after(
+      pc.options.timeout, [this, id] { onCallTimeout(id); });
+
+  const std::string frame = pc.payload;
+  pending_.emplace(id, std::move(pc));
+  sendRaw(destHost, destPort, frame);
+}
+
+void RpcEndpoint::onCallTimeout(std::uint64_t id) {
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  PendingCall& pc = it->second;
+
+  if (pc.attempt >= pc.options.maxAttempts) {
+    ReplyCont cont = std::move(pc.cont);
     pending_.erase(it);
     ++timeouts_;
     if (cont) cont(false, "");
-  });
-  pending_.emplace(id, std::move(pc));
+    return;
+  }
 
-  // Frame: Q|<id>|<replyHost>|<replyPort>|<method>|<body>
-  sendRaw(destHost, destPort,
-          "Q|" + std::to_string(id) + "|" + hostName_ + "|" +
-              std::to_string(port_) + "|" + method + "|" + body);
+  // Exponential backoff with jitter before the next attempt. The random
+  // draw happens only on this path, so retry-free runs consume no
+  // randomness from the endpoint's stream.
+  sim::SimDuration backoff = pc.options.backoffBase;
+  for (int i = 1; i < pc.attempt && backoff < pc.options.backoffMax; ++i) {
+    backoff *= 2;
+  }
+  backoff = std::min(backoff, pc.options.backoffMax);
+  if (pc.options.jitter > 0.0) {
+    const double j = pc.options.jitter;
+    const double factor = backoffRandom_.uniform(1.0 - j, 1.0 + j);
+    backoff = std::max<sim::SimDuration>(
+        1, static_cast<sim::SimDuration>(static_cast<double>(backoff) * factor));
+  }
+  ++pc.attempt;
+  ++retries_;
+  pc.timeoutEvent = network_.sim().after(backoff, [this, id] {
+    const auto pit = pending_.find(id);
+    if (pit == pending_.end()) return;  // a late reply completed the call
+    PendingCall& rpc = pit->second;
+    rpc.timeoutEvent = network_.sim().after(
+        rpc.options.timeout, [this, id] { onCallTimeout(id); });
+    sendRaw(rpc.destHost, rpc.destPort, rpc.payload);
+  });
 }
 
 void RpcEndpoint::onMessage(osim::Message m) {
+  if (!enabled_) {
+    ++droppedWhileDisabled_;
+    return;
+  }
   const auto parts = splitString(m.payload, '|', 6);
   if (parts.empty()) return;
   if (parts[0] == "Q" && parts.size() == 6) {
-    ++handled_;
+    const auto replyPort = parseU64(parts[3]);
+    if (!replyPort.has_value()) return;  // malformed frame
     const std::string id = parts[1];
     const std::string replyHost = parts[2];
-    const int replyPort = std::stoi(parts[3]);
+    const int port = static_cast<int>(*replyPort);
     const std::string& method = parts[4];
     const std::string& body = parts[5];
-    Responder respond = [this, id, replyHost, replyPort](std::string respBody) {
-      sendRaw(replyHost, replyPort, "S|" + id + "|" + std::move(respBody));
+
+    // At-most-once execution under caller retries: a duplicate of a request
+    // we already ran replays the cached response (or stays silent while the
+    // original handler is still producing one) instead of re-executing a
+    // possibly non-idempotent action like "boost".
+    const std::string dedupKey =
+        replyHost + "|" + std::to_string(port) + "|" + id;
+    const auto seen = executed_.find(dedupKey);
+    if (seen != executed_.end()) {
+      ++duplicates_;
+      if (seen->second.responded) {
+        sendRaw(replyHost, port, "S|" + id + "|" + seen->second.response);
+      }
+      return;
+    }
+    executed_.emplace(dedupKey, ExecutedRequest{});
+    executedOrder_.push_back(dedupKey);
+    constexpr std::size_t kExecutedMemory = 256;
+    while (executedOrder_.size() > kExecutedMemory) {
+      executed_.erase(executedOrder_.front());
+      executedOrder_.pop_front();
+    }
+
+    ++handled_;
+    Responder respond = [this, id, replyHost, port,
+                         dedupKey](std::string respBody) {
+      const auto entry = executed_.find(dedupKey);
+      if (entry != executed_.end()) {
+        entry->second.responded = true;
+        entry->second.response = respBody;
+      }
+      sendRaw(replyHost, port, "S|" + id + "|" + std::move(respBody));
     };
     const auto it = handlers_.find(method);
     if (it == handlers_.end()) {
@@ -93,9 +205,15 @@ void RpcEndpoint::onMessage(osim::Message m) {
     // Frame: S|<id>|<body> — body may itself contain '|'.
     const auto resp = splitString(m.payload, '|', 3);
     if (resp.size() < 3) return;
-    const std::uint64_t id = std::stoull(resp[1]);
-    const auto it = pending_.find(id);
-    if (it == pending_.end()) return;  // raced with timeout
+    const auto id = parseU64(resp[1]);
+    if (!id.has_value()) return;  // malformed frame
+    const auto it = pending_.find(*id);
+    if (it == pending_.end()) {
+      // The call already completed or gave up (all attempts timed out):
+      // suppress the stale response so the continuation cannot double-fire.
+      ++lateReplies_;
+      return;
+    }
     ReplyCont cont = std::move(it->second.cont);
     network_.sim().cancel(it->second.timeoutEvent);
     pending_.erase(it);

@@ -1,8 +1,17 @@
 // Minimal request/response RPC between management daemons, carried over the
 // simulated network (QoS Host Manager <-> QoS Domain Manager queries).
+//
+// Calls optionally retry with exponential backoff + jitter (CallOptions):
+// the management plane must keep probing through partitions and host
+// crashes, and a retry storm synchronized across endpoints would defeat the
+// point — the jitter draws from a per-endpoint seeded stream so runs stay
+// byte-reproducible. Replies that arrive after the final timeout already
+// fired are discarded and counted (late-reply suppression); the ReplyCont
+// fires exactly once either way.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -12,6 +21,7 @@
 #include "net/network.hpp"
 #include "osim/host.hpp"
 #include "osim/socket.hpp"
+#include "sim/random.hpp"
 #include "sim/simulation.hpp"
 
 namespace softqos::net {
@@ -26,6 +36,17 @@ class RpcEndpoint {
   using Responder = std::function<void(std::string body)>;
   using Handler = std::function<void(const std::string& body, Responder respond)>;
 
+  /// Per-call policy. The default (one attempt, 2 s timeout) matches the
+  /// pre-retry behaviour exactly — no events and no random draws beyond the
+  /// single timeout — so existing scenarios replay byte-identically.
+  struct CallOptions {
+    sim::SimDuration timeout = sim::sec(2);       // per attempt
+    int maxAttempts = 1;                          // 1 = no retries
+    sim::SimDuration backoffBase = sim::msec(200);// doubles per retry
+    sim::SimDuration backoffMax = sim::sec(2);
+    double jitter = 0.2;                          // ± fraction on the backoff
+  };
+
   RpcEndpoint(Network& network, osim::Host& host, int port);
 
   RpcEndpoint(const RpcEndpoint&) = delete;
@@ -34,24 +55,67 @@ class RpcEndpoint {
   void setHandler(const std::string& method, Handler handler);
 
   /// Issue a request. `onReply` always fires exactly once (response or
-  /// timeout). Unknown methods at the callee produce an "ERR:unknown-method"
-  /// response body.
+  /// final timeout). Unknown methods at the callee produce an
+  /// "ERR:unknown-method" response body.
   void call(const std::string& destHost, int destPort,
             const std::string& method, const std::string& body,
             ReplyCont onReply, sim::SimDuration timeout = sim::sec(2));
 
+  /// Issue a request with an explicit retry policy.
+  void call(const std::string& destHost, int destPort,
+            const std::string& method, const std::string& body,
+            ReplyCont onReply, const CallOptions& options);
+
+  /// Daemon liveness knob for fault injection: while disabled, every inbound
+  /// frame is dropped (requests unanswered, responses unprocessed) and new
+  /// outbound calls fail asynchronously — the daemon is "crashed" without
+  /// tearing down its socket binding.
+  void setEnabled(bool enabled) { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
   [[nodiscard]] const std::string& hostName() const { return hostName_; }
   [[nodiscard]] int port() const { return port_; }
   [[nodiscard]] std::uint64_t requestsHandled() const { return handled_; }
+  /// Calls that exhausted every attempt without a response.
   [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
+  /// Re-sent attempts (beyond each call's first).
+  [[nodiscard]] std::uint64_t retries() const { return retries_; }
+  /// Responses discarded because their call had already completed or timed
+  /// out (suppressed — the continuation does NOT fire again).
+  [[nodiscard]] std::uint64_t lateReplies() const { return lateReplies_; }
+  /// Inbound frames dropped while the endpoint was disabled (daemon crash).
+  [[nodiscard]] std::uint64_t droppedWhileDisabled() const {
+    return droppedWhileDisabled_;
+  }
+  /// Retransmitted requests whose call id was already seen (the handler did
+  /// NOT run again; the cached response was replayed when available).
+  [[nodiscard]] std::uint64_t duplicateRequests() const { return duplicates_; }
 
  private:
   struct PendingCall {
     ReplyCont cont;
     sim::EventId timeoutEvent = sim::kInvalidEvent;
+    // Retry state: the original frame is re-sent verbatim under the same
+    // call id, so a slow first-attempt reply can still complete the call.
+    std::string destHost;
+    int destPort = 0;
+    std::string payload;
+    int attempt = 1;
+    CallOptions options;
+  };
+
+  /// Executed-request memory for at-most-once handler semantics under
+  /// retries: maps "<replyHost>|<replyPort>|<id>" to the response once the
+  /// handler produced one (empty optional while still executing). Bounded
+  /// FIFO — old entries are forgotten, which is safe because retries of a
+  /// call stop as soon as any response lands.
+  struct ExecutedRequest {
+    bool responded = false;
+    std::string response;
   };
 
   void onMessage(osim::Message m);
+  void onCallTimeout(std::uint64_t id);
   void sendRaw(const std::string& destHost, int destPort, std::string payload);
 
   Network& network_;
@@ -60,9 +124,17 @@ class RpcEndpoint {
   std::shared_ptr<osim::Socket> socket_;
   std::map<std::string, Handler> handlers_;
   std::map<std::uint64_t, PendingCall> pending_;
+  std::map<std::string, ExecutedRequest> executed_;
+  std::deque<std::string> executedOrder_;  // FIFO eviction of executed_
+  sim::RandomStream backoffRandom_;
+  bool enabled_ = true;
   std::uint64_t nextCallId_ = 1;
   std::uint64_t handled_ = 0;
   std::uint64_t timeouts_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t lateReplies_ = 0;
+  std::uint64_t droppedWhileDisabled_ = 0;
+  std::uint64_t duplicates_ = 0;
 };
 
 /// Split `s` on `delim` into at most `maxParts` pieces (the last keeps the

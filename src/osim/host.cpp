@@ -119,6 +119,25 @@ void Host::shutdown() {
   load_.stop();
 }
 
+bool Host::crash() {
+  if (!up_) return false;
+  up_ = false;
+  ++crashes_;
+  sim_.warn("host." + name_, "host crashed");
+  for (auto& [pid, p] : table_) {
+    (void)pid;
+    if (!p->terminated()) p->terminate();
+  }
+  return true;
+}
+
+bool Host::restart() {
+  if (up_) return false;
+  up_ = true;
+  sim_.info("host." + name_, "host restarted");
+  return true;
+}
+
 void Host::onProcessTerminated(Process& p) {
   terminated_.add();
   (void)p;

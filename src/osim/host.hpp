@@ -76,6 +76,24 @@ class Host {
   /// Kill all processes and stop the load sampler (lets runAll() drain).
   void shutdown();
 
+  // ---- Fault injection: whole-host crash/restart ----
+
+  /// True while the host is powered on (default). A crashed host's NIC drops
+  /// every inbound packet and its message queues reject sends.
+  [[nodiscard]] bool isUp() const { return up_; }
+
+  /// Crash the host: every live process is killed and inbound network
+  /// traffic is dropped at the NIC until restart(). Returns false if
+  /// already down.
+  bool crash();
+
+  /// Power the host back on. Processes are NOT respawned — recovery is the
+  /// management plane's job (restart handlers, heartbeat revalidation).
+  /// Returns false if the host was not down.
+  bool restart();
+
+  [[nodiscard]] std::uint64_t crashes() const { return crashes_; }
+
  private:
   friend class Process;
   void onProcessTerminated(Process& p);
@@ -93,6 +111,8 @@ class Host {
   std::map<Socket::Fd, std::shared_ptr<Socket>> sockets_;
   Pid nextPid_ = 1;
   Socket::Fd nextFd_ = 3;  // 0..2 are conventionally stdio
+  bool up_ = true;
+  std::uint64_t crashes_ = 0;
 };
 
 }  // namespace softqos::osim

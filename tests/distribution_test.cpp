@@ -125,7 +125,10 @@ struct AgentFixture : RepoFixture {
         s, "buffer_sensor", "buffer_size"));
     coord = std::make_unique<instrument::Coordinator>(
         s, "client-host", 1, "VideoApplication", registry,
-        [this](const instrument::ViolationReport& r) { reports.push_back(r); });
+        [this](const instrument::ViolationReport& r) {
+          reports.push_back(r);
+          return true;
+        });
     coord->setRepeatInterval(0);
   }
 

@@ -354,7 +354,10 @@ struct CoordFixture : Fixture {
     registry.addSensor(std::move(b));
     coord = std::make_unique<Coordinator>(
         s, "client-host", 42, "VideoApplication", registry,
-        [this](const ViolationReport& r) { reports.push_back(r); });
+        [this](const ViolationReport& r) {
+          reports.push_back(r);
+          return true;
+        });
     coord->setRepeatInterval(0);  // transition-only for these tests
   }
 

@@ -3,6 +3,8 @@
 // Domain Manager's fault localization.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "manager/domain_manager.hpp"
 #include "rules/parser.hpp"
 #include "manager/host_manager.hpp"
@@ -469,7 +471,9 @@ TEST(DefaultRules, HostRulesParse) {
 TEST(DefaultRules, DomainRulesParse) {
   rules::InferenceEngine e;
   const auto names = rules::loadRules(e, defaultDomainRules({}));
-  EXPECT_EQ(names.size(), 4u);
+  EXPECT_EQ(names.size(), 5u);
+  EXPECT_NE(std::find(names.begin(), names.end(), "diagnose-host-failure"),
+            names.end());
 }
 
 TEST(DefaultRules, ThresholdsAreSubstituted) {

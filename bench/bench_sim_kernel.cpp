@@ -133,11 +133,11 @@ BENCHMARK(MetricSampleByName);
 // re-intern — the amortized cost is part of the deal).
 void MetricSampleHandle(benchmark::State& state) {
   sim::MetricRegistry m;
-  sim::TimeSeries* fps = m.seriesHandle("app.video.fps");
+  sim::Series fps = m.seriesHandle("app.video.fps");
   sim::SimTime t = 0;
   std::size_t n = 0;
   for (auto _ : state) {
-    fps->record(++t, 29.7);
+    fps.record(++t, 29.7);
     if (++n == 65536) {
       n = 0;
       m.clear();
@@ -169,6 +169,40 @@ void MetricCounterHandle(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(MetricCounterHandle);
+
+// Handle-based histogram recording (reaction latencies, RPC round trips):
+// one log2 + a bucket bump, no string lookup.
+void MetricHistogramHandle(benchmark::State& state) {
+  sim::MetricRegistry m;
+  sim::HistogramHandle lat = m.histogramHandle("qos.reaction_latency_us");
+  double v = 1.0;
+  for (auto _ : state) {
+    lat.record(v);
+    v = v < 1.0e6 ? v * 1.3 : 1.0;
+  }
+  benchmark::DoNotOptimize(lat.get());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(MetricHistogramHandle);
+
+// The per-call-site cost of span instrumentation when observability is off
+// (the default): load the observer pointer, branch, skip. Every instrumented
+// component pays exactly this in a disabled run.
+void SpanSiteDisabled(benchmark::State& state) {
+  sim::Simulation s;  // no observer attached
+  std::uint64_t spans = 0;
+  for (auto _ : state) {
+    sim::SpanObserver* o = s.observer();
+    if (o != nullptr) {
+      o->instant(s.now(), sim::TraceContext{}, "bench", "bench");
+      ++spans;
+    }
+    benchmark::DoNotOptimize(o);
+  }
+  benchmark::DoNotOptimize(spans);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(SpanSiteDisabled);
 
 // Disabled tracing where the message is still materialized at the call site.
 void TraceDisabledEager(benchmark::State& state) {

@@ -36,6 +36,11 @@ Testbed::Testbed(TestbedConfig config)
       clientLoad(clientHost, "client-load"),
       serverLoad(serverHost, "server-load"),
       config_(std::move(config)) {
+  // Attach the observer before any component is constructed so manager/RPC
+  // construction (which interns histogram handles) and every later event run
+  // under tracing. Attaching is pure bookkeeping: no events, no RNG draws.
+  if (config_.observability) observer = std::make_unique<obs::Observer>(sim);
+
   net::Nic& clientNic = network.attachHost(clientHost);
   net::Nic& serverNic = network.attachHost(serverHost);
   net::Nic& mgmtNic = network.attachHost(mgmtHost);

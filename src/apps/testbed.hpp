@@ -18,6 +18,7 @@
 #include "distribution/qorms.hpp"
 #include "net/switch.hpp"
 #include "net/traffic.hpp"
+#include "obs/observer.hpp"
 
 namespace softqos::apps {
 
@@ -38,6 +39,11 @@ struct TestbedConfig {
   int heartbeatMissThreshold = 3;
   sim::SimDuration factTtl = 0;            // HM stale-fact expiry (0 = off)
   int rpcMaxAttempts = 1;                  // management-RPC retry budget
+  /// Attach an obs::Observer to the simulation: end-to-end causal tracing of
+  /// detection -> diagnosis -> actuation -> recovery chains plus kernel
+  /// profiling histograms. Off by default — a testbed without it runs
+  /// byte-identically to earlier builds.
+  bool observability = false;
 };
 
 class Testbed {
@@ -66,6 +72,8 @@ class Testbed {
   manager::QoSHostManager* serverHm = nullptr;
   manager::QoSDomainManager* dm = nullptr;
   std::unique_ptr<VideoSession> video;
+  /// Non-null when config.observability; attached to `sim` for its lifetime.
+  std::unique_ptr<obs::Observer> observer;
 
   [[nodiscard]] const TestbedConfig& config() const { return config_; }
 

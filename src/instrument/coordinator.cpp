@@ -13,7 +13,9 @@ Coordinator::Coordinator(sim::Simulation& simulation, std::string hostName,
       pid_(pid),
       executable_(std::move(executable)),
       registry_(registry),
-      notify_(std::move(notify)) {}
+      notify_(std::move(notify)),
+      reactionLatency_(
+          simulation.metrics().histogramHandle("qos.reaction_latency_us")) {}
 
 Coordinator::~Coordinator() {
   for (const auto& po : policies_) {
@@ -164,7 +166,7 @@ bool Coordinator::executeControl(const ControlCommand& command) {
   return true;
 }
 
-void Coordinator::onAlarm(Sensor& /*sensor*/, int comparisonId, bool holds) {
+void Coordinator::onAlarm(Sensor& sensor, int comparisonId, bool holds) {
   // Section 5.2: map the alarm report (via the internal comparison id) to the
   // boolean variable, set it, and re-evaluate the policy's expression.
   const auto it = byComparison_.find(comparisonId);
@@ -173,7 +175,18 @@ void Coordinator::onAlarm(Sensor& /*sensor*/, int comparisonId, bool holds) {
   const int varIndex = it->second.second;
   if (varIndex < 0 || varIndex >= static_cast<int>(po->vars.size())) return;
   po->vars[static_cast<std::size_t>(varIndex)] = holds;
+  // Claim the sensor's freshly-minted episode root (invalid unless this
+  // alarm is a new violation under an attached observer). evaluate() adopts
+  // it on a violation transition; otherwise we close it here — an alarm that
+  // does not flip the policy expression is a dead-end episode.
+  pendingAlarmCtx_ = sensor.claimAlarmContext();
   evaluate(*po);
+  if (pendingAlarmCtx_.valid()) {
+    if (sim::SpanObserver* o = sim_.observer()) {
+      o->endSpan(sim_.now(), pendingAlarmCtx_);
+    }
+    pendingAlarmCtx_ = sim::TraceContext{};
+  }
 }
 
 void Coordinator::evaluate(PolicyObject& po) {
@@ -181,6 +194,25 @@ void Coordinator::evaluate(PolicyObject& po) {
   const bool violated = !satisfied;
   if (violated == po.violated) return;  // no transition
   po.violated = violated;
+
+  sim::SpanObserver* o = sim_.observer();
+  if (violated) {
+    po.episodeStart = sim_.now();
+    if (o != nullptr) {
+      // Adopt the sensor's root span so detection and reaction share one
+      // trace; a violation raised without a sensor span (e.g. re-pushed
+      // policies) roots a fresh trace here.
+      po.episodeCtx = pendingAlarmCtx_.valid()
+                          ? pendingAlarmCtx_
+                          : o->beginTrace(sim_.now(),
+                                          "episode:" + po.compiled.policyId,
+                                          "coordinator:" + hostName_);
+      pendingAlarmCtx_ = sim::TraceContext{};
+      o->annotate(po.episodeCtx, "policy", po.compiled.policyId);
+      o->instant(sim_.now(), po.episodeCtx, "violation", "coordinator");
+    }
+  }
+
   sendTransitionReport(po);
 
   if (violated) {
@@ -194,6 +226,17 @@ void Coordinator::evaluate(PolicyObject& po) {
       sim_.cancel(po.repeatEvent);
       po.repeatEvent = sim::kInvalidEvent;
     }
+    // Reaction latency: violation transition -> clear transition, on the
+    // simulation clock. Recorded whether or not tracing is on (a histogram
+    // add schedules nothing and draws no randomness).
+    reactionLatency_.record(static_cast<double>(sim_.now() - po.episodeStart));
+    if (po.episodeCtx.valid()) {
+      if (o != nullptr) {
+        o->instant(sim_.now(), po.episodeCtx, "recovered", "coordinator");
+        o->endSpan(sim_.now(), po.episodeCtx);
+      }
+      po.episodeCtx = sim::TraceContext{};
+    }
   }
 }
 
@@ -205,6 +248,7 @@ void Coordinator::sendTransitionReport(PolicyObject& po) {
   report.executable = executable_;
   report.userRole = userRole_;
   report.violated = po.violated;
+  report.context = po.episodeCtx;  // invalid (and unserialized) when untraced
 
   // The do-list runs on violation; on return to compliance we gather the
   // same sensor readings (so the manager can decay its corrective actions)

@@ -111,6 +111,11 @@ class Coordinator {
     std::vector<bool> vars;  // one per comparison; optimistic (true) start
     bool violated = false;
     sim::EventId repeatEvent = sim::kInvalidEvent;
+    // Causal tracing: the episode span opened on the violation transition
+    // (invalid when observability is off) and when the violation began —
+    // tracked unconditionally so reaction latency is measured either way.
+    sim::TraceContext episodeCtx;
+    sim::SimTime episodeStart = 0;
   };
 
   void wirePolicy(PolicyObject& po);
@@ -133,6 +138,8 @@ class Coordinator {
 
   std::vector<std::unique_ptr<PolicyObject>> policies_;
   std::map<int, std::pair<PolicyObject*, int>> byComparison_;  // id -> (policy, var)
+  sim::TraceContext pendingAlarmCtx_;  // claimed from the sensor in onAlarm
+  sim::HistogramHandle reactionLatency_;
   sim::SimDuration repeatInterval_ = sim::msec(500);
   std::uint64_t violations_ = 0;
   std::uint64_t clears_ = 0;

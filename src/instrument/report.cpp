@@ -43,12 +43,15 @@ std::string ViolationReport::serialize() const {
     if (i != 0) out << ";";
     out << metrics[i].first << "=" << metrics[i].second;
   }
+  if (context.valid()) out << "|" << context.serialize();
   return out.str();
 }
 
 std::optional<ViolationReport> ViolationReport::parse(const std::string& text) {
-  const auto parts = split(text, '|', 8);
-  if (parts.size() != 8 || parts[0] != "QOSRPT") return std::nullopt;
+  const auto parts = split(text, '|', 9);
+  if ((parts.size() != 8 && parts.size() != 9) || parts[0] != "QOSRPT") {
+    return std::nullopt;
+  }
   ViolationReport r;
   r.policyId = parts[1];
   r.pid = static_cast<std::uint32_t>(std::strtoul(parts[2].c_str(), nullptr, 10));
@@ -70,6 +73,7 @@ std::optional<ViolationReport> ViolationReport::parse(const std::string& text) {
                              std::strtod(kv.c_str() + eq + 1, nullptr));
     }
   }
+  if (parts.size() == 9) r.context = sim::TraceContext::parse(parts[8]);
   return r;
 }
 

@@ -8,6 +8,8 @@
 #include <utility>
 #include <vector>
 
+#include "sim/span.hpp"
+
 namespace softqos::instrument {
 
 struct ViolationReport {
@@ -20,11 +22,17 @@ struct ViolationReport {
   /// Metric values gathered by the policy's sensor-read actions
   /// (e.g. frame_rate, jitter_rate, buffer_size from Example 1).
   std::vector<std::pair<std::string, double>> metrics;
+  /// Causal-trace context of the violation episode. Invalid (the default)
+  /// when observability is off; only a valid context is serialized, so the
+  /// wire form of an unobserved report is byte-identical to the seed format.
+  sim::TraceContext context;
 
   [[nodiscard]] std::optional<double> metric(const std::string& name) const;
 
   /// Wire format:
   /// QOSRPT|policy|pid|host|exec|role|V or C|name=value;name=value
+  /// with an optional trailing |traceId:spanId when a trace context rides
+  /// along (observability enabled).
   [[nodiscard]] std::string serialize() const;
   static std::optional<ViolationReport> parse(const std::string& text);
 };

@@ -100,8 +100,23 @@ void Sensor::evaluate(double value) {
       ++clears_;
     } else {
       ++alarms_;
+      // Detection is where a causal chain is born: the violating sample
+      // roots the episode trace. The handler claims the context; an
+      // unclaimed span is closed below so it never dangles open.
+      if (sim::SpanObserver* o = sim_.observer()) {
+        alarmContext_ = o->beginTrace(sim_.now(), "episode:" + attribute_,
+                                      "sensor:" + id_);
+        o->annotate(alarmContext_, "sensor", id_);
+        o->annotate(alarmContext_, "value", read());
+      }
     }
     if (alarmHandler_) alarmHandler_(*this, c.comparisonId, holds);
+    if (alarmContext_.valid()) {
+      if (sim::SpanObserver* o = sim_.observer()) {
+        o->endSpan(sim_.now(), alarmContext_);
+      }
+      alarmContext_ = sim::TraceContext{};
+    }
   }
 }
 

@@ -71,6 +71,18 @@ class Sensor {
   [[nodiscard]] std::uint64_t clearsRaised() const { return clears_; }
   [[nodiscard]] std::uint64_t observations() const { return observations_; }
 
+  /// Causal tracing: when an observer is attached, the sensor mints a root
+  /// "episode" span the moment it observes a violating sample. The alarm
+  /// handler (a Coordinator) claims it to carry the context through the
+  /// management loop; if nobody claims it, the sensor closes it right after
+  /// the handler returns. Returns an invalid context when there is nothing
+  /// to claim.
+  [[nodiscard]] sim::TraceContext claimAlarmContext() {
+    const sim::TraceContext ctx = alarmContext_;
+    alarmContext_ = sim::TraceContext{};
+    return ctx;
+  }
+
  protected:
   /// Subclasses call this on every new measurement.
   void observe(double value);
@@ -98,6 +110,7 @@ class Sensor {
   bool enabled_ = true;
   std::vector<InstalledComparison> comparisons_;
   AlarmHandler alarmHandler_;
+  sim::TraceContext alarmContext_;
   sim::SimDuration tickInterval_ = 0;
   sim::EventId tickEvent_ = sim::kInvalidEvent;
   std::uint64_t alarms_ = 0;

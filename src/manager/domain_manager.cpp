@@ -18,8 +18,11 @@ QoSDomainManager::QoSDomainManager(sim::Simulation& simulation,
       name_(std::move(name)),
       traceName_("qosdm:" + name_),
       config_(config),
-      engine_("qosdm:" + name_) {
+      engine_("qosdm:" + name_),
+      ruleFireNanos_(
+          simulation.metrics().histogramHandle("rules.fire_wall_ns")) {
   registerEngineFunctions();
+  installFireHooks();
   if (config_.loadDefaultRules) loadDefaultRules();
 
   rpc_ = std::make_unique<net::RpcEndpoint>(network_, seat, config_.rpcPort);
@@ -222,12 +225,60 @@ void QoSDomainManager::distributeHostRules(const std::string& ruleText) {
   }
 }
 
+void QoSDomainManager::installFireHooks() {
+  // Same shape as the host manager's hooks: per-rule spans under the active
+  // fault-localization span plus a wall-clock firing-cost histogram.
+  engine_.setFireHooks(
+      [this](const rules::Rule& rule,
+             const std::vector<rules::FactId>& matched) -> bool {
+        sim::SpanObserver* o = sim_.observer();
+        if (o == nullptr) return false;
+        if (activeCtx_.valid()) {
+          currentRuleSpan_ = o->beginSpan(sim_.now(), activeCtx_,
+                                          "rule:" + rule.name, traceName_);
+          std::string facts;
+          for (const rules::FactId id : matched) {
+            if (!facts.empty()) facts += ",";
+            facts += id == rules::kNoFact ? "-" : std::to_string(id);
+          }
+          o->annotate(currentRuleSpan_, "facts", facts);
+        }
+        return true;
+      },
+      [this](const rules::Rule& /*rule*/,
+             const std::vector<rules::FactId>& /*matched*/,
+             std::uint64_t wallNanos) {
+        ruleFireNanos_.record(static_cast<double>(wallNanos));
+        if (currentRuleSpan_.valid()) {
+          if (sim::SpanObserver* o = sim_.observer()) {
+            o->annotate(currentRuleSpan_, "wall_ns",
+                        std::to_string(wallNanos));
+            o->endSpan(sim_.now(), currentRuleSpan_);
+          }
+          currentRuleSpan_ = sim::TraceContext{};
+        }
+      });
+}
+
+void QoSDomainManager::markAction(std::string_view what) {
+  if (!activeCtx_.valid()) return;
+  if (sim::SpanObserver* o = sim_.observer()) {
+    o->instant(sim_.now(), activeCtx_, "corrective:" + std::string(what),
+               traceName_);
+  }
+}
+
 void QoSDomainManager::registerEngineFunctions() {
   engine_.registerFunction("diagnose", [this](const std::vector<Value>& args) {
     if (args.size() != 2) return;
     const std::string kind = args[1].asString();
     ++diagnoses_[kind];
     lastDiagnosis_ = kind;
+    if (activeCtx_.valid()) {
+      if (sim::SpanObserver* o = sim_.observer()) {
+        o->annotate(activeCtx_, "diagnosis", kind);
+      }
+    }
     sim_.info(traceName_, [&] { return "diagnosis: " + kind; });
   });
 
@@ -239,8 +290,11 @@ void QoSDomainManager::registerEngineFunctions() {
     std::ostringstream body;
     body << "pid=" << pid << ";delta=" << delta;
     ++serverBoosts_;
+    markAction("boost-server");
+    auto options = rpcOptions();
+    options.context = activeCtx_;
     rpc_->call(serverHost, config_.hostManagerPort, "boost", body.str(),
-               [](bool, const std::string&) {}, rpcOptions());
+               [](bool, const std::string&) {}, options);
   });
 
   engine_.registerFunction("restart-server",
@@ -249,13 +303,17 @@ void QoSDomainManager::registerEngineFunctions() {
     const std::string serverHost = args[0].asString();
     const auto pid = static_cast<osim::Pid>(args[1].asInt());
     ++restarts_;
+    markAction("restart-server");
+    auto options = rpcOptions();
+    options.context = activeCtx_;
     rpc_->call(serverHost, config_.hostManagerPort, "restart",
                "pid=" + std::to_string(pid), [](bool, const std::string&) {},
-               rpcOptions());
+               options);
   });
 
   engine_.registerFunction("reroute-congested",
                            [this](const std::vector<Value>&) {
+    markAction("reroute-congested");
     rerouteAroundCongestion();
   });
 
@@ -332,6 +390,20 @@ void QoSDomainManager::handleEscalation(
   // Sample the network first (cheap, local), then ask the server-side host
   // manager for CPU load and liveness (Section 5.3's domain rule).
   const std::uint64_t eid = nextEscalationId_++;
+
+  // Causal tracing: fault localization covers the evidence gathering (the
+  // host-stats query) and the rule-based diagnosis that follows it, as a
+  // child of the episode context the escalated report carried.
+  sim::TraceContext locSpan;
+  if (report.context.valid()) {
+    if (sim::SpanObserver* o = sim_.observer()) {
+      locSpan = o->beginSpan(sim_.now(), report.context, "fault-localization",
+                             traceName_);
+      o->annotate(locSpan, "exec", report.executable);
+      o->annotate(locSpan, "server", binding.serverHost);
+    }
+  }
+
   const double maxUtil = sampleMaxChannelUtilization();
   {
     rules::SlotMap slots;
@@ -340,10 +412,12 @@ void QoSDomainManager::handleEscalation(
     engine_.facts().assertFact("net-stats", std::move(slots));
   }
 
+  auto options = rpcOptions();
+  options.context = locSpan;
   rpc_->call(
       binding.serverHost, config_.hostManagerPort, "host-stats",
       "pid=" + std::to_string(binding.serverPid),
-      [this, eid, report, binding](bool ok, const std::string& body) {
+      [this, eid, report, binding, locSpan](bool ok, const std::string& body) {
         if (crashed_) return;  // daemon died while the query was in flight
         bool alive = false;
         double load = 0.0;
@@ -356,17 +430,19 @@ void QoSDomainManager::handleEscalation(
         }
         // An unreachable host manager is indistinguishable from a dead one;
         // treat it as a process/host failure.
-        runDiagnosis(eid, report, binding, alive, load, slowdown);
+        runDiagnosis(eid, report, binding, alive, load, slowdown, locSpan);
       },
-      rpcOptions());
+      options);
 }
 
 void QoSDomainManager::runDiagnosis(std::uint64_t escalationId,
                                     const instrument::ViolationReport& report,
                                     const ServiceBinding& binding, bool alive,
-                                    double load, double slowdown) {
+                                    double load, double slowdown,
+                                    const sim::TraceContext& locSpan) {
   currentClientHost_ = report.hostName;
   currentServerHost_ = binding.serverHost;
+  activeCtx_ = locSpan;
   const auto eid = static_cast<std::int64_t>(escalationId);
   {
     rules::SlotMap slots;
@@ -391,6 +467,13 @@ void QoSDomainManager::runDiagnosis(std::uint64_t escalationId,
 
   engine_.run();
   retractEscalationFacts(escalationId);
+
+  if (activeCtx_.valid()) {
+    if (sim::SpanObserver* o = sim_.observer()) {
+      o->endSpan(sim_.now(), activeCtx_);
+    }
+    activeCtx_ = sim::TraceContext{};
+  }
 }
 
 void QoSDomainManager::retractEscalationFacts(std::uint64_t escalationId) {

@@ -125,6 +125,10 @@ class QoSDomainManager {
   };
 
   void registerEngineFunctions();
+  void installFireHooks();
+  /// Causal tracing: mark a corrective action inside the active
+  /// fault-localization span (no-op when untraced).
+  void markAction(std::string_view what);
   [[nodiscard]] net::RpcEndpoint::CallOptions rpcOptions() const;
   void armHeartbeat();
   void pingManagedHosts();
@@ -135,7 +139,7 @@ class QoSDomainManager {
   void runDiagnosis(std::uint64_t escalationId,
                     const instrument::ViolationReport& report,
                     const ServiceBinding& binding, bool alive, double load,
-                    double slowdown);
+                    double slowdown, const sim::TraceContext& locSpan);
   [[nodiscard]] double sampleMaxChannelUtilization();
   void retractEscalationFacts(std::uint64_t escalationId);
   void rerouteAroundCongestion();
@@ -153,6 +157,14 @@ class QoSDomainManager {
   std::map<std::string, HostLiveness> liveness_;
   sim::EventId heartbeatEvent_ = sim::kInvalidEvent;
   bool crashed_ = false;
+
+  // Causal tracing: the fault-localization span of the escalation being
+  // diagnosed (corrective RPCs nest under it) and the rule firing in
+  // flight. Both invalid when observability is off. Heartbeat probes carry
+  // no context by design — they are not part of any causal chain.
+  sim::TraceContext activeCtx_;
+  sim::TraceContext currentRuleSpan_;
+  sim::HistogramHandle ruleFireNanos_;
 
   std::uint64_t nextEscalationId_ = 1;
   std::uint64_t received_ = 0;

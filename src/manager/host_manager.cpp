@@ -17,8 +17,11 @@ QoSHostManager::QoSHostManager(sim::Simulation& simulation, osim::Host& host,
       config_(std::move(config)),
       engine_("qoshm:" + host.name()),
       cpuManager_(host),
-      memoryManager_(host) {
+      memoryManager_(host),
+      ruleFireNanos_(
+          simulation.metrics().histogramHandle("rules.fire_wall_ns")) {
   registerEngineFunctions();
+  installFireHooks();
   if (config_.loadDefaultRules) loadDefaultRules();
 
   // Coordinators reach the manager through the host message queue.
@@ -107,6 +110,7 @@ void QoSHostManager::registerEngineFunctions() {
     if (cpuManager_.tsSaturated(pid)) {
       if (cpuManager_.rtShare(pid) == 0 && cpuManager_.grantRtShare(pid, 85)) {
         ++rtGrants_;
+        markActuation("grant-rt");
         sim_.info(traceName_, [&] {
           return "TS saturated; granting RT share to pid " + std::to_string(pid);
         });
@@ -115,6 +119,7 @@ void QoSHostManager::registerEngineFunctions() {
     }
     if (cpuManager_.adjustTsPriority(pid, delta)) {
       ++boosts_;
+      markActuation("boost-cpu");
       sim_.debug(traceName_, [&] {
         return "boost pid " + std::to_string(pid) + " by " +
                std::to_string(delta);
@@ -130,15 +135,22 @@ void QoSHostManager::registerEngineFunctions() {
     if (cpuManager_.rtShare(pid) > 0) {
       cpuManager_.grantRtShare(pid, 0);
       ++decays_;
+      markActuation("revoke-rt");
       return;
     }
-    if (cpuManager_.adjustTsPriority(pid, -delta)) ++decays_;
+    if (cpuManager_.adjustTsPriority(pid, -delta)) {
+      ++decays_;
+      markActuation("decay-cpu");
+    }
   });
 
   engine_.registerFunction("grow-memory", [this](const std::vector<Value>& args) {
     if (args.size() != 2) return;
     const auto pid = static_cast<osim::Pid>(args[0].asInt());
-    if (memoryManager_.growResidentCap(pid, args[1].asInt())) ++memGrowths_;
+    if (memoryManager_.growResidentCap(pid, args[1].asInt())) {
+      ++memGrowths_;
+      markActuation("grow-memory");
+    }
   });
 
   engine_.registerFunction("notify-domain-manager",
@@ -158,6 +170,7 @@ void QoSHostManager::registerEngineFunctions() {
     for (std::size_t i = 2; i < args.size(); ++i) {
       cmd.args.push_back(args[i].toString());
     }
+    markActuation("adapt:" + cmd.target);
     sendControl(static_cast<osim::Pid>(args[0].asInt()), cmd);
   });
 
@@ -175,6 +188,51 @@ void QoSHostManager::registerEngineFunctions() {
       return out.str();
     });
   });
+}
+
+void QoSHostManager::installFireHooks() {
+  // Per-rule spans with matched-fact attribution, plus a wall-clock cost
+  // histogram per firing. Rule firings consume no simulated time, so the
+  // spans are instants on the sim clock carrying host-cost annotations.
+  engine_.setFireHooks(
+      [this](const rules::Rule& rule,
+             const std::vector<rules::FactId>& matched) -> bool {
+        sim::SpanObserver* o = sim_.observer();
+        if (o == nullptr) return false;
+        if (activeCtx_.valid()) {
+          currentRuleSpan_ =
+              o->beginSpan(sim_.now(), activeCtx_, "rule:" + rule.name,
+                           traceName_);
+          std::string facts;
+          for (const rules::FactId id : matched) {
+            if (!facts.empty()) facts += ",";
+            facts += id == rules::kNoFact ? "-" : std::to_string(id);
+          }
+          o->annotate(currentRuleSpan_, "facts", facts);
+        }
+        return true;
+      },
+      [this](const rules::Rule& /*rule*/,
+             const std::vector<rules::FactId>& /*matched*/,
+             std::uint64_t wallNanos) {
+        ruleFireNanos_.record(static_cast<double>(wallNanos));
+        if (currentRuleSpan_.valid()) {
+          if (sim::SpanObserver* o = sim_.observer()) {
+            o->annotate(currentRuleSpan_, "wall_ns",
+                        std::to_string(wallNanos));
+            o->endSpan(sim_.now(), currentRuleSpan_);
+          }
+          currentRuleSpan_ = sim::TraceContext{};
+        }
+      });
+}
+
+void QoSHostManager::markActuation(std::string_view what) {
+  if (!activeCtx_.valid()) return;
+  if (sim::SpanObserver* o = sim_.observer()) {
+    o->instant(sim_.now(), activeCtx_, "actuate:" + std::string(what),
+               traceName_);
+  }
 }
 
 void QoSHostManager::setupRpcHandlers() {
@@ -271,6 +329,19 @@ void QoSHostManager::handleReport(const instrument::ViolationReport& report) {
   lastReport_[report.pid] = report;
   lastReportAt_[report.pid] = sim_.now();
 
+  // Causal tracing: diagnosis runs inside a span under the episode context
+  // the report carried across the message queue. Everything the rules do
+  // synchronously (actuations, escalation RPCs) nests under activeCtx_.
+  if (report.context.valid()) {
+    if (sim::SpanObserver* o = sim_.observer()) {
+      activeCtx_ = o->beginSpan(sim_.now(), report.context,
+                                report.violated ? "diagnose" : "decay",
+                                traceName_);
+      o->annotate(activeCtx_, "pid", std::to_string(report.pid));
+      o->annotate(activeCtx_, "policy", report.policyId);
+    }
+  }
+
   // Working memory holds only the latest session state per pid.
   retractSessionFacts(report.pid);
 
@@ -327,6 +398,13 @@ void QoSHostManager::handleReport(const instrument::ViolationReport& report) {
   }
 
   engine_.run();
+
+  if (activeCtx_.valid()) {
+    if (sim::SpanObserver* o = sim_.observer()) {
+      o->endSpan(sim_.now(), activeCtx_);
+    }
+    activeCtx_ = sim::TraceContext{};
+  }
 }
 
 void QoSHostManager::sendControl(osim::Pid pid,
@@ -357,6 +435,9 @@ void QoSHostManager::escalate(std::uint32_t pid) {
   net::RpcEndpoint::CallOptions options;
   options.timeout = config_.escalationTimeout;
   options.maxAttempts = config_.escalationMaxAttempts;
+  // Escalation happens inside the diagnosis span (the engine function runs
+  // synchronously under handleReport); the RPC layer opens the call span.
+  options.context = activeCtx_;
   rpc_->call(config_.domainManagerHost, config_.domainManagerPort, "escalate",
              it->second.serialize(),
              [this](bool ok, const std::string&) {

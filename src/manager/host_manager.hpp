@@ -106,11 +106,15 @@ class QoSHostManager {
 
  private:
   void registerEngineFunctions();
+  void installFireHooks();
   void setupRpcHandlers();
   void installQueueReceiver();
   void sweepStaleFacts();
   void retractSessionFacts(std::uint32_t pid);
   void escalate(std::uint32_t pid);
+  /// Causal tracing: mark an actuator/resource-knob invocation inside the
+  /// active diagnosis span (no-op when untraced).
+  void markActuation(std::string_view what);
 
   sim::Simulation& sim_;
   osim::Host& host_;
@@ -126,6 +130,13 @@ class QoSHostManager {
   std::map<std::uint32_t, sim::SimTime> lastReportAt_;  // TTL bookkeeping
   sim::SimDuration escalationThrottle_ = sim::sec(2);
   bool crashed_ = false;
+
+  // Causal tracing: the diagnosis span of the report currently being
+  // handled (escalations and actuations nest under it) and the span of the
+  // rule firing in flight. Both invalid when observability is off.
+  sim::TraceContext activeCtx_;
+  sim::TraceContext currentRuleSpan_;
+  sim::HistogramHandle ruleFireNanos_;
 
   std::uint64_t reports_ = 0;
   std::uint64_t boosts_ = 0;

@@ -49,7 +49,9 @@ RpcEndpoint::RpcEndpoint(Network& network, osim::Host& host, int port)
       hostName_(host.name()),
       port_(port),
       backoffRandom_(network.sim().stream("rpc:" + host.name() + ":" +
-                                          std::to_string(port))) {
+                                          std::to_string(port))),
+      roundtrip_(network.sim().metrics().histogramHandle("rpc.roundtrip_us")),
+      attempts_(network.sim().metrics().histogramHandle("rpc.attempts")) {
   socket_ = host.createSocket();
   Nic& nic = network_.attachHost(host);
   nic.bind(port_, socket_);
@@ -93,9 +95,20 @@ void RpcEndpoint::call(const std::string& destHost, int destPort,
   pc.cont = std::move(onReply);
   pc.destHost = destHost;
   pc.destPort = destPort;
-  // Frame: Q|<id>|<replyHost>|<replyPort>|<method>|<body>
-  pc.payload = "Q|" + std::to_string(id) + "|" + hostName_ + "|" +
-               std::to_string(port_) + "|" + method + "|" + body;
+  pc.startedAt = network_.sim().now();
+  // Frame: Q|<id>|<replyHost>|<replyPort>|<method>|<body>, or with a trace
+  // context riding along: QT|<traceId:spanId>|<id>|...
+  const std::string tail = std::to_string(id) + "|" + hostName_ + "|" +
+                           std::to_string(port_) + "|" + method + "|" + body;
+  sim::SpanObserver* o = network_.sim().observer();
+  if (o != nullptr && options.context.valid()) {
+    pc.span = o->beginSpan(pc.startedAt, options.context, "rpc:" + method,
+                           "rpc:" + hostName_);
+    o->annotate(pc.span, "dest", destHost + ":" + std::to_string(destPort));
+    pc.payload = "QT|" + pc.span.serialize() + "|" + tail;
+  } else {
+    pc.payload = "Q|" + tail;
+  }
   pc.options = options;
   pc.options.maxAttempts = std::max(1, options.maxAttempts);
   pc.timeoutEvent = network_.sim().after(
@@ -113,8 +126,16 @@ void RpcEndpoint::onCallTimeout(std::uint64_t id) {
 
   if (pc.attempt >= pc.options.maxAttempts) {
     ReplyCont cont = std::move(pc.cont);
+    attempts_.record(static_cast<double>(pc.attempt));
+    const sim::TraceContext span = pc.span;
     pending_.erase(it);
     ++timeouts_;
+    if (span.valid()) {
+      if (sim::SpanObserver* o = network_.sim().observer()) {
+        o->annotate(span, "result", "timeout");
+        o->endSpan(network_.sim().now(), span);
+      }
+    }
     if (cont) cont(false, "");
     return;
   }
@@ -141,6 +162,14 @@ void RpcEndpoint::onCallTimeout(std::uint64_t id) {
     PendingCall& rpc = pit->second;
     rpc.timeoutEvent = network_.sim().after(
         rpc.options.timeout, [this, id] { onCallTimeout(id); });
+    if (rpc.span.valid()) {
+      // Retries are markers inside the one call span, not new spans: the
+      // trace shows a single logical call that needed N sends.
+      if (sim::SpanObserver* o = network_.sim().observer()) {
+        o->instant(network_.sim().now(), rpc.span,
+                   "retry:" + std::to_string(rpc.attempt), "rpc:" + hostName_);
+      }
+    }
     sendRaw(rpc.destHost, rpc.destPort, rpc.payload);
   });
 }
@@ -150,16 +179,23 @@ void RpcEndpoint::onMessage(osim::Message m) {
     ++droppedWhileDisabled_;
     return;
   }
-  const auto parts = splitString(m.payload, '|', 6);
+  // Traced requests ("QT") carry one extra leading field: the caller's span
+  // context. Untraced frames keep the seed layout byte-for-byte.
+  const bool traced = m.payload.rfind("QT|", 0) == 0;
+  const auto parts = splitString(m.payload, '|', traced ? 7 : 6);
   if (parts.empty()) return;
-  if (parts[0] == "Q" && parts.size() == 6) {
-    const auto replyPort = parseU64(parts[3]);
+  if ((parts[0] == "Q" && parts.size() == 6) ||
+      (parts[0] == "QT" && parts.size() == 7)) {
+    const std::size_t off = traced ? 1 : 0;
+    const auto replyPort = parseU64(parts[3 + off]);
     if (!replyPort.has_value()) return;  // malformed frame
-    const std::string id = parts[1];
-    const std::string replyHost = parts[2];
+    sim::TraceContext callerCtx;
+    if (traced) callerCtx = sim::TraceContext::parse(parts[1]);
+    const std::string id = parts[1 + off];
+    const std::string replyHost = parts[2 + off];
     const int port = static_cast<int>(*replyPort);
-    const std::string& method = parts[4];
-    const std::string& body = parts[5];
+    const std::string& method = parts[4 + off];
+    const std::string& body = parts[5 + off];
 
     // At-most-once execution under caller retries: a duplicate of a request
     // we already ran replays the cached response (or stays silent while the
@@ -170,6 +206,13 @@ void RpcEndpoint::onMessage(osim::Message m) {
     const auto seen = executed_.find(dedupKey);
     if (seen != executed_.end()) {
       ++duplicates_;
+      if (callerCtx.valid()) {
+        // Suppression is part of the caller's call span, not a new one.
+        if (sim::SpanObserver* o = network_.sim().observer()) {
+          o->instant(network_.sim().now(), callerCtx, "duplicate-suppressed",
+                     "rpc:" + hostName_);
+        }
+      }
       if (seen->second.responded) {
         sendRaw(replyHost, port, "S|" + id + "|" + seen->second.response);
       }
@@ -184,12 +227,26 @@ void RpcEndpoint::onMessage(osim::Message m) {
     }
 
     ++handled_;
-    Responder respond = [this, id, replyHost, port,
-                         dedupKey](std::string respBody) {
+    sim::TraceContext serveSpan;
+    if (callerCtx.valid()) {
+      if (sim::SpanObserver* o = network_.sim().observer()) {
+        serveSpan = o->beginSpan(network_.sim().now(), callerCtx,
+                                 "serve:" + method, "rpc:" + hostName_);
+      }
+    }
+    Responder respond = [this, id, replyHost, port, dedupKey,
+                         serveSpan](std::string respBody) {
       const auto entry = executed_.find(dedupKey);
       if (entry != executed_.end()) {
         entry->second.responded = true;
         entry->second.response = respBody;
+      }
+      if (serveSpan.valid()) {
+        // Responders may fire asynchronously (fan-out queries); the serve
+        // span covers handler start through response send.
+        if (sim::SpanObserver* o = network_.sim().observer()) {
+          o->endSpan(network_.sim().now(), serveSpan);
+        }
       }
       sendRaw(replyHost, port, "S|" + id + "|" + std::move(respBody));
     };
@@ -216,7 +273,18 @@ void RpcEndpoint::onMessage(osim::Message m) {
     }
     ReplyCont cont = std::move(it->second.cont);
     network_.sim().cancel(it->second.timeoutEvent);
+    roundtrip_.record(
+        static_cast<double>(network_.sim().now() - it->second.startedAt));
+    attempts_.record(static_cast<double>(it->second.attempt));
+    const sim::TraceContext span = it->second.span;
+    const int attempt = it->second.attempt;
     pending_.erase(it);
+    if (span.valid()) {
+      if (sim::SpanObserver* o = network_.sim().observer()) {
+        o->annotate(span, "attempts", std::to_string(attempt));
+        o->endSpan(network_.sim().now(), span);
+      }
+    }
     if (cont) cont(true, resp[2]);
   }
 }

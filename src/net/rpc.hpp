@@ -45,6 +45,12 @@ class RpcEndpoint {
     sim::SimDuration backoffBase = sim::msec(200);// doubles per retry
     sim::SimDuration backoffMax = sim::sec(2);
     double jitter = 0.2;                          // ± fraction on the backoff
+    /// Causal-trace parent for this call. When valid (and an observer is
+    /// attached) the call gets its own span — retries and duplicate
+    /// suppression stay inside it — and the request is framed as
+    /// "QT|<ctx>|..." so the callee's serve span joins the same trace.
+    /// Invalid (the default) keeps the seed "Q|..." frame byte-identical.
+    sim::TraceContext context;
   };
 
   RpcEndpoint(Network& network, osim::Host& host, int port);
@@ -102,6 +108,8 @@ class RpcEndpoint {
     std::string payload;
     int attempt = 1;
     CallOptions options;
+    sim::SimTime startedAt = 0;
+    sim::TraceContext span;  // the call span; invalid when untraced
   };
 
   /// Executed-request memory for at-most-once handler semantics under
@@ -127,6 +135,8 @@ class RpcEndpoint {
   std::map<std::string, ExecutedRequest> executed_;
   std::deque<std::string> executedOrder_;  // FIFO eviction of executed_
   sim::RandomStream backoffRandom_;
+  sim::HistogramHandle roundtrip_;  // rpc.roundtrip_us (successful calls)
+  sim::HistogramHandle attempts_;   // rpc.attempts (per completed call)
   bool enabled_ = true;
   std::uint64_t nextCallId_ = 1;
   std::uint64_t handled_ = 0;

@@ -1,0 +1,157 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+namespace softqos::obs {
+namespace {
+
+void appendEscaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void appendDouble(std::string& out, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  out += buf;
+}
+
+}  // namespace
+
+std::string chromeTraceJson(const Observer& observer) {
+  const std::deque<Span>& spans = observer.spans();
+  const std::size_t n = spans.size();
+
+  // Envelope normalization: a span's effective end covers its latest
+  // descendant. Children are always minted after their parent (higher
+  // index), so one reverse pass visits every child before its parent.
+  std::vector<sim::SimTime> effEnd(n);
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  index.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) index.emplace(spans[i].spanId, i);
+  for (std::size_t i = n; i-- > 0;) {
+    const Span& s = spans[i];
+    if (effEnd[i] < s.start) effEnd[i] = s.open() ? s.start : s.end;
+    if (s.parentSpanId != 0) {
+      const auto it = index.find(s.parentSpanId);
+      if (it != index.end() && effEnd[it->second] < effEnd[i]) {
+        effEnd[it->second] = effEnd[i];
+      }
+    }
+  }
+
+  std::string out;
+  out.reserve(128 * n + 64);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Span& s = spans[i];
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\":\"";
+    appendEscaped(out, s.name);
+    out += "\",\"cat\":\"";
+    appendEscaped(out, s.component);
+    out += "\",\"ph\":\"X\",\"ts\":";
+    out += std::to_string(s.start);
+    out += ",\"dur\":";
+    out += std::to_string(effEnd[i] - s.start);
+    out += ",\"pid\":1,\"tid\":";
+    out += std::to_string(s.traceId);
+    out += ",\"args\":{\"span_id\":\"";
+    out += std::to_string(s.spanId);
+    if (s.parentSpanId != 0) {
+      out += "\",\"parent_span_id\":\"";
+      out += std::to_string(s.parentSpanId);
+    }
+    out += "\"";
+    for (const auto& [key, value] : s.annotations) {
+      out += ",\"";
+      appendEscaped(out, key);
+      out += "\":\"";
+      appendEscaped(out, value);
+      out += "\"";
+    }
+    out += "}}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+std::string metricsJson(const sim::MetricRegistry& metrics) {
+  std::string out;
+  out += "{\n\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : metrics.counters()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n\"";
+    appendEscaped(out, name);
+    out += "\":";
+    out += std::to_string(value);
+  }
+  out += "\n},\n\"series\":{";
+  first = true;
+  for (const auto& [name, series] : metrics.allSeries()) {
+    const sim::Summary& s = series.summary();
+    if (!first) out += ",";
+    first = false;
+    out += "\n\"";
+    appendEscaped(out, name);
+    out += "\":{\"count\":";
+    out += std::to_string(s.count());
+    out += ",\"mean\":";
+    appendDouble(out, s.mean());
+    out += ",\"min\":";
+    appendDouble(out, s.min());
+    out += ",\"max\":";
+    appendDouble(out, s.max());
+    out += ",\"stddev\":";
+    appendDouble(out, s.stddev());
+    out += "}";
+  }
+  out += "\n},\n\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : metrics.allHistograms()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n\"";
+    appendEscaped(out, name);
+    out += "\":{\"count\":";
+    out += std::to_string(h.count());
+    out += ",\"mean\":";
+    appendDouble(out, h.mean());
+    out += ",\"min\":";
+    appendDouble(out, h.min());
+    out += ",\"max\":";
+    appendDouble(out, h.max());
+    out += ",\"p50\":";
+    appendDouble(out, h.p50());
+    out += ",\"p90\":";
+    appendDouble(out, h.p90());
+    out += ",\"p99\":";
+    appendDouble(out, h.p99());
+    out += "}";
+  }
+  out += "\n}\n}\n";
+  return out;
+}
+
+}  // namespace softqos::obs

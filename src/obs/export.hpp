@@ -1,0 +1,32 @@
+// Exporters for the observability plane.
+//
+// chromeTraceJson renders retained spans in the Chrome trace_event format
+// (ph:"X" complete events, ts/dur in microseconds — SimTime's native unit)
+// loadable in chrome://tracing or https://ui.perfetto.dev. Each causal chain
+// gets its own tid (= trace id) so detection -> diagnosis -> actuation ->
+// recovery chains render as one row each.
+//
+// metricsJson snapshots a MetricRegistry (counters, series summaries,
+// histogram quantiles) as a single JSON object for offline analysis.
+#pragma once
+
+#include <string>
+
+#include "obs/observer.hpp"
+#include "sim/metrics.hpp"
+
+namespace softqos::obs {
+
+/// Retained spans as a Chrome trace_event JSON document.
+///
+/// Span ends are envelope-normalized at export time: a parent's duration is
+/// extended to cover its latest descendant, so spans that logically end
+/// before an async child completes (message-queue hops, RPC replies) still
+/// nest properly in the viewer. Open spans close at their latest descendant
+/// (or render as instants when childless).
+[[nodiscard]] std::string chromeTraceJson(const Observer& observer);
+
+/// Snapshot of all counters, series and histograms as a JSON object.
+[[nodiscard]] std::string metricsJson(const sim::MetricRegistry& metrics);
+
+}  // namespace softqos::obs

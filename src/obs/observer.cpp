@@ -1,0 +1,114 @@
+#include "obs/observer.hpp"
+
+namespace softqos::obs {
+
+Observer::Observer(sim::Simulation& sim) : sim_(&sim) {
+  queueDepth_ = sim.metrics().histogramHandle("evq.depth");
+  callbackNanos_ = sim.metrics().histogramHandle("evq.callback_ns");
+  sim.setObserver(this);
+}
+
+Observer::~Observer() { detach(); }
+
+void Observer::detach() {
+  if (sim_ != nullptr && sim_->observer() == this) sim_->setObserver(nullptr);
+  sim_ = nullptr;
+}
+
+Span& Observer::mint(sim::SimTime now, std::uint64_t traceId,
+                     std::uint64_t parentId, std::string_view name,
+                     std::string_view component) {
+  Span& s = spans_.emplace_back();
+  s.spanId = nextSpanId_++;
+  s.traceId = traceId;
+  s.parentSpanId = parentId;
+  s.start = now;
+  s.name.assign(name);
+  s.component.assign(component);
+  if (maxSpans_ != 0 && spans_.size() > maxSpans_) {
+    spans_.pop_front();
+    ++baseSpanId_;
+    ++dropped_;
+  }
+  return spans_.back();
+}
+
+Span* Observer::lookup(std::uint64_t spanId) {
+  if (spanId < baseSpanId_) return nullptr;  // evicted by the ring cap
+  const std::uint64_t idx = spanId - baseSpanId_;
+  if (idx >= spans_.size()) return nullptr;
+  return &spans_[static_cast<std::size_t>(idx)];
+}
+
+const Span* Observer::findSpan(std::uint64_t spanId) const {
+  return const_cast<Observer*>(this)->lookup(spanId);
+}
+
+void Observer::setMaxSpans(std::size_t maxSpans) {
+  maxSpans_ = maxSpans;
+  while (maxSpans_ != 0 && spans_.size() > maxSpans_) {
+    spans_.pop_front();
+    ++baseSpanId_;
+    ++dropped_;
+  }
+}
+
+sim::TraceContext Observer::beginTrace(sim::SimTime now, std::string_view name,
+                                       std::string_view component) {
+  const std::uint64_t traceId = nextTraceId_++;
+  const Span& s = mint(now, traceId, 0, name, component);
+  return sim::TraceContext{traceId, s.spanId, 0};
+}
+
+sim::TraceContext Observer::beginSpan(sim::SimTime now,
+                                      const sim::TraceContext& parent,
+                                      std::string_view name,
+                                      std::string_view component) {
+  if (!parent.valid()) return beginTrace(now, name, component);
+  const Span& s = mint(now, parent.traceId, parent.spanId, name, component);
+  return sim::TraceContext{parent.traceId, s.spanId, parent.spanId};
+}
+
+void Observer::endSpan(sim::SimTime now, const sim::TraceContext& span) {
+  if (!span.valid()) return;
+  Span* s = lookup(span.spanId);
+  if (s != nullptr && s->open()) s->end = now;
+}
+
+void Observer::annotate(const sim::TraceContext& span, std::string_view key,
+                        std::string_view value) {
+  if (!span.valid()) return;
+  Span* s = lookup(span.spanId);
+  if (s != nullptr) s->annotations.emplace_back(std::string(key), std::string(value));
+}
+
+sim::TraceContext Observer::instant(sim::SimTime now,
+                                    const sim::TraceContext& parent,
+                                    std::string_view name,
+                                    std::string_view component) {
+  sim::TraceContext ctx = beginSpan(now, parent, name, component);
+  spans_.back().end = now;  // zero-duration marker
+  return ctx;
+}
+
+void Observer::onEventExecuted(sim::SimTime /*now*/, std::size_t depth,
+                               std::uint64_t wallNanos) {
+  queueDepth_.record(static_cast<double>(depth));
+  callbackNanos_.record(static_cast<double>(wallNanos));
+}
+
+void Observer::recordProfile(std::string_view component,
+                             std::uint64_t wallNanos) {
+  auto it = profiles_.find(component);
+  if (it == profiles_.end()) {
+    if (sim_ == nullptr) return;
+    const std::string name = "profile." + std::string(component) + ".wall_ns";
+    it = profiles_
+             .emplace(std::string(component),
+                      sim_->metrics().histogramHandle(name))
+             .first;
+  }
+  it->second.record(static_cast<double>(wallNanos));
+}
+
+}  // namespace softqos::obs

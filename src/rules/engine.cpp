@@ -1,6 +1,7 @@
 #include "rules/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 namespace softqos::rules {
@@ -280,7 +281,21 @@ std::size_t InferenceEngine::run(std::size_t maxFirings) {
       if (tuplesIt->second.empty()) agendaTuples_.erase(tuplesIt);
     }
     recordFired(act);
-    fire(act);
+    if (!preFire_) {
+      fire(act);
+    } else if (preFire_(*act.rule, act.factIds) && postFire_) {
+      const auto start = std::chrono::steady_clock::now();
+      fire(act);
+      const auto elapsed = std::chrono::steady_clock::now() - start;
+      postFire_(*act.rule, act.factIds,
+                static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        elapsed)
+                        .count()));
+    } else {
+      fire(act);
+      if (postFire_) postFire_(*act.rule, act.factIds, 0);
+    }
     ++fired;
     ++totalFirings_;
   }

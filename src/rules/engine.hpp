@@ -78,6 +78,22 @@ class InferenceEngine {
 
   void registerFunction(const std::string& name, EngineFunction fn);
 
+  /// Observability hooks around every rule firing. The pre-hook sees the
+  /// rule and its matched fact tuple (kNoFact at negated positions) and
+  /// returns whether this firing should be wall-clock timed; the post-hook
+  /// receives the elapsed host nanoseconds (0 when untimed). With no hooks
+  /// installed (the default) a firing costs one extra branch and no clock
+  /// reads.
+  using PreFireHook =
+      std::function<bool(const Rule& rule, const std::vector<FactId>& matched)>;
+  using PostFireHook = std::function<void(
+      const Rule& rule, const std::vector<FactId>& matched,
+      std::uint64_t wallNanos)>;
+  void setFireHooks(PreFireHook pre, PostFireHook post) {
+    preFire_ = std::move(pre);
+    postFire_ = std::move(post);
+  }
+
   /// Forward-chain until quiescent or `maxFirings` reached; returns firings.
   /// Refraction: an activation (rule x fact tuple) fires at most once for
   /// the lifetime of that fact tuple. The agenda is maintained incrementally
@@ -176,6 +192,8 @@ class InferenceEngine {
 
   std::string name_;
   FactRepository facts_;
+  PreFireHook preFire_;
+  PostFireHook postFire_;
   std::map<std::string, Rule> rules_;  // node-stable: agenda holds Rule*
   std::map<std::string, EngineFunction> functions_;
 

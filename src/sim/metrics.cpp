@@ -53,12 +53,83 @@ double TimeSeries::meanInWindow(SimTime from, SimTime to) const {
   return s.mean();
 }
 
+std::size_t Histogram::bucketIndex(double value) {
+  if (!(value >= 1.0)) return 0;  // negatives and NaN clamp to bucket zero
+  // Bucket b >= 1 covers [2^(b-1)/4, 2^b/4): four buckets per octave.
+  const double idx = std::log2(value) * kSubBucketsPerOctave;
+  return 1 + static_cast<std::size_t>(idx);
+}
+
+double Histogram::bucketLowerBound(std::size_t index) {
+  if (index == 0) return 0.0;
+  return std::exp2(static_cast<double>(index - 1) / kSubBucketsPerOctave);
+}
+
+void Histogram::add(double value) {
+  const std::size_t idx = bucketIndex(value);
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
+  ++buckets_[idx];
+  ++count_;
+  sum_ += value;
+  if (count_ == 1) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::min(100.0, std::max(0.0, p));
+  // Rank of the requested sample (1-based); p=0 maps to the first sample.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(p / 100.0 * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      const double lo = bucketLowerBound(i);
+      const double hi = bucketLowerBound(i + 1);
+      // Geometric midpoint of the bucket, clamped to observed extremes so
+      // single-sample and single-bucket histograms report exact values.
+      const double mid = lo > 0.0 ? std::sqrt(lo * hi) : hi / 2.0;
+      return std::min(max_, std::max(min_, mid));
+    }
+  }
+  return max_;
+}
+
 void MetricRegistry::count(const std::string& name, std::int64_t delta) {
   counters_[name] += delta;
 }
 
 void MetricRegistry::sample(const std::string& name, SimTime t, double value) {
   series_[name].record(t, value);
+}
+
+void MetricRegistry::observe(const std::string& name, double value) {
+  histograms_[name].add(value);
 }
 
 std::int64_t MetricRegistry::counter(const std::string& name) const {
@@ -71,9 +142,19 @@ const TimeSeries* MetricRegistry::series(const std::string& name) const {
   return it == series_.end() ? nullptr : &it->second;
 }
 
+const Histogram* MetricRegistry::histogram(const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
 void MetricRegistry::clear() {
   counters_.clear();
   series_.clear();
+  histograms_.clear();
+  // Invalidate every interned handle: their stamped generation no longer
+  // matches, so recording through them becomes a no-op instead of a
+  // dangling dereference into the freed map nodes.
+  ++generation_;
 }
 
 }  // namespace softqos::sim

@@ -1,13 +1,15 @@
-// Metric collection: counters, gauges sampled over time, and summary stats.
+// Metric collection: counters, gauges sampled over time, log-bucketed
+// histograms, and summary stats.
 //
 // Experiments record series through a MetricRegistry owned by the Simulation;
 // bench harnesses read the summaries to print paper-style tables.
 //
 // Steady-path recording is allocation- and lookup-free: callers intern a
-// Counter or TimeSeries handle once (string lookup at registration only) and
-// record through the handle afterwards. Handles stay valid for the registry's
-// lifetime — entries live in node-stable maps — but are invalidated by
-// clear().
+// Counter, Series or HistogramHandle once (string lookup at registration
+// only) and record through the handle afterwards. Handles are
+// generation-stamped against the registry: clear() bumps the generation, so
+// a stale handle quietly becomes a no-op instead of dereferencing a freed
+// map node. Handles must not outlive the registry itself.
 #pragma once
 
 #include <cstdint>
@@ -68,37 +70,144 @@ class TimeSeries {
   mutable bool dirty_ = false;
 };
 
+/// Log-bucketed latency/size histogram: 4 sub-buckets per octave (bucket
+/// boundaries grow by 2^(1/4) ≈ 19%, so a reported quantile is within ~±9%
+/// of the true sample), exact count/sum/min/max, mergeable across instances
+/// (used to fold per-shard recordings into one distribution). Negative
+/// samples clamp to bucket zero.
+class Histogram {
+ public:
+  static constexpr int kSubBucketsPerOctave = 4;
+
+  void add(double value);
+
+  /// Fold `other` into this histogram (bucket-wise addition).
+  void merge(const Histogram& other);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+
+  /// Value at percentile `p` in [0, 100]: the geometric midpoint of the
+  /// bucket holding the rank-`ceil(p/100*count)` sample, clamped to the
+  /// observed [min, max]. Returns 0 on an empty histogram.
+  [[nodiscard]] double percentile(double p) const;
+
+  [[nodiscard]] double p50() const { return percentile(50.0); }
+  [[nodiscard]] double p90() const { return percentile(90.0); }
+  [[nodiscard]] double p99() const { return percentile(99.0); }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const {
+    return buckets_;
+  }
+
+  /// Lower bound of bucket `index` (bucket 0 covers [0, 1)).
+  [[nodiscard]] static double bucketLowerBound(std::size_t index);
+
+ private:
+  [[nodiscard]] static std::size_t bucketIndex(double value);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
 /// Interned handle to a registry counter: one pointer-chase to bump, no
-/// string lookup. Copyable; a default-constructed handle ignores add().
+/// string lookup. Copyable; a default-constructed handle ignores add(), and
+/// a handle outliving MetricRegistry::clear() becomes a no-op (the registry
+/// generation it was minted under no longer matches).
 class Counter {
  public:
   Counter() = default;
 
   void add(std::int64_t delta = 1) {
-    if (v_ != nullptr) *v_ += delta;
+    if (v_ != nullptr && *registryGen_ == gen_) *v_ += delta;
   }
-  [[nodiscard]] std::int64_t value() const { return v_ != nullptr ? *v_ : 0; }
-  [[nodiscard]] explicit operator bool() const { return v_ != nullptr; }
+  [[nodiscard]] std::int64_t value() const {
+    return v_ != nullptr && *registryGen_ == gen_ ? *v_ : 0;
+  }
+  [[nodiscard]] explicit operator bool() const {
+    return v_ != nullptr && *registryGen_ == gen_;
+  }
 
  private:
   friend class MetricRegistry;
-  explicit Counter(std::int64_t* v) : v_(v) {}
+  Counter(std::int64_t* v, const std::uint64_t* registryGen)
+      : v_(v), registryGen_(registryGen), gen_(*registryGen) {}
   std::int64_t* v_ = nullptr;
+  const std::uint64_t* registryGen_ = nullptr;
+  std::uint64_t gen_ = 0;
 };
 
-/// Registry of named counters and time series, keyed by string.
+/// Interned handle to a registry time series; same generation-stamp
+/// semantics as Counter (stale or default-constructed handles no-op).
+class Series {
+ public:
+  Series() = default;
+
+  void record(SimTime t, double value) {
+    if (s_ != nullptr && *registryGen_ == gen_) s_->record(t, value);
+  }
+  /// The underlying series, or nullptr when the handle is stale/empty.
+  [[nodiscard]] const TimeSeries* get() const {
+    return s_ != nullptr && *registryGen_ == gen_ ? s_ : nullptr;
+  }
+  [[nodiscard]] explicit operator bool() const { return get() != nullptr; }
+
+ private:
+  friend class MetricRegistry;
+  Series(TimeSeries* s, const std::uint64_t* registryGen)
+      : s_(s), registryGen_(registryGen), gen_(*registryGen) {}
+  TimeSeries* s_ = nullptr;
+  const std::uint64_t* registryGen_ = nullptr;
+  std::uint64_t gen_ = 0;
+};
+
+/// Interned handle to a registry histogram; same generation-stamp semantics.
+class HistogramHandle {
+ public:
+  HistogramHandle() = default;
+
+  void record(double value) {
+    if (h_ != nullptr && *registryGen_ == gen_) h_->add(value);
+  }
+  [[nodiscard]] const Histogram* get() const {
+    return h_ != nullptr && *registryGen_ == gen_ ? h_ : nullptr;
+  }
+  [[nodiscard]] explicit operator bool() const { return get() != nullptr; }
+
+ private:
+  friend class MetricRegistry;
+  HistogramHandle(Histogram* h, const std::uint64_t* registryGen)
+      : h_(h), registryGen_(registryGen), gen_(*registryGen) {}
+  Histogram* h_ = nullptr;
+  const std::uint64_t* registryGen_ = nullptr;
+  std::uint64_t gen_ = 0;
+};
+
+/// Registry of named counters, time series and histograms, keyed by string.
 class MetricRegistry {
  public:
-  /// Intern a counter handle (created at zero on first use). The handle is
-  /// stable until clear().
+  /// Intern a counter handle (created at zero on first use). The handle
+  /// no-ops after clear().
   [[nodiscard]] Counter counterHandle(const std::string& name) {
-    return Counter(&counters_[name]);
+    return Counter(&counters_[name], &generation_);
   }
 
-  /// Intern a series handle (created on first use). The pointer is stable
-  /// until clear().
-  [[nodiscard]] TimeSeries* seriesHandle(const std::string& name) {
-    return &series_[name];
+  /// Intern a series handle (created on first use). No-ops after clear().
+  [[nodiscard]] Series seriesHandle(const std::string& name) {
+    return Series(&series_[name], &generation_);
+  }
+
+  /// Intern a histogram handle (created on first use). No-ops after clear().
+  [[nodiscard]] HistogramHandle histogramHandle(const std::string& name) {
+    return HistogramHandle(&histograms_[name], &generation_);
   }
 
   /// Add `delta` to the named counter (created at zero on first use).
@@ -109,21 +218,31 @@ class MetricRegistry {
   /// String-keyed convenience; hot paths should intern a handle instead.
   void sample(const std::string& name, SimTime t, double value);
 
+  /// Record a sample on the named histogram (created on first use).
+  /// String-keyed convenience; hot paths should intern a handle instead.
+  void observe(const std::string& name, double value);
+
   [[nodiscard]] std::int64_t counter(const std::string& name) const;
   [[nodiscard]] const TimeSeries* series(const std::string& name) const;
+  [[nodiscard]] const Histogram* histogram(const std::string& name) const;
   [[nodiscard]] const std::map<std::string, std::int64_t>& counters() const {
     return counters_;
   }
   [[nodiscard]] const std::map<std::string, TimeSeries>& allSeries() const {
     return series_;
   }
+  [[nodiscard]] const std::map<std::string, Histogram>& allHistograms() const {
+    return histograms_;
+  }
 
-  /// Drops all metrics. Invalidates interned handles.
+  /// Drops all metrics. Previously interned handles become no-ops.
   void clear();
 
  private:
   std::map<std::string, std::int64_t> counters_;
   std::map<std::string, TimeSeries> series_;
+  std::map<std::string, Histogram> histograms_;
+  std::uint64_t generation_ = 1;
 };
 
 }  // namespace softqos::sim

@@ -1,6 +1,7 @@
 #include "sim/simulation.hpp"
 
 #include <cassert>
+#include <chrono>
 #include <stdexcept>
 
 namespace softqos::sim {
@@ -33,7 +34,23 @@ void Simulation::executeOne() {
   EventQueue::Firing f = queue_.beginFire();
   assert(f.when >= now_ && "event queue produced a time in the past");
   now_ = f.when;
-  f.cb();
+  if (observer_ == nullptr) {
+    f.cb();
+  } else {
+    // Kernel profiling: queue depth at dispatch plus the callback's
+    // wall-clock cost. Only the observed path reads the host clock.
+    const std::size_t depth = queue_.size();
+    const auto start = std::chrono::steady_clock::now();
+    f.cb();
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    if (observer_ != nullptr) {  // the callback may have detached it
+      observer_->onEventExecuted(
+          now_, depth,
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                  .count()));
+    }
+  }
   queue_.finishFire(std::move(f));
 }
 

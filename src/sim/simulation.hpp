@@ -14,6 +14,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/metrics.hpp"
 #include "sim/random.hpp"
+#include "sim/span.hpp"
 #include "sim/time.hpp"
 #include "sim/trace.hpp"
 
@@ -70,6 +71,14 @@ class Simulation {
   Trace& trace() { return trace_; }
   EventQueue& queue() { return queue_; }
 
+  /// Attach (or detach, with nullptr) the causal-tracing observer. The
+  /// simulation does not own it; the caller keeps it alive while attached.
+  /// Instrumented sites read observer() and skip all span work when it is
+  /// null, so an unobserved run schedules no extra events and draws no
+  /// extra randomness.
+  void setObserver(SpanObserver* observer) { observer_ = observer; }
+  [[nodiscard]] SpanObserver* observer() const { return observer_; }
+
   /// Convenience logging helpers stamping the current simulated time. The
   /// level guard runs before anything else so disabled tracing costs one
   /// branch (the argument strings are still materialized by the caller; use
@@ -120,6 +129,7 @@ class Simulation {
   EventQueue queue_;
   MetricRegistry metrics_;
   Trace trace_;
+  SpanObserver* observer_ = nullptr;
 };
 
 }  // namespace softqos::sim

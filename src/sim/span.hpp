@@ -1,0 +1,137 @@
+// Causal-tracing hook for the softqos kernel: a TraceContext identifies one
+// span of a detection->diagnosis->actuation->recovery chain, and SpanObserver
+// is the abstract sink the Simulation exposes to every subsystem.
+//
+// The concrete implementation lives in src/obs (span storage, Chrome-trace
+// and metrics exporters); the kernel and the instrumented subsystems only
+// see this interface. With no observer attached (the default) every
+// instrumented site costs one pointer load + branch — no events, no random
+// draws, no allocations — so runs replay byte-identically to an
+// uninstrumented build. Span ids are minted from plain counters, never from
+// a RandomStream, so enabled runs stay deterministic too.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace softqos::sim {
+
+/// Identifies one span: the trace (causal chain) it belongs to, its own id,
+/// and its parent span (0 = root). A default-constructed context is invalid
+/// and is ignored by every observer entry point.
+struct TraceContext {
+  std::uint64_t traceId = 0;
+  std::uint64_t spanId = 0;
+  std::uint64_t parentSpanId = 0;
+
+  [[nodiscard]] bool valid() const { return traceId != 0; }
+
+  /// Compact wire form "traceId:spanId" for RPC frames and report payloads.
+  [[nodiscard]] std::string serialize() const {
+    return std::to_string(traceId) + ":" + std::to_string(spanId);
+  }
+
+  /// Parse the wire form; malformed text yields an invalid context (the
+  /// receiver simply records no spans) rather than an error.
+  static TraceContext parse(std::string_view text) {
+    TraceContext ctx;
+    const std::size_t colon = text.find(':');
+    if (colon == std::string_view::npos) return ctx;
+    std::uint64_t trace = 0;
+    std::uint64_t span = 0;
+    for (std::size_t i = 0; i < colon; ++i) {
+      const char c = text[i];
+      if (c < '0' || c > '9') return ctx;
+      trace = trace * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    for (std::size_t i = colon + 1; i < text.size(); ++i) {
+      const char c = text[i];
+      if (c < '0' || c > '9') return ctx;
+      span = span * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    if (trace == 0) return ctx;
+    ctx.traceId = trace;
+    ctx.spanId = span;
+    return ctx;
+  }
+};
+
+/// Abstract causal-tracing + profiling sink. All times are simulation-clock
+/// microseconds except the explicit wall-clock nanosecond arguments, which
+/// exist purely for profiling (they never feed back into simulated state).
+class SpanObserver {
+ public:
+  virtual ~SpanObserver() = default;
+
+  /// Mint a root span (a fresh trace). `name` is the span label, `component`
+  /// the emitting subsystem (Chrome-trace category).
+  virtual TraceContext beginTrace(SimTime now, std::string_view name,
+                                  std::string_view component) = 0;
+
+  /// Open a child span under `parent`. An invalid parent starts a fresh
+  /// trace (so call sites never need to special-case the first span).
+  virtual TraceContext beginSpan(SimTime now, const TraceContext& parent,
+                                 std::string_view name,
+                                 std::string_view component) = 0;
+
+  /// Close a span. Unknown/invalid contexts are ignored (the span may have
+  /// been evicted by the ring cap).
+  virtual void endSpan(SimTime now, const TraceContext& span) = 0;
+
+  /// Attach a key=value annotation to a span (matched facts, attempt counts,
+  /// wall-clock costs, ...).
+  virtual void annotate(const TraceContext& span, std::string_view key,
+                        std::string_view value) = 0;
+
+  /// Record a zero-duration marker under `parent` (alarm raised, retry sent,
+  /// actuator invoked, recovery observed).
+  virtual TraceContext instant(SimTime now, const TraceContext& parent,
+                               std::string_view name,
+                               std::string_view component) = 0;
+
+  /// Kernel profiling hook: one event was executed at `now` with `depth`
+  /// events still queued, taking `wallNanos` of host time.
+  virtual void onEventExecuted(SimTime now, std::size_t depth,
+                               std::uint64_t wallNanos) = 0;
+
+  /// Component profiling hook: one instrumented callback of `component`
+  /// took `wallNanos` of host time.
+  virtual void recordProfile(std::string_view component,
+                             std::uint64_t wallNanos) = 0;
+};
+
+/// RAII wall-clock probe for per-component callback profiling. With a null
+/// observer the constructor and destructor are a single branch each — no
+/// clock is read.
+class ProfileTimer {
+ public:
+  ProfileTimer(SpanObserver* observer, std::string_view component)
+      : observer_(observer), component_(component) {
+    if (observer_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+
+  ~ProfileTimer() {
+    if (observer_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    observer_->recordProfile(
+        component_,
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()));
+  }
+
+  ProfileTimer(const ProfileTimer&) = delete;
+  ProfileTimer& operator=(const ProfileTimer&) = delete;
+
+ private:
+  SpanObserver* observer_;
+  std::string_view component_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace softqos::sim

@@ -4,10 +4,22 @@
 
 namespace softqos::sim {
 
+void Trace::setMaxRecords(std::size_t maxRecords) {
+  maxRecords_ = maxRecords;
+  while (maxRecords_ != 0 && records_.size() > maxRecords_) {
+    records_.pop_front();
+    ++dropped_;
+  }
+}
+
 void Trace::log(SimTime t, TraceLevel level, std::string component,
                 std::string message) {
   if (level < level_) return;
   records_.push_back(TraceRecord{t, level, std::move(component), std::move(message)});
+  if (maxRecords_ != 0 && records_.size() > maxRecords_) {
+    records_.pop_front();
+    ++dropped_;
+  }
   if (mirror_ != nullptr) {
     const TraceRecord& r = records_.back();
     (*mirror_) << "[" << toSeconds(r.time) << "s] " << traceLevelName(r.level)

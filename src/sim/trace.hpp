@@ -4,10 +4,11 @@
 // are retained in memory so tests can assert on emitted events.
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <iosfwd>
 #include <string>
-#include <vector>
 
 #include "sim/time.hpp"
 
@@ -39,7 +40,17 @@ class Trace {
 
   void log(SimTime t, TraceLevel level, std::string component, std::string message);
 
-  [[nodiscard]] const std::vector<TraceRecord>& records() const { return records_; }
+  [[nodiscard]] const std::deque<TraceRecord>& records() const { return records_; }
+
+  /// Bound in-memory retention: keep at most `maxRecords` records, dropping
+  /// the oldest first (long chaos soaks would otherwise grow without limit).
+  /// 0 restores the default unbounded behaviour. Dropped records are counted
+  /// but otherwise gone — mirror to an ostream to keep a full log.
+  void setMaxRecords(std::size_t maxRecords);
+  [[nodiscard]] std::size_t maxRecords() const { return maxRecords_; }
+
+  /// Records discarded by the retention cap (oldest-first).
+  [[nodiscard]] std::uint64_t droppedRecords() const { return dropped_; }
 
   /// Count of retained records whose message contains `needle`.
   [[nodiscard]] std::size_t countContaining(std::string_view needle) const;
@@ -49,7 +60,9 @@ class Trace {
  private:
   TraceLevel level_ = TraceLevel::kOff;
   std::ostream* mirror_ = nullptr;
-  std::vector<TraceRecord> records_;
+  std::deque<TraceRecord> records_;
+  std::size_t maxRecords_ = 0;  // 0 = unbounded
+  std::uint64_t dropped_ = 0;
 };
 
 /// Short label for a trace level ("DBG", "INF", ...).

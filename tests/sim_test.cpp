@@ -374,6 +374,125 @@ TEST(TimeSeries, MeanInWindowIsHalfOpen) {
   EXPECT_DOUBLE_EQ(ts.meanInWindow(sec(1), sec(3)), 1.5);
 }
 
+TEST(TimeSeries, MeanInWindowBoundaries) {
+  TimeSeries ts;
+  ts.record(sec(1), 1.0);
+  ts.record(sec(2), 2.0);
+  // Empty and inverted windows contain no samples and report a zero mean.
+  EXPECT_DOUBLE_EQ(ts.meanInWindow(sec(2), sec(2)), 0.0);
+  EXPECT_DOUBLE_EQ(ts.meanInWindow(sec(3), sec(1)), 0.0);
+  // A window grazing exactly one sample includes the closed lower bound.
+  EXPECT_DOUBLE_EQ(ts.meanInWindow(sec(2), sec(2) + 1), 2.0);
+  // ... and excludes the open upper bound.
+  EXPECT_DOUBLE_EQ(ts.meanInWindow(sec(1), sec(2)), 1.0);
+}
+
+TEST(TimeSeries, SummaryFromPastEndIsEmpty) {
+  TimeSeries ts;
+  ts.record(sec(1), 100.0);
+  ts.record(sec(2), 10.0);
+  const Summary s = ts.summaryFrom(sec(3));
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+// ---- Histogram ----
+
+TEST(Histogram, EmptyReportsZeroes) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 0.0);
+}
+
+TEST(Histogram, SingleBucketReportsExactValue) {
+  // All samples in one bucket: min == max clamps every quantile to the
+  // exact observed value despite the log-bucket resolution.
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.add(42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 42.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 42.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 42.0);
+}
+
+TEST(Histogram, PercentileWithinBucketResolution) {
+  // 100 samples 1..100: buckets grow by 2^(1/4) ≈ 19%, so a quantile is
+  // within ±10% of the exact order statistic.
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.p50(), 50.0, 5.0);
+  EXPECT_NEAR(h.p90(), 90.0, 9.0);
+  EXPECT_NEAR(h.p99(), 99.0, 10.0);
+  // Extremes land in the min/max buckets (within one bucket's resolution)
+  // and never escape the observed range.
+  EXPECT_NEAR(h.percentile(100.0), 100.0, 10.0);
+  EXPECT_NEAR(h.percentile(0.0), 1.0, 0.2);
+  EXPECT_LE(h.percentile(100.0), h.max());
+  EXPECT_GE(h.percentile(0.0), h.min());
+}
+
+TEST(Histogram, NegativeAndSubUnitSamplesClampToBucketZero) {
+  Histogram h;
+  h.add(-5.0);
+  h.add(0.25);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.min(), -5.0);
+  ASSERT_FALSE(h.buckets().empty());
+  EXPECT_EQ(h.buckets()[0], 2u);
+}
+
+TEST(Histogram, MergeMatchesCombinedRecording) {
+  Histogram a;
+  Histogram b;
+  Histogram combined;
+  for (int i = 1; i <= 50; ++i) {
+    a.add(static_cast<double>(i));
+    combined.add(static_cast<double>(i));
+  }
+  for (int i = 1000; i <= 1049; ++i) {
+    b.add(static_cast<double>(i));
+    combined.add(static_cast<double>(i));
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_DOUBLE_EQ(a.sum(), combined.sum());
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+  EXPECT_EQ(a.buckets(), combined.buckets());
+  EXPECT_DOUBLE_EQ(a.p50(), combined.p50());
+  EXPECT_DOUBLE_EQ(a.p99(), combined.p99());
+}
+
+TEST(Histogram, MergeIntoEmptyAndFromEmpty) {
+  Histogram empty;
+  Histogram filled;
+  filled.add(7.0);
+  // Merging an empty histogram is a no-op (min/max must not become 0).
+  filled.merge(Histogram());
+  EXPECT_EQ(filled.count(), 1u);
+  EXPECT_DOUBLE_EQ(filled.min(), 7.0);
+  // Merging into an empty histogram adopts the source's extremes.
+  empty.merge(filled);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.min(), 7.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 7.0);
+}
+
+TEST(Histogram, BucketBoundsGrowMonotonically) {
+  EXPECT_DOUBLE_EQ(Histogram::bucketLowerBound(0), 0.0);
+  EXPECT_DOUBLE_EQ(Histogram::bucketLowerBound(1), 1.0);
+  for (std::size_t i = 1; i < 40; ++i) {
+    EXPECT_LT(Histogram::bucketLowerBound(i), Histogram::bucketLowerBound(i + 1));
+  }
+}
+
 TEST(MetricRegistry, CountersAndSeries) {
   MetricRegistry m;
   m.count("a");
@@ -386,6 +505,66 @@ TEST(MetricRegistry, CountersAndSeries) {
   EXPECT_EQ(m.series("missing"), nullptr);
   m.clear();
   EXPECT_EQ(m.counter("a"), 0);
+}
+
+TEST(MetricRegistry, HistogramObserveAndLookup) {
+  MetricRegistry m;
+  m.observe("lat", 10.0);
+  m.observe("lat", 20.0);
+  ASSERT_NE(m.histogram("lat"), nullptr);
+  EXPECT_EQ(m.histogram("lat")->count(), 2u);
+  EXPECT_EQ(m.histogram("missing"), nullptr);
+  EXPECT_EQ(m.allHistograms().size(), 1u);
+}
+
+// Regression: handles interned before clear() must become no-ops, not
+// dangle into the freed map nodes (previously a use-after-free).
+TEST(MetricRegistry, ClearInvalidatesInternedHandles) {
+  MetricRegistry m;
+  Counter c = m.counterHandle("c");
+  Series s = m.seriesHandle("s");
+  HistogramHandle h = m.histogramHandle("h");
+  c.add(3);
+  s.record(sec(1), 1.0);
+  h.record(5.0);
+  EXPECT_EQ(c.value(), 3);
+  ASSERT_TRUE(h);
+  EXPECT_EQ(h.get()->count(), 1u);
+
+  m.clear();
+
+  // Stale handles read as empty and drop writes silently.
+  EXPECT_FALSE(c);
+  EXPECT_FALSE(s);
+  EXPECT_FALSE(h);
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_EQ(s.get(), nullptr);
+  EXPECT_EQ(h.get(), nullptr);
+  c.add(7);
+  s.record(sec(2), 2.0);
+  h.record(9.0);
+  EXPECT_EQ(m.counter("c"), 0);
+  EXPECT_EQ(m.series("s"), nullptr);
+  EXPECT_EQ(m.histogram("h"), nullptr);
+
+  // Re-interned handles bind to the new generation and work again.
+  Counter c2 = m.counterHandle("c");
+  c2.add(1);
+  EXPECT_EQ(m.counter("c"), 1);
+  EXPECT_FALSE(c);  // the old handle stays dead across re-creation
+}
+
+TEST(MetricRegistry, DefaultConstructedHandlesNoOp) {
+  Counter c;
+  Series s;
+  HistogramHandle h;
+  c.add(5);
+  s.record(sec(1), 1.0);
+  h.record(2.0);
+  EXPECT_FALSE(c);
+  EXPECT_FALSE(s);
+  EXPECT_FALSE(h);
+  EXPECT_EQ(c.value(), 0);
 }
 
 // ---- CSV export ----
@@ -443,6 +622,33 @@ TEST(Trace, CountContaining) {
   t.log(0, TraceLevel::kInfo, "a", "boost pid 4");
   t.log(0, TraceLevel::kInfo, "a", "decay pid 3");
   EXPECT_EQ(t.countContaining("boost"), 2u);
+}
+
+TEST(Trace, RingCapDropsOldestFirst) {
+  Trace t;
+  t.setLevel(TraceLevel::kDebug);
+  t.setMaxRecords(3);
+  for (int i = 0; i < 5; ++i) {
+    t.log(sec(i), TraceLevel::kInfo, "c", "m" + std::to_string(i));
+  }
+  ASSERT_EQ(t.records().size(), 3u);
+  EXPECT_EQ(t.records().front().message, "m2");
+  EXPECT_EQ(t.records().back().message, "m4");
+  EXPECT_EQ(t.droppedRecords(), 2u);
+}
+
+TEST(Trace, SettingCapTrimsExistingRecords) {
+  Trace t;
+  t.setLevel(TraceLevel::kDebug);
+  for (int i = 0; i < 6; ++i) t.log(0, TraceLevel::kInfo, "c", "x");
+  t.setMaxRecords(2);
+  EXPECT_EQ(t.records().size(), 2u);
+  EXPECT_EQ(t.droppedRecords(), 4u);
+  // 0 restores unbounded retention (nothing further is dropped).
+  t.setMaxRecords(0);
+  for (int i = 0; i < 10; ++i) t.log(0, TraceLevel::kInfo, "c", "y");
+  EXPECT_EQ(t.records().size(), 12u);
+  EXPECT_EQ(t.droppedRecords(), 4u);
 }
 
 TEST(Simulation, TraceHelpersStampSimTime) {

@@ -1,0 +1,152 @@
+// Telemetry dashboard driver: run the managed two-host testbed with
+// streaming self-telemetry armed and render the management plane's own
+// health as a per-window text dashboard.
+//
+//   obs_dashboard [--chaos] [domain_metrics.json]
+//
+// Each host manager keeps a windowed rollup of its behaviour (reports,
+// violation episodes, escalations, detect->recover latency, fact-repository
+// depth) and publishes every window to the domain manager over the one-way
+// "telemetry" RPC; the domain manager merges the per-host histograms into
+// domain-wide distributions. This driver prints one row per retained window,
+// the SLO burn-rate table for each host manager, and the domain-level
+// aggregation, then writes the domain view as JSON (domainMetricsJson).
+// --chaos arms the deterministic fault plan from obs_export, so the
+// dashboard shows the outage: empty windows while the server-host daemon is
+// down, a violation-age spike, and SLO breaches feeding slo-breach facts
+// back into the rule base.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "apps/testbed.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/injector.hpp"
+#include "obs/export.hpp"
+
+using namespace softqos;
+
+namespace {
+
+void printWindows(const char* title, const sim::RollupWindow& rollup,
+                  std::size_t maxRows) {
+  std::printf("\n-- %s: last %zu windows --\n", title,
+              std::min(maxRows, rollup.windows().size()));
+  std::printf("%10s %8s %6s %6s %6s %12s %7s\n", "window", "reports", "viol",
+              "esc", "retry", "age-p99(ms)", "depth");
+  const auto& windows = rollup.windows();
+  const std::size_t begin =
+      windows.size() > maxRows ? windows.size() - maxRows : 0;
+  for (std::size_t i = begin; i < windows.size(); ++i) {
+    const sim::RollupWindow::Window& w = windows[i];
+    const sim::Histogram* age = w.histogram("hm.violation_age_us");
+    const sim::Histogram* depth = w.histogram("hm.fact_depth");
+    std::printf("%9.0fs %8lld %6lld %6lld %6lld %12.1f %7.0f\n",
+                sim::toSeconds(w.end),
+                static_cast<long long>(w.counter("hm.reports").value_or(0)),
+                static_cast<long long>(w.counter("hm.violations").value_or(0)),
+                static_cast<long long>(w.counter("hm.escalations").value_or(0)),
+                static_cast<long long>(w.counter("rpc.retries").value_or(0)),
+                age != nullptr ? age->p99() / 1000.0 : 0.0,
+                depth != nullptr ? depth->max() : 0.0);
+  }
+}
+
+void printSlos(const char* title, const obs::SloTracker& tracker) {
+  std::printf("\n-- %s: SLOs --\n", title);
+  std::printf("%-16s %10s %10s %8s %9s %8s\n", "objective", "short-burn",
+              "long-burn", "budget", "breached", "edges");
+  for (const obs::SloTracker::Entry& e : tracker.entries()) {
+    std::printf("%-16s %10.2f %10.2f %7.0f%% %9s %8llu\n",
+                e.objective.name.c_str(), e.status.shortBurn,
+                e.status.longBurn, e.status.budgetRemaining * 100.0,
+                e.status.breached ? "YES" : "no",
+                static_cast<unsigned long long>(e.status.breaches));
+  }
+}
+
+void run(bool chaos, const std::string& jsonPath) {
+  apps::TestbedConfig config;
+  config.seed = 1234;
+  config.telemetryInterval = sim::sec(1);
+  if (chaos) {
+    config.redundantPath = true;
+    config.heartbeatInterval = sim::msec(500);
+    config.factTtl = sim::sec(10);
+    config.rpcMaxAttempts = 3;
+  }
+  apps::Testbed bed(config);
+  bed.startVideo("silver");
+
+  faults::FaultInjector injector(bed.sim, bed.network);
+  if (chaos) {
+    injector.registerHost(bed.clientHost);
+    injector.registerHost(bed.serverHost);
+    injector.registerHost(bed.mgmtHost);
+    injector.registerHostManager(bed.clientHost.name(), *bed.clientHm);
+    injector.registerHostManager(bed.serverHost.name(), *bed.serverHm);
+    injector.registerDomainManager(bed.mgmtHost.name(), *bed.dm);
+
+    net::LinkFaultProfile lossy;
+    lossy.lossRate = 0.05;
+    faults::FaultPlan plan;
+    plan.linkDegrade(sim::sec(35), "switch-a", "switch-b", lossy)
+        .managerCrash(sim::sec(45), "server-host")
+        .managerRestart(sim::sec(55), "server-host")
+        .linkRestore(sim::sec(65), "switch-a", "switch-b");
+    injector.arm(plan);
+  }
+
+  // Same scenario shape as obs_export: CPU contention, then congestion,
+  // then a quiet tail so episodes close and the SLOs can recover.
+  bed.clientLoad.setWorkers(6);
+  bed.clientHost.loadSampler().prime(7.0);
+  bed.sim.runUntil(sim::sec(30));
+  bed.setCrossTraffic(9.0);
+  bed.sim.runUntil(sim::sec(60));
+  bed.setCrossTraffic(0.0);
+  bed.sim.runUntil(sim::sec(90));
+
+  std::printf("%s run: %.0f simulated seconds, %llu+%llu windows published, "
+              "%llu snapshots aggregated from %zu hosts\n",
+              chaos ? "chaos" : "fig3-style", sim::toSeconds(bed.sim.now()),
+              static_cast<unsigned long long>(bed.clientHm->telemetryPublishes()),
+              static_cast<unsigned long long>(bed.serverHm->telemetryPublishes()),
+              static_cast<unsigned long long>(
+                  bed.dm->telemetry().snapshotsIngested()),
+              bed.dm->telemetry().sourcesSeen());
+
+  printWindows("client-host manager", *bed.clientHm->rollup(), 20);
+  printSlos("client-host manager", *bed.clientHm->sloTracker());
+  printSlos("server-host manager", *bed.serverHm->sloTracker());
+
+  std::printf("\n-- domain-wide merged distributions --\n");
+  for (const auto& [name, h] : bed.dm->telemetry().mergedHistograms()) {
+    if (h.count() == 0) continue;
+    std::printf("%-26s n=%llu p50=%.0f p99=%.0f max=%.0f\n", name.c_str(),
+                static_cast<unsigned long long>(h.count()), h.p50(), h.p99(),
+                h.max());
+  }
+
+  std::ofstream out(jsonPath);
+  out << obs::domainMetricsJson(bed.dm->telemetry());
+  std::printf("\nwrote %s\n", jsonPath.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool chaos = false;
+  std::string jsonPath = "domain_metrics.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--chaos") == 0) {
+      chaos = true;
+    } else {
+      jsonPath = argv[i];
+    }
+  }
+  run(chaos, jsonPath);
+  return 0;
+}

@@ -31,9 +31,31 @@ fi
 
 "$bench" --benchmark_format=json --benchmark_repetitions=1 > "$out"
 echo "wrote $out" >&2
-python3 - "$out" <<'EOF' || true
-import json, sys
-data = json.load(open(sys.argv[1]))
-for b in data.get("benchmarks", []):
+
+# Append a timestamped entry to the running history, so BENCH_*.json keeps
+# only the latest snapshot but the trajectory across runs survives.
+history="$repo_root/BENCH_history.jsonl"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$suite" "$out" "$history" <<'EOF'
+import datetime, json, sys
+suite, out, hist = sys.argv[1:4]
+data = json.load(open(out))
+entry = {
+    "suite": suite,
+    "recorded_at": datetime.datetime.now(datetime.timezone.utc)
+        .isoformat(timespec="seconds"),
+    "benchmarks": [
+        {"name": b["name"], "real_time": b["real_time"],
+         "time_unit": b["time_unit"]}
+        for b in data.get("benchmarks", [])
+    ],
+}
+with open(hist, "a") as f:
+    f.write(json.dumps(entry, separators=(",", ":")) + "\n")
+print(f"appended {suite} entry to {hist}", file=sys.stderr)
+for b in entry["benchmarks"]:
     print(f"{b['name']:45s} {b['real_time']:14.1f} {b['time_unit']}")
 EOF
+else
+  echo "python3 not found; skipping BENCH_history.jsonl append" >&2
+fi

@@ -25,6 +25,13 @@ echo "=== fig3-style traced run ===" >&2
 echo "=== chaos traced run ===" >&2
 "$driver" --chaos "$out_dir/trace_chaos.json" "$out_dir/metrics_chaos.json"
 
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "obs smoke: python3 not found; traces written to $out_dir but NOT" \
+       "validated (install python3 to check JSON well-formedness and span" \
+       "nesting)" >&2
+  exit 0
+fi
+
 python3 - "$out_dir/trace.json" "$out_dir/trace_chaos.json" <<'EOF'
 import json, sys
 

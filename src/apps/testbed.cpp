@@ -1,6 +1,7 @@
 #include "apps/testbed.hpp"
 
 #include "net/nic.hpp"
+#include "obs/slo.hpp"
 
 namespace softqos::apps {
 
@@ -70,6 +71,11 @@ Testbed::Testbed(TestbedConfig config)
     hmCfg.domainManagerPort = 7100;
     hmCfg.factTtl = config_.factTtl;
     hmCfg.escalationMaxAttempts = config_.rpcMaxAttempts;
+    hmCfg.telemetryInterval = config_.telemetryInterval;
+    if (config_.telemetryInterval > 0) {
+      hmCfg.slos = config_.telemetrySlos.empty() ? obs::defaultManagementSlos()
+                                                 : config_.telemetrySlos;
+    }
     clientHm = &qorms.createHostManager(clientHost, hmCfg);
     serverHm = &qorms.createHostManager(serverHost, hmCfg);
     manager::DomainManagerConfig dmCfg;

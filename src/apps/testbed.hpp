@@ -19,6 +19,7 @@
 #include "net/switch.hpp"
 #include "net/traffic.hpp"
 #include "obs/observer.hpp"
+#include "obs/slo.hpp"
 
 namespace softqos::apps {
 
@@ -44,6 +45,13 @@ struct TestbedConfig {
   /// profiling histograms. Off by default — a testbed without it runs
   /// byte-identically to earlier builds.
   bool observability = false;
+  /// Arm streaming self-telemetry on both host managers: windowed rollups of
+  /// the management plane's own behaviour, published to the domain manager
+  /// each interval and guarded by obs::defaultManagementSlos(). 0 (default)
+  /// keeps runs byte-identical to earlier builds.
+  sim::SimDuration telemetryInterval = 0;
+  /// Override the objectives armed with telemetry (empty: the defaults).
+  std::vector<obs::SloObjective> telemetrySlos;
 };
 
 class Testbed {

@@ -131,6 +131,17 @@ std::string defaultHostRules(const HostRuleThresholds& t) {
   (cleared (pid ?pid))
   =>
   (call clear-state ?pid))
+
+; ---- The management plane is missing its own objectives (SLO burn-rate
+; ---- breach asserted by the self-telemetry plane): local adaptation is not
+; ---- keeping up, so escalate every still-violated session to the domain
+; ---- manager regardless of where the evidence points.
+(defrule slo-breach-escalate
+  (declare (salience 30))
+  (slo-breach (objective ?o))
+  (violation (pid ?pid))
+  =>
+  (call notify-domain-manager ?pid))
 )";
 }
 

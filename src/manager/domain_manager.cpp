@@ -42,6 +42,16 @@ QoSDomainManager::QoSDomainManager(sim::Simulation& simulation,
     handleEscalation(*report, forwarded);
     respond("OK");
   });
+
+  // Streaming telemetry from host managers (one-way publishes: the responder
+  // discards whatever we answer). Malformed frames are dropped silently —
+  // telemetry is best-effort by design.
+  rpc_->setHandler("telemetry", [this](const std::string& body,
+                                       net::RpcEndpoint::Responder respond) {
+    const auto snapshot = sim::TelemetrySnapshot::parse(body);
+    if (snapshot.has_value()) telemetry_.ingest(*snapshot);
+    respond("OK");
+  });
 }
 
 void QoSDomainManager::addManagedHost(const std::string& hostName) {

@@ -19,6 +19,7 @@
 #include "net/rpc.hpp"
 #include "osim/host.hpp"
 #include "rules/engine.hpp"
+#include "sim/rollup.hpp"
 #include "sim/simulation.hpp"
 
 namespace softqos::manager {
@@ -110,6 +111,13 @@ class QoSDomainManager {
   /// Dead services restarted by post-recovery revalidation.
   [[nodiscard]] std::uint64_t recoveryRestarts() const { return recoveryRestarts_; }
 
+  // ---- Streaming telemetry (host managers publish over "telemetry") ----
+  /// Domain-wide aggregation of per-host rollup windows: histograms merged
+  /// bucket-wise across hosts, counters summed, latest snapshot per source.
+  [[nodiscard]] const sim::TelemetryAggregator& telemetry() const {
+    return telemetry_;
+  }
+
  private:
   struct ServiceBinding {
     std::string serverHost;
@@ -184,6 +192,7 @@ class QoSDomainManager {
   std::uint64_t recoveryRestarts_ = 0;
   std::map<std::string, std::uint64_t> diagnoses_;
   std::string lastDiagnosis_;
+  sim::TelemetryAggregator telemetry_;
 };
 
 }  // namespace softqos::manager

@@ -37,6 +37,147 @@ QoSHostManager::QoSHostManager(sim::Simulation& simulation, osim::Host& host,
     const sim::SimDuration sweep = std::max<sim::SimDuration>(1, config_.factTtl / 2);
     sim_.every(sweep, [this] { sweepStaleFacts(); });
   }
+
+  setupTelemetry();
+}
+
+void QoSHostManager::setupTelemetry() {
+  if (config_.telemetryInterval <= 0) return;
+  telemetry_ = std::make_unique<Telemetry>();
+  Telemetry& t = *telemetry_;
+
+  sim::RollupConfig rollupCfg;
+  rollupCfg.window = config_.telemetryInterval;
+  rollupCfg.maxWindows = std::max<std::size_t>(1, config_.telemetryMaxWindows);
+  t.rollup = std::make_unique<sim::RollupWindow>(sim_, t.registry, rollupCfg);
+
+  t.reports = t.registry.counterHandle("hm.reports");
+  t.violations = t.registry.counterHandle("hm.violations");
+  t.escalations = t.registry.counterHandle("hm.escalations");
+  t.rpcRetries = t.registry.counterHandle("rpc.retries");
+  t.rpcTimeouts = t.registry.counterHandle("rpc.timeouts");
+  t.reactionUs = t.registry.histogramHandle("qos.reaction_latency_us");
+  t.violationAge = t.registry.histogramHandle("hm.violation_age_us");
+  t.factDepth = t.registry.histogramHandle("hm.fact_depth");
+  t.ruleFireNs = t.registry.histogramHandle("rules.fire_wall_ns");
+  for (const char* name : {"hm.reports", "hm.violations", "hm.escalations",
+                           "rpc.retries", "rpc.timeouts"}) {
+    t.rollup->trackCounter(name);
+  }
+  for (const char* name : {"qos.reaction_latency_us", "hm.violation_age_us",
+                           "hm.fact_depth", "rules.fire_wall_ns"}) {
+    t.rollup->trackHistogram(name);
+  }
+
+  for (const obs::SloObjective& objective : config_.slos) {
+    t.slo.addObjective(objective);
+  }
+  t.slo.setHandlers(
+      [this](const obs::SloObjective& o, const obs::SloStatus& s) {
+        onSloBreach(o, s);
+      },
+      [this](const obs::SloObjective& o, const obs::SloStatus&) {
+        onSloRecover(o);
+      });
+
+  sim_.every(config_.telemetryInterval, [this] { telemetryTick(); });
+}
+
+void QoSHostManager::telemetryTick() {
+  Telemetry& t = *telemetry_;
+  if (crashed_) {
+    // The dead daemon samples nothing and publishes nothing, but the window
+    // grid keeps ticking so the outage shows up as empty buckets (and the
+    // post-restart deltas don't lump the downtime into one giant window).
+    t.rollup->tick();
+    return;
+  }
+
+  const sim::SimTime now = sim_.now();
+  t.factDepth.record(static_cast<double>(engine_.facts().size()));
+  // Open violation episodes burn reaction-latency budget while still live:
+  // each tick samples the age of every in-flight violation, so a stuck
+  // outage breaches the SLO before it ever resolves.
+  for (const auto& [pid, since] : t.violationSince) {
+    t.violationAge.record(static_cast<double>(now - since));
+  }
+  if (rpc_ != nullptr) {
+    t.rpcRetries.add(static_cast<std::int64_t>(rpc_->retries() - t.lastRetries));
+    t.rpcTimeouts.add(
+        static_cast<std::int64_t>(rpc_->timeouts() - t.lastTimeouts));
+    t.lastRetries = rpc_->retries();
+    t.lastTimeouts = rpc_->timeouts();
+  }
+  t.escalations.add(
+      static_cast<std::int64_t>(escalations_ - t.lastEscalations));
+  t.lastEscalations = escalations_;
+
+  t.rollup->tick();
+  t.slo.evaluate(*t.rollup, now);
+
+  if (rpc_ != nullptr && !config_.domainManagerHost.empty()) {
+    const sim::RollupWindow::Window* window = t.rollup->latest();
+    if (window != nullptr) {
+      sim::TelemetrySnapshot snapshot =
+          sim::TelemetrySnapshot::fromWindow(host_.name(), *window);
+      // Wall-clock histograms stay local: the snapshot's byte length feeds
+      // the simulated transmission time, so publishing host-machine timings
+      // would break same-seed replay.
+      std::erase_if(snapshot.histograms, [](const auto& entry) {
+        return entry.first == "rules.fire_wall_ns";
+      });
+      rpc_->notify(config_.domainManagerHost, config_.domainManagerPort,
+                   "telemetry", snapshot.serialize());
+      ++t.publishes;
+    }
+  }
+}
+
+void QoSHostManager::onSloBreach(const obs::SloObjective& objective,
+                                 const obs::SloStatus& status) {
+  Telemetry& t = *telemetry_;
+  ++t.breachEdges;
+  sim_.warn(traceName_, [&] {
+    std::ostringstream out;
+    out << "SLO breach: " << objective.name << " short-burn "
+        << status.shortBurn << " long-burn " << status.longBurn;
+    return out.str();
+  });
+  // The management plane's own health enters working memory on the same
+  // terms as application state, so ordinary rules can react to it.
+  rules::SlotMap slots;
+  slots.emplace("objective", Value::symbol(objective.name));
+  slots.emplace("metric", Value::symbol(objective.metric));
+  slots.emplace("burn", Value::real(status.shortBurn));
+  t.breachFacts[objective.name] =
+      engine_.facts().assertFact("slo-breach", std::move(slots));
+  engine_.run();
+}
+
+void QoSHostManager::onSloRecover(const obs::SloObjective& objective) {
+  Telemetry& t = *telemetry_;
+  sim_.info(traceName_, [&] { return "SLO recovered: " + objective.name; });
+  const auto it = t.breachFacts.find(objective.name);
+  if (it == t.breachFacts.end()) return;
+  engine_.facts().retract(it->second);
+  t.breachFacts.erase(it);
+  engine_.run();  // negated slo-breach patterns may newly activate
+}
+
+const sim::RollupWindow* QoSHostManager::rollup() const {
+  return telemetry_ ? telemetry_->rollup.get() : nullptr;
+}
+
+const obs::SloTracker* QoSHostManager::sloTracker() const {
+  return telemetry_ ? &telemetry_->slo : nullptr;
+}
+
+std::uint64_t QoSHostManager::telemetryPublishes() const {
+  return telemetry_ ? telemetry_->publishes : 0;
+}
+
+std::uint64_t QoSHostManager::sloBreachesSeen() const {
+  return telemetry_ ? telemetry_->breachEdges : 0;
 }
 
 void QoSHostManager::installQueueReceiver() {
@@ -61,6 +202,12 @@ bool QoSHostManager::crash() {
   lastReport_.clear();
   lastEscalationAt_.clear();
   lastReportAt_.clear();
+  if (telemetry_) {
+    // The crash wiped working memory, slo-breach facts included; episode
+    // tracking restarts from scratch when the daemon comes back.
+    telemetry_->violationSince.clear();
+    telemetry_->breachFacts.clear();
+  }
   return true;
 }
 
@@ -70,6 +217,19 @@ bool QoSHostManager::restartDaemon() {
   sim_.info(traceName_, "manager daemon restarted");
   if (rpc_ != nullptr) rpc_->setEnabled(true);
   installQueueReceiver();  // drains the backlog that piled up while down
+  if (telemetry_) {
+    // Objectives still in breach re-enter the rebuilt working memory: the
+    // crash retracted their facts but did not fix whatever was burning.
+    for (const obs::SloTracker::Entry& entry : telemetry_->slo.entries()) {
+      if (!entry.status.breached) continue;
+      rules::SlotMap slots;
+      slots.emplace("objective", Value::symbol(entry.objective.name));
+      slots.emplace("metric", Value::symbol(entry.objective.metric));
+      slots.emplace("burn", Value::real(entry.status.shortBurn));
+      telemetry_->breachFacts[entry.objective.name] =
+          engine_.facts().assertFact("slo-breach", std::move(slots));
+    }
+  }
   return true;
 }
 
@@ -84,6 +244,9 @@ void QoSHostManager::sweepStaleFacts() {
     retractSessionFacts(pid);
     lastReportAt_.erase(pid);
     lastReport_.erase(pid);
+    // A silent pid's open episode ends without a recovery sample: the
+    // coordinator vanished, so there is no detect->recover latency to book.
+    if (telemetry_) telemetry_->violationSince.erase(pid);
     ++staleExpiries_;
     sim_.info(traceName_, [&] {
       return "expired stale session facts for silent pid " + std::to_string(pid);
@@ -198,7 +361,9 @@ void QoSHostManager::installFireHooks() {
       [this](const rules::Rule& rule,
              const std::vector<rules::FactId>& matched) -> bool {
         sim::SpanObserver* o = sim_.observer();
-        if (o == nullptr) return false;
+        // Wall-clock the firing when anyone will consume it: a span
+        // observer, or the self-telemetry rollup's rule-cost histogram.
+        if (o == nullptr) return telemetry_ != nullptr;
         if (activeCtx_.valid()) {
           currentRuleSpan_ =
               o->beginSpan(sim_.now(), activeCtx_, "rule:" + rule.name,
@@ -216,6 +381,9 @@ void QoSHostManager::installFireHooks() {
              const std::vector<rules::FactId>& /*matched*/,
              std::uint64_t wallNanos) {
         ruleFireNanos_.record(static_cast<double>(wallNanos));
+        if (telemetry_) {
+          telemetry_->ruleFireNs.record(static_cast<double>(wallNanos));
+        }
         if (currentRuleSpan_.valid()) {
           if (sim::SpanObserver* o = sim_.observer()) {
             o->annotate(currentRuleSpan_, "wall_ns",
@@ -328,6 +496,24 @@ void QoSHostManager::handleReport(const instrument::ViolationReport& report) {
   ++reports_;
   lastReport_[report.pid] = report;
   lastReportAt_[report.pid] = sim_.now();
+
+  if (telemetry_) {
+    Telemetry& t = *telemetry_;
+    t.reports.add();
+    if (report.violated) {
+      // First violated report opens the episode; repeats extend it.
+      if (t.violationSince.emplace(report.pid, sim_.now()).second) {
+        t.violations.add();
+      }
+    } else {
+      const auto open = t.violationSince.find(report.pid);
+      if (open != t.violationSince.end()) {
+        // Episode closed: detect -> recover latency, in microseconds.
+        t.reactionUs.record(static_cast<double>(sim_.now() - open->second));
+        t.violationSince.erase(open);
+      }
+    }
+  }
 
   // Causal tracing: diagnosis runs inside a span under the episode context
   // the report carried across the message queue. Everything the rules do

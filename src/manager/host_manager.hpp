@@ -17,8 +17,10 @@
 #include "manager/default_rules.hpp"
 #include "manager/resource_manager.hpp"
 #include "net/rpc.hpp"
+#include "obs/slo.hpp"
 #include "osim/host.hpp"
 #include "rules/engine.hpp"
+#include "sim/rollup.hpp"
 #include "sim/simulation.hpp"
 
 namespace softqos::manager {
@@ -40,6 +42,20 @@ struct HostManagerConfig {
   /// reproduces the old fire-and-forget timeout behaviour).
   int escalationMaxAttempts = 1;
   sim::SimDuration escalationTimeout = sim::sec(2);
+  /// Streaming self-telemetry: when > 0 the manager keeps a windowed rollup
+  /// of its own behaviour (detect->recover latency, violation-episode rate,
+  /// fact-repository depth, RPC retry pressure, rule-firing wall cost) in a
+  /// private registry, evaluates its SLOs against it, and publishes each
+  /// window to the domain manager over a one-way "telemetry" RPC. 0 (the
+  /// default) disables everything: no events, no recording, byte-identical
+  /// runs.
+  sim::SimDuration telemetryInterval = 0;
+  /// Retained rollup windows (must cover the longest SLO window).
+  std::size_t telemetryMaxWindows = 64;
+  /// Objectives evaluated over the rollup each window. Breaches assert an
+  /// `slo-breach` fact into working memory (retracted on recovery), so the
+  /// rule base reacts to the manager missing its own objectives.
+  std::vector<obs::SloObjective> slos;
 };
 
 class QoSHostManager {
@@ -104,6 +120,17 @@ class QoSHostManager {
   [[nodiscard]] std::uint64_t staleExpiries() const { return staleExpiries_; }
   [[nodiscard]] std::uint64_t daemonCrashes() const { return daemonCrashes_; }
 
+  // ---- Streaming self-telemetry (config_.telemetryInterval > 0) ----
+  [[nodiscard]] bool telemetryEnabled() const { return telemetry_ != nullptr; }
+  /// The manager's private rollup (nullptr when telemetry is off).
+  [[nodiscard]] const sim::RollupWindow* rollup() const;
+  /// The SLO tracker over the rollup (nullptr when telemetry is off).
+  [[nodiscard]] const obs::SloTracker* sloTracker() const;
+  /// Windows published to the domain manager over the telemetry RPC.
+  [[nodiscard]] std::uint64_t telemetryPublishes() const;
+  /// Cumulative SLO breach edges (facts asserted into working memory).
+  [[nodiscard]] std::uint64_t sloBreachesSeen() const;
+
  private:
   void registerEngineFunctions();
   void installFireHooks();
@@ -115,6 +142,13 @@ class QoSHostManager {
   /// Causal tracing: mark an actuator/resource-knob invocation inside the
   /// active diagnosis span (no-op when untraced).
   void markActuation(std::string_view what);
+  void setupTelemetry();
+  /// One telemetry period: sample gauges, cut a rollup window, evaluate
+  /// SLOs, publish the window to the domain manager.
+  void telemetryTick();
+  void onSloBreach(const obs::SloObjective& objective,
+                   const obs::SloStatus& status);
+  void onSloRecover(const obs::SloObjective& objective);
 
   sim::Simulation& sim_;
   osim::Host& host_;
@@ -137,6 +171,37 @@ class QoSHostManager {
   sim::TraceContext activeCtx_;
   sim::TraceContext currentRuleSpan_;
   sim::HistogramHandle ruleFireNanos_;
+
+  /// Self-telemetry state, allocated only when telemetryInterval > 0. The
+  /// registry is PRIVATE to this manager and uses host-agnostic metric names
+  /// ("qos.reaction_latency_us", not "qos.<host>.reaction..."): attribution
+  /// travels in TelemetrySnapshot::source, so the domain manager can merge
+  /// same-named histograms from every host into one distribution.
+  struct Telemetry {
+    sim::MetricRegistry registry;
+    std::unique_ptr<sim::RollupWindow> rollup;
+    obs::SloTracker slo;
+    sim::Counter reports;        // hm.reports
+    sim::Counter violations;     // hm.violations (new episodes)
+    sim::Counter escalations;    // hm.escalations
+    sim::Counter rpcRetries;     // rpc.retries (delta-fed from the endpoint)
+    sim::Counter rpcTimeouts;    // rpc.timeouts
+    sim::HistogramHandle reactionUs;    // qos.reaction_latency_us (closed)
+    sim::HistogramHandle violationAge;  // hm.violation_age_us (open, per tick)
+    sim::HistogramHandle factDepth;     // hm.fact_depth (per tick)
+    sim::HistogramHandle ruleFireNs;    // rules.fire_wall_ns — LOCAL ONLY:
+                                        // wall-clock values must never reach
+                                        // a snapshot (payload size feeds the
+                                        // simulated transmission time).
+    std::map<std::uint32_t, sim::SimTime> violationSince;  // open episodes
+    std::map<std::string, rules::FactId> breachFacts;  // objective -> fact
+    std::uint64_t lastRetries = 0;   // endpoint counter baselines
+    std::uint64_t lastTimeouts = 0;
+    std::uint64_t lastEscalations = 0;
+    std::uint64_t publishes = 0;
+    std::uint64_t breachEdges = 0;
+  };
+  std::unique_ptr<Telemetry> telemetry_;
 
   std::uint64_t reports_ = 0;
   std::uint64_t boosts_ = 0;

@@ -119,6 +119,13 @@ void RpcEndpoint::call(const std::string& destHost, int destPort,
   sendRaw(destHost, destPort, frame);
 }
 
+void RpcEndpoint::notify(const std::string& destHost, int destPort,
+                         const std::string& method, const std::string& body) {
+  if (!enabled_) return;  // a crashed daemon publishes nothing
+  // Frame: N|<method>|<body> — no call id, so the receiver keeps no state.
+  sendRaw(destHost, destPort, "N|" + method + "|" + body);
+}
+
 void RpcEndpoint::onCallTimeout(std::uint64_t id) {
   const auto it = pending_.find(id);
   if (it == pending_.end()) return;
@@ -256,6 +263,19 @@ void RpcEndpoint::onMessage(osim::Message m) {
       return;
     }
     it->second(body, std::move(respond));
+    return;
+  }
+  if (parts[0] == "N") {
+    // One-way notification: N|<method>|<body>. Run the handler with a
+    // discarding responder; unknown methods are silently ignored (there is
+    // nobody to tell).
+    const auto note = splitString(m.payload, '|', 3);
+    if (note.size() < 3) return;
+    const auto it = handlers_.find(note[1]);
+    if (it == handlers_.end()) return;
+    ++handled_;
+    ++notifications_;
+    it->second(note[2], [](std::string) {});
     return;
   }
   if (parts[0] == "S") {

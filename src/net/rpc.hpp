@@ -72,6 +72,15 @@ class RpcEndpoint {
             const std::string& method, const std::string& body,
             ReplyCont onReply, const CallOptions& options);
 
+  /// One-way notification: the handler runs at the destination but whatever
+  /// it responds is discarded — no reply frame, no timeout event, no retry
+  /// or duplicate-suppression state at either end. Streaming telemetry
+  /// publishes through this: a lost window is just a gap in the rollup, not
+  /// something worth a retransmission storm during the very overload the
+  /// telemetry is reporting. Dropped silently while the daemon is disabled.
+  void notify(const std::string& destHost, int destPort,
+              const std::string& method, const std::string& body);
+
   /// Daemon liveness knob for fault injection: while disabled, every inbound
   /// frame is dropped (requests unanswered, responses unprocessed) and new
   /// outbound calls fail asynchronously — the daemon is "crashed" without
@@ -96,6 +105,10 @@ class RpcEndpoint {
   /// Retransmitted requests whose call id was already seen (the handler did
   /// NOT run again; the cached response was replayed when available).
   [[nodiscard]] std::uint64_t duplicateRequests() const { return duplicates_; }
+  /// One-way notifications whose handler ran (subset of requestsHandled()).
+  [[nodiscard]] std::uint64_t notificationsReceived() const {
+    return notifications_;
+  }
 
  private:
   struct PendingCall {
@@ -145,6 +158,7 @@ class RpcEndpoint {
   std::uint64_t lateReplies_ = 0;
   std::uint64_t droppedWhileDisabled_ = 0;
   std::uint64_t duplicates_ = 0;
+  std::uint64_t notifications_ = 0;
 };
 
 /// Split `s` on `delim` into at most `maxParts` pieces (the last keeps the

@@ -33,6 +33,40 @@ void appendDouble(std::string& out, double value) {
   out += buf;
 }
 
+/// One histogram as a JSON object: summary stats, quantiles, and the raw
+/// occupied buckets as [lower_bound, count] pairs so offline tooling can
+/// re-derive any quantile (or re-merge across runs) without the library.
+void appendHistogramJson(std::string& out, const sim::Histogram& h) {
+  out += "{\"count\":";
+  out += std::to_string(h.count());
+  out += ",\"mean\":";
+  appendDouble(out, h.mean());
+  out += ",\"min\":";
+  appendDouble(out, h.min());
+  out += ",\"max\":";
+  appendDouble(out, h.max());
+  out += ",\"p50\":";
+  appendDouble(out, h.p50());
+  out += ",\"p90\":";
+  appendDouble(out, h.p90());
+  out += ",\"p99\":";
+  appendDouble(out, h.p99());
+  out += ",\"buckets\":[";
+  bool first = true;
+  const auto& buckets = h.buckets();
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "[";
+    appendDouble(out, sim::Histogram::bucketLowerBound(i));
+    out += ",";
+    out += std::to_string(buckets[i]);
+    out += "]";
+  }
+  out += "]}";
+}
+
 }  // namespace
 
 std::string chromeTraceJson(const Observer& observer) {
@@ -134,21 +168,70 @@ std::string metricsJson(const sim::MetricRegistry& metrics) {
     first = false;
     out += "\n\"";
     appendEscaped(out, name);
-    out += "\":{\"count\":";
-    out += std::to_string(h.count());
-    out += ",\"mean\":";
-    appendDouble(out, h.mean());
-    out += ",\"min\":";
-    appendDouble(out, h.min());
-    out += ",\"max\":";
-    appendDouble(out, h.max());
-    out += ",\"p50\":";
-    appendDouble(out, h.p50());
-    out += ",\"p90\":";
-    appendDouble(out, h.p90());
-    out += ",\"p99\":";
-    appendDouble(out, h.p99());
-    out += "}";
+    out += "\":";
+    appendHistogramJson(out, h);
+  }
+  out += "\n}\n}\n";
+  return out;
+}
+
+std::string domainMetricsJson(const sim::TelemetryAggregator& telemetry) {
+  std::string out;
+  out += "{\n\"snapshots\":";
+  out += std::to_string(telemetry.snapshotsIngested());
+  out += ",\n\"sources\":[";
+  bool first = true;
+  for (const auto& [source, snapshot] : telemetry.latestBySource()) {
+    (void)snapshot;
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    appendEscaped(out, source);
+    out += "\"";
+  }
+  out += "],\n\"counters\":{";
+  first = true;
+  for (const auto& [name, total] : telemetry.counterTotals()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n\"";
+    appendEscaped(out, name);
+    out += "\":";
+    out += std::to_string(total);
+  }
+  out += "\n},\n\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : telemetry.mergedHistograms()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n\"";
+    appendEscaped(out, name);
+    out += "\":";
+    appendHistogramJson(out, h);
+  }
+  // Per-host drill-down: the latest published window from each source.
+  out += "\n},\n\"latest\":{";
+  first = true;
+  for (const auto& [source, snapshot] : telemetry.latestBySource()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n\"";
+    appendEscaped(out, source);
+    out += "\":{\"window\":[";
+    out += std::to_string(snapshot.windowStart);
+    out += ",";
+    out += std::to_string(snapshot.windowEnd);
+    out += "],\"counters\":{";
+    bool firstCounter = true;
+    for (const auto& [name, delta] : snapshot.counters) {
+      if (!firstCounter) out += ",";
+      firstCounter = false;
+      out += "\"";
+      appendEscaped(out, name);
+      out += "\":";
+      out += std::to_string(delta);
+    }
+    out += "}}";
   }
   out += "\n}\n}\n";
   return out;

@@ -14,6 +14,7 @@
 
 #include "obs/observer.hpp"
 #include "sim/metrics.hpp"
+#include "sim/rollup.hpp"
 
 namespace softqos::obs {
 
@@ -27,6 +28,15 @@ namespace softqos::obs {
 [[nodiscard]] std::string chromeTraceJson(const Observer& observer);
 
 /// Snapshot of all counters, series and histograms as a JSON object.
+/// Histograms carry their summary quantiles plus the raw occupied buckets as
+/// [lower_bound, count] pairs, so offline tooling can recompute any quantile
+/// or merge distributions across runs.
 [[nodiscard]] std::string metricsJson(const sim::MetricRegistry& metrics);
+
+/// The domain manager's aggregated telemetry (host-manager rollup windows
+/// merged across sources) as a JSON object: domain-wide counter totals,
+/// merged histograms, and the latest published window per source host.
+[[nodiscard]] std::string domainMetricsJson(
+    const sim::TelemetryAggregator& telemetry);
 
 }  // namespace softqos::obs

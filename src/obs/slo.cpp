@@ -1,0 +1,117 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+
+namespace softqos::obs {
+
+void SloTracker::evaluate(const sim::RollupWindow& rollup, sim::SimTime now) {
+  for (Entry& entry : entries_) {
+    const SloObjective& obj = entry.objective;
+    SloStatus next;
+    next.breaches = entry.status.breaches;
+    const sim::SimTime longFrom = now - obj.window;
+    const sim::SimTime shortFrom = now - std::min(obj.shortWindow, obj.window);
+
+    for (const sim::RollupWindow::Window& w : rollup.windows()) {
+      if (w.end <= longFrom) continue;
+      double bad = 0.0;
+      double total = 0.0;
+      if (obj.kind == SloObjective::Kind::kLatencyQuantile) {
+        if (const sim::Histogram* h = w.histogram(obj.metric)) {
+          bad = static_cast<double>(h->countAbove(obj.threshold));
+          total = static_cast<double>(h->count());
+        }
+      } else {
+        if (const auto events = w.counter(obj.metric)) {
+          bad = static_cast<double>(std::max<std::int64_t>(0, *events));
+        }
+        // The "total" for a rate objective is the allowance for the bucket's
+        // span: threshold events per second.
+        total = obj.threshold * sim::toSeconds(w.end - w.start);
+      }
+      next.badLong += bad;
+      next.totalLong += total;
+      if (w.end > shortFrom) {
+        next.badShort += bad;
+        next.totalShort += total;
+      }
+    }
+
+    // Burn rate: budget consumed per unit of budget allowed. For the
+    // latency kind the budget is the tolerated bad-sample fraction
+    // (100 - quantile)%; for the rate kind the allowance is already an
+    // event count, so burn is simply observed/allowed.
+    if (obj.kind == SloObjective::Kind::kLatencyQuantile) {
+      const double budget =
+          std::max(1e-9, (100.0 - obj.quantile) / 100.0);
+      next.shortBurn = next.totalShort > 0.0
+                           ? (next.badShort / next.totalShort) / budget
+                           : 0.0;
+      next.longBurn = next.totalLong > 0.0
+                          ? (next.badLong / next.totalLong) / budget
+                          : 0.0;
+    } else {
+      next.shortBurn =
+          next.totalShort > 0.0 ? next.badShort / next.totalShort : 0.0;
+      next.longBurn =
+          next.totalLong > 0.0 ? next.badLong / next.totalLong : 0.0;
+    }
+    next.budgetRemaining = std::clamp(1.0 - next.longBurn, 0.0, 1.0);
+
+    const bool wasBreached = entry.status.breached;
+    next.breached =
+        next.shortBurn >= obj.fastBurn && next.longBurn >= obj.slowBurn;
+    if (next.breached && !wasBreached) ++next.breaches;
+
+    entry.status = next;
+    if (next.breached && !wasBreached && onBreach_) {
+      onBreach_(obj, entry.status);
+    } else if (!next.breached && wasBreached && onRecover_) {
+      onRecover_(obj, entry.status);
+    }
+  }
+}
+
+std::size_t SloTracker::breachedCount() const {
+  std::size_t n = 0;
+  for (const Entry& e : entries_) {
+    if (e.status.breached) ++n;
+  }
+  return n;
+}
+
+std::vector<SloObjective> defaultManagementSlos() {
+  std::vector<SloObjective> slos;
+  {
+    // p99 of in-flight detect->recover latency: open violations are sampled
+    // as their current age each telemetry tick, so a stuck outage starts
+    // burning budget immediately instead of only once it recovers.
+    SloObjective o;
+    o.name = "reaction-p99";
+    o.kind = SloObjective::Kind::kLatencyQuantile;
+    o.metric = "hm.violation_age_us";
+    o.quantile = 99.0;
+    o.threshold = 1e6;  // 1 s, in the histogram's microseconds
+    o.window = sim::sec(30);
+    o.shortWindow = sim::sec(5);
+    o.fastBurn = 2.0;
+    o.slowBurn = 1.0;
+    slos.push_back(std::move(o));
+  }
+  {
+    // New violation episodes per second across the host.
+    SloObjective o;
+    o.name = "violation-rate";
+    o.kind = SloObjective::Kind::kEventRate;
+    o.metric = "hm.violations";
+    o.threshold = 1.0;  // episodes per second
+    o.window = sim::sec(30);
+    o.shortWindow = sim::sec(5);
+    o.fastBurn = 2.0;
+    o.slowBurn = 1.0;
+    slos.push_back(std::move(o));
+  }
+  return slos;
+}
+
+}  // namespace softqos::obs

@@ -1,0 +1,112 @@
+// Service-level objectives over streaming rollups: the management plane
+// observing itself on the same terms it observes applications.
+//
+// An SloObjective declares a target over one rolled-up metric — "p99
+// detect->recover latency <= X us over a 30 s window" (latency-quantile
+// kind) or "violation episodes <= N per second" (event-rate kind). The
+// tracker evaluates every objective against a RollupWindow's retained time
+// buckets, computing the error budget consumed and two burn rates (a short
+// fast-burn window and the full budget window, the standard multi-window
+// alerting shape: the short window catches the fire, the long window keeps a
+// recovered metric from re-paging). A breach is edge-triggered: handlers
+// fire once when both burn rates cross their thresholds and once when the
+// objective recovers — the QoS Host Manager uses them to assert/retract
+// `slo-breach` facts so the rule base can react (escalate, shed load).
+//
+// Everything here is computed from simulation-deterministic inputs; the
+// tracker itself draws no randomness and schedules no events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/rollup.hpp"
+#include "sim/time.hpp"
+
+namespace softqos::obs {
+
+struct SloObjective {
+  enum class Kind {
+    kLatencyQuantile,  // histogram: fraction above `threshold` vs budget
+    kEventRate,        // counter: events/sec vs `threshold`
+  };
+
+  std::string name;
+  Kind kind = Kind::kLatencyQuantile;
+  /// Metric in the rollup: a histogram name (kLatencyQuantile) or a counter
+  /// name (kEventRate).
+  std::string metric;
+  /// kLatencyQuantile: the guarded quantile (99 => 1% error budget).
+  double quantile = 99.0;
+  /// kLatencyQuantile: the latency bound (same unit as the histogram).
+  /// kEventRate: the allowed event rate in events per second.
+  double threshold = 0.0;
+  /// The budget window: burn is averaged over the rollup buckets inside it.
+  sim::SimDuration window = sim::sec(30);
+  /// The fast-burn window (must not exceed `window`).
+  sim::SimDuration shortWindow = sim::sec(5);
+  /// Breach when shortBurn >= fastBurn AND longBurn >= slowBurn. A burn of
+  /// 1.0 consumes the budget exactly as fast as the objective allows.
+  double fastBurn = 2.0;
+  double slowBurn = 1.0;
+};
+
+struct SloStatus {
+  double shortBurn = 0.0;
+  double longBurn = 0.0;
+  /// Budget-consuming events and totals inside each window. For event-rate
+  /// objectives `total` is the allowed event count for the covered span.
+  double badShort = 0.0;
+  double totalShort = 0.0;
+  double badLong = 0.0;
+  double totalLong = 0.0;
+  /// Fraction of the long-window error budget still unspent, in [0, 1].
+  double budgetRemaining = 1.0;
+  bool breached = false;
+  /// Cumulative breach transitions (edges, not evaluations).
+  std::uint64_t breaches = 0;
+};
+
+class SloTracker {
+ public:
+  using Handler = std::function<void(const SloObjective&, const SloStatus&)>;
+
+  void addObjective(SloObjective objective) {
+    entries_.push_back({std::move(objective), SloStatus{}});
+  }
+
+  /// `onBreach` fires on each not-breached -> breached edge, `onRecover` on
+  /// each breached -> recovered edge (either may be empty).
+  void setHandlers(Handler onBreach, Handler onRecover) {
+    onBreach_ = std::move(onBreach);
+    onRecover_ = std::move(onRecover);
+  }
+
+  /// Recompute every objective's status from the rollup's retained windows
+  /// as of `now`, firing edge handlers.
+  void evaluate(const sim::RollupWindow& rollup, sim::SimTime now);
+
+  struct Entry {
+    SloObjective objective;
+    SloStatus status;
+  };
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Objectives currently in breach.
+  [[nodiscard]] std::size_t breachedCount() const;
+
+ private:
+  std::vector<Entry> entries_;
+  Handler onBreach_;
+  Handler onRecover_;
+};
+
+/// The default objectives the testbed arms on every Host Manager when
+/// telemetry is enabled: in-flight detect->recover latency (sampled as
+/// open-violation age, so an outage in progress burns budget before it
+/// resolves) and the violation-episode rate.
+[[nodiscard]] std::vector<SloObjective> defaultManagementSlos();
+
+}  // namespace softqos::obs

@@ -98,6 +98,53 @@ void Histogram::merge(const Histogram& other) {
   sum_ += other.sum_;
 }
 
+Histogram Histogram::deltaSince(const Histogram& earlier) const {
+  if (earlier.count_ == 0) return *this;  // exact, including min/max
+  Histogram delta;
+  if (count_ <= earlier.count_) return delta;
+  delta.buckets_.assign(buckets_.size(), 0);
+  std::size_t first = buckets_.size();
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t before =
+        i < earlier.buckets_.size() ? earlier.buckets_[i] : 0;
+    // Defensive clamp: `earlier` is a snapshot of this histogram, so buckets
+    // only grow; anything else would underflow.
+    delta.buckets_[i] = buckets_[i] > before ? buckets_[i] - before : 0;
+    if (delta.buckets_[i] > 0) {
+      first = std::min(first, i);
+      last = i;
+    }
+  }
+  delta.count_ = count_ - earlier.count_;
+  delta.sum_ = sum_ - earlier.sum_;
+  if (first < delta.buckets_.size()) {
+    delta.min_ = bucketLowerBound(first);
+    delta.max_ = std::min(max_, bucketLowerBound(last + 1));
+  }
+  return delta;
+}
+
+std::uint64_t Histogram::countAbove(double threshold) const {
+  std::uint64_t above = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (bucketLowerBound(i) >= threshold) above += buckets_[i];
+  }
+  return above;
+}
+
+Histogram Histogram::fromParts(std::vector<std::uint64_t> buckets,
+                               std::uint64_t count, double sum, double min,
+                               double max) {
+  Histogram h;
+  h.buckets_ = std::move(buckets);
+  h.count_ = count;
+  h.sum_ = sum;
+  h.min_ = min;
+  h.max_ = max;
+  return h;
+}
+
 double Histogram::percentile(double p) const {
   if (count_ == 0) return 0.0;
   p = std::min(100.0, std::max(0.0, p));

@@ -84,6 +84,24 @@ class Histogram {
   /// Fold `other` into this histogram (bucket-wise addition).
   void merge(const Histogram& other);
 
+  /// The samples recorded since `earlier` was snapshotted from this same
+  /// histogram (bucket-wise subtraction). count/sum are exact; min/max are
+  /// estimated from the delta's occupied bucket range (except when `earlier`
+  /// is empty, where the delta is this histogram verbatim). Used by
+  /// RollupWindow to cut an ever-growing histogram into per-window slices.
+  [[nodiscard]] Histogram deltaSince(const Histogram& earlier) const;
+
+  /// Samples in buckets lying entirely at or above `threshold` (bucket
+  /// granularity: a sample within ~±19% of the threshold may be counted on
+  /// either side). SLO burn rates treat these as budget-consuming events.
+  [[nodiscard]] std::uint64_t countAbove(double threshold) const;
+
+  /// Rebuild a histogram from raw parts (the wire codec's inverse). The
+  /// caller vouches for consistency (count == sum of buckets).
+  [[nodiscard]] static Histogram fromParts(std::vector<std::uint64_t> buckets,
+                                           std::uint64_t count, double sum,
+                                           double min, double max);
+
   [[nodiscard]] std::uint64_t count() const { return count_; }
   [[nodiscard]] double sum() const { return sum_; }
   [[nodiscard]] double mean() const {

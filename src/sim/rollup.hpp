@@ -1,0 +1,171 @@
+// Streaming telemetry rollups over a MetricRegistry.
+//
+// A RollupWindow periodically snapshots a registry and cuts the counters and
+// histograms it tracks into fixed-width time buckets: each tick produces one
+// Window holding the counter *deltas* and histogram *delta slices* (via
+// Histogram::deltaSince) accumulated since the previous tick, retained in a
+// bounded ring. The metric hot path is untouched — recording still goes
+// through interned handles — so arming a rollup adds no per-sample cost;
+// the snapshot work happens only on the (cold, periodic) tick.
+//
+// TelemetrySnapshot is the wire form of one window: the QoS Host Manager
+// serializes its latest window and publishes it to the Domain Manager over
+// the management RPC endpoint, where a TelemetryAggregator merges per-host
+// histograms into domain-wide distributions. Only simulation-deterministic
+// metrics may cross the wire: the payload's byte length feeds the simulated
+// transmission time, so a wall-clock-valued histogram in a snapshot would
+// break same-seed replay (wall-clock profiles stay in the local rollup).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "sim/simulation.hpp"
+#include "sim/time.hpp"
+
+namespace softqos::sim {
+
+/// Compact text codec for Histogram: "count,sum,min,max[,idx:cnt...]" with
+/// only non-empty buckets listed. Round-trips exactly (doubles as %.17g).
+[[nodiscard]] std::string encodeHistogram(const Histogram& h);
+
+/// Inverse of encodeHistogram; malformed text yields nullopt.
+[[nodiscard]] std::optional<Histogram> decodeHistogram(std::string_view text);
+
+struct RollupConfig {
+  /// Width of one time bucket (informational; the owner drives tick()).
+  SimDuration window = sec(1);
+  /// Retained windows; the oldest is dropped past this. 0 is treated as 1.
+  std::size_t maxWindows = 64;
+};
+
+/// Windowed rollup over one MetricRegistry. The owner registers the metric
+/// names to track, then calls tick() periodically (typically from one
+/// Simulation::every event it also uses for publishing); each tick appends
+/// one Window of deltas. Tracking interns the metric in the registry, so
+/// records through handles minted before or after tracking both land in the
+/// rolled-up instrument.
+class RollupWindow {
+ public:
+  /// One fixed-width time bucket: deltas accumulated in [start, end).
+  /// Metric order follows registration order (deterministic).
+  struct Window {
+    SimTime start = 0;
+    SimTime end = 0;
+    std::vector<std::pair<std::string, std::int64_t>> counters;
+    std::vector<std::pair<std::string, Histogram>> histograms;
+
+    /// Lookup by name; nullptr / nullopt when the metric is not tracked.
+    [[nodiscard]] const Histogram* histogram(std::string_view name) const;
+    [[nodiscard]] std::optional<std::int64_t> counter(
+        std::string_view name) const;
+  };
+
+  RollupWindow(Simulation& simulation, MetricRegistry& registry,
+               RollupConfig config = {});
+
+  RollupWindow(const RollupWindow&) = delete;
+  RollupWindow& operator=(const RollupWindow&) = delete;
+
+  /// Track a counter / histogram by registry name (interned on first use).
+  /// Metrics registered after ticks began join with an empty baseline.
+  void trackCounter(const std::string& name);
+  void trackHistogram(const std::string& name);
+
+  /// Cut one window covering [last tick, now) and append it to the ring.
+  void tick();
+
+  [[nodiscard]] const std::deque<Window>& windows() const { return windows_; }
+  [[nodiscard]] const Window* latest() const {
+    return windows_.empty() ? nullptr : &windows_.back();
+  }
+  [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
+  [[nodiscard]] const RollupConfig& config() const { return config_; }
+
+  /// Fold the named histogram's slices from every retained window whose end
+  /// lies in (from, now] into one distribution (from = 0: all retained).
+  [[nodiscard]] Histogram mergedHistogram(std::string_view name,
+                                          SimTime from = 0) const;
+
+  /// Sum of the named counter's deltas over retained windows ending after
+  /// `from` (from = 0: all retained).
+  [[nodiscard]] std::int64_t counterSum(std::string_view name,
+                                        SimTime from = 0) const;
+
+ private:
+  struct TrackedCounter {
+    std::string name;
+    std::int64_t last = 0;
+  };
+  struct TrackedHistogram {
+    std::string name;
+    Histogram last;  // snapshot at the previous tick
+  };
+
+  Simulation& sim_;
+  MetricRegistry& registry_;
+  RollupConfig config_;
+  std::vector<TrackedCounter> counters_;
+  std::vector<TrackedHistogram> histograms_;
+  std::deque<Window> windows_;
+  SimTime lastTick_ = 0;
+  std::uint64_t ticks_ = 0;
+};
+
+/// Wire form of one rollup window, published host manager -> domain manager
+/// over the "telemetry" RPC. Names and the source must not contain '\n',
+/// ',' or ';' (they are plain metric identifiers); serialize() rejects
+/// nothing, parse() rejects malformed frames with nullopt.
+struct TelemetrySnapshot {
+  std::string source;  // publishing host name
+  SimTime windowStart = 0;
+  SimTime windowEnd = 0;
+  std::vector<std::pair<std::string, std::int64_t>> counters;
+  std::vector<std::pair<std::string, Histogram>> histograms;
+
+  /// Build the wire form of `window` as published by `source`.
+  static TelemetrySnapshot fromWindow(std::string source,
+                                      const RollupWindow::Window& window);
+
+  [[nodiscard]] std::string serialize() const;
+  [[nodiscard]] static std::optional<TelemetrySnapshot> parse(
+      std::string_view text);
+};
+
+/// Domain-side aggregation: merges per-host snapshots into domain-wide
+/// distributions (histograms fold bucket-wise, counters sum) and retains the
+/// latest snapshot per source for per-host drill-down.
+class TelemetryAggregator {
+ public:
+  void ingest(const TelemetrySnapshot& snapshot);
+
+  [[nodiscard]] const std::map<std::string, Histogram>& mergedHistograms()
+      const {
+    return merged_;
+  }
+  [[nodiscard]] const std::map<std::string, std::int64_t>& counterTotals()
+      const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, TelemetrySnapshot>& latestBySource()
+      const {
+    return latest_;
+  }
+  [[nodiscard]] std::uint64_t snapshotsIngested() const { return ingested_; }
+  [[nodiscard]] std::size_t sourcesSeen() const { return latest_.size(); }
+
+ private:
+  std::map<std::string, Histogram> merged_;
+  std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, TelemetrySnapshot> latest_;
+  std::uint64_t ingested_ = 0;
+};
+
+}  // namespace softqos::sim

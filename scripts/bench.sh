@@ -2,12 +2,15 @@
 # Run a benchmark suite and record the results as JSON at the repo root, so
 # successive PRs leave a perf trajectory:
 #
-#   scripts/bench.sh rules [build-dir]   -> BENCH_rules.json  (inference engine)
-#   scripts/bench.sh sim   [build-dir]   -> BENCH_sim.json    (event kernel)
+#   scripts/bench.sh rules    [build-dir] -> BENCH_rules.json    (inference engine)
+#   scripts/bench.sh sim      [build-dir] -> BENCH_sim.json      (event kernel)
+#   scripts/bench.sh parallel [build-dir] -> BENCH_parallel.json (thread scaling
+#                              of the windowed conservative engine at 1/2/4/8
+#                              worker threads against the serial kernel)
 set -euo pipefail
 
 usage() {
-  echo "usage: scripts/bench.sh <rules|sim> [build-dir]" >&2
+  echo "usage: scripts/bench.sh <rules|sim|parallel> [build-dir]" >&2
   exit 2
 }
 
@@ -19,6 +22,7 @@ build_dir="${2:-$repo_root/build}"
 case "$suite" in
   rules) target="abl_inference_scaling"; out="$repo_root/BENCH_rules.json" ;;
   sim)   target="bench_sim_kernel";      out="$repo_root/BENCH_sim.json" ;;
+  parallel) target="bench_parallel_engine"; out="$repo_root/BENCH_parallel.json" ;;
   *) usage ;;
 esac
 

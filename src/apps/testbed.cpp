@@ -1,5 +1,8 @@
 #include "apps/testbed.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+
 #include "net/nic.hpp"
 #include "obs/slo.hpp"
 
@@ -42,9 +45,28 @@ Testbed::Testbed(TestbedConfig config)
   // under tracing. Attaching is pure bookkeeping: no events, no RNG draws.
   if (config_.observability) observer = std::make_unique<obs::Observer>(sim);
 
+  if (config_.parallelShards > 1) {
+    if (config_.observability) {
+      throw std::invalid_argument(
+          "Testbed: observability and parallelShards are mutually exclusive "
+          "(sharded runs take no SpanObserver)");
+    }
+    // One worker thread, N shards: the windowed conservative engine with the
+    // exact schedule a multi-threaded run would execute, minus the data
+    // races the domain manager's whole-fabric channel polling would cause.
+    sim.configureParallel(
+        sim::ParallelConfig{1, config_.parallelShards});
+    clientShard_ = 1;
+    serverShard_ = std::min<unsigned>(2, config_.parallelShards - 1);
+    clientHost.setShard(clientShard_);
+    serverHost.setShard(serverShard_);
+  }
+
   net::Nic& clientNic = network.attachHost(clientHost);
   net::Nic& serverNic = network.attachHost(serverHost);
   net::Nic& mgmtNic = network.attachHost(mgmtHost);
+  clientNic.setShard(clientShard_);
+  serverNic.setShard(serverShard_);
 
   network.link(clientNic, swA, channelMbit(config_.edgeMbit));
   // The management host reaches both switches directly (a management VLAN):
@@ -76,8 +98,16 @@ Testbed::Testbed(TestbedConfig config)
       hmCfg.slos = config_.telemetrySlos.empty() ? obs::defaultManagementSlos()
                                                  : config_.telemetrySlos;
     }
-    clientHm = &qorms.createHostManager(clientHost, hmCfg);
-    serverHm = &qorms.createHostManager(serverHost, hmCfg);
+    {
+      // Each host manager (and its RPC plumbing + metric handles) lives on
+      // its host's shard; construction-time scheduling lands there too.
+      sim::ShardScope scope(sim, clientShard_);
+      clientHm = &qorms.createHostManager(clientHost, hmCfg);
+    }
+    {
+      sim::ShardScope scope(sim, serverShard_);
+      serverHm = &qorms.createHostManager(serverHost, hmCfg);
+    }
     manager::DomainManagerConfig dmCfg;
     dmCfg.heartbeatInterval = config_.heartbeatInterval;
     dmCfg.heartbeatMissThreshold = config_.heartbeatMissThreshold;
@@ -94,18 +124,48 @@ Testbed::Testbed(TestbedConfig config)
                         config_.policyJitterMax),
         "VideoConference", "");
   }
+
+  if (config_.parallelShards > 1) {
+    // Routes must be primed before the first window (lazy recompute is not
+    // shard-safe) and the lookahead is the minimum propagation delay across
+    // a shard boundary — with this topology, the 1 ms channel latency.
+    network.primeRoutes();
+    sim.setLookahead(network.minCrossShardPropagation());
+  }
 }
 
 VideoSession& Testbed::startVideo(const std::string& role) {
   VideoConfig vc = config_.video;
-  video = std::make_unique<VideoSession>(sim, network, serverHost, clientHost,
-                                         "video", vc);
+  {
+    // The session spans both hosts; place its events on the client's shard
+    // (sensing and display happen there). Valid because testbed sharding is
+    // single-worker: see TestbedConfig::parallelShards.
+    sim::ShardScope scope(sim, clientShard_);
+    video = std::make_unique<VideoSession>(sim, network, serverHost, clientHost,
+                                           "video", vc);
+    if (config_.withManagers) {
+      video->instrument(qorms.agent(), "VideoConference", role);
+    }
+  }
   if (config_.withManagers) {
-    video->instrument(qorms.agent(), "VideoConference", role);
     dm->registerService("VideoApplication", serverHost.name(),
                         video->serverPid());
     serverHm->setRestartHandler(
         [this](osim::Pid) { return video->respawnServer(); });
+  }
+  if (config_.batchSensorTicks) {
+    if (!sensorWheel) {
+      sim::ShardScope scope(sim, clientShard_);
+      sensorWheel = std::make_unique<instrument::SensorTimerWheel>(
+          sim, config_.sensorWheelGranularity);
+    }
+    // Move every self-ticking session sensor onto the shared wheel: one
+    // kernel periodic now drives them all.
+    for (const std::string& id : video->registry().sensorIds()) {
+      if (instrument::Sensor* s = video->registry().sensor(id)) {
+        sensorWheel->adopt(*s);
+      }
+    }
   }
   return *video;
 }

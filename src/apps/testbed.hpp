@@ -16,6 +16,7 @@
 #include "apps/video.hpp"
 #include "apps/video_model.hpp"
 #include "distribution/qorms.hpp"
+#include "instrument/timer_wheel.hpp"
 #include "net/switch.hpp"
 #include "net/traffic.hpp"
 #include "obs/observer.hpp"
@@ -52,6 +53,20 @@ struct TestbedConfig {
   sim::SimDuration telemetryInterval = 0;
   /// Override the objectives armed with telemetry (empty: the defaults).
   std::vector<obs::SloObjective> telemetrySlos;
+  /// Shard the testbed across `parallelShards` event queues driven by the
+  /// windowed conservative engine (shard 0: management host + switch fabric;
+  /// shard 1: client host world; shard 2: server host world). 1 (default)
+  /// keeps the historical serial kernel, byte-identical to earlier builds.
+  /// The testbed always runs its windows on a single worker thread: the
+  /// domain manager polls every channel's utilization state, which is only
+  /// safe without cross-shard concurrency. Multi-threaded execution is for
+  /// shard-clean scenarios (see bench_parallel_engine).
+  unsigned parallelShards = 1;
+  /// Batch each video session's sensor ticks onto one SensorTimerWheel
+  /// (one kernel periodic driving all sensors) instead of one periodic per
+  /// sensor. Off by default — byte-identical to earlier builds.
+  bool batchSensorTicks = false;
+  sim::SimDuration sensorWheelGranularity = sim::msec(50);
 };
 
 class Testbed {
@@ -82,6 +97,8 @@ class Testbed {
   std::unique_ptr<VideoSession> video;
   /// Non-null when config.observability; attached to `sim` for its lifetime.
   std::unique_ptr<obs::Observer> observer;
+  /// Non-null when config.batchSensorTicks and a video session was started.
+  std::unique_ptr<instrument::SensorTimerWheel> sensorWheel;
 
   [[nodiscard]] const TestbedConfig& config() const { return config_; }
 
@@ -99,8 +116,14 @@ class Testbed {
   /// The bottleneck channel in the server->client direction.
   [[nodiscard]] net::Channel* bottleneck();
 
+  /// Shards the host worlds landed on (0 when not sharded).
+  [[nodiscard]] sim::ShardId clientShard() const { return clientShard_; }
+  [[nodiscard]] sim::ShardId serverShard() const { return serverShard_; }
+
  private:
   TestbedConfig config_;
+  sim::ShardId clientShard_ = 0;
+  sim::ShardId serverShard_ = 0;
 };
 
 }  // namespace softqos::apps

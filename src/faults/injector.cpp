@@ -32,8 +32,77 @@ void FaultInjector::registerDomainManager(const std::string& seatHost,
 
 void FaultInjector::arm(const FaultPlan& plan) {
   for (const FaultEvent& event : plan.events()) {
-    sim_.at(event.at, [this, event] { fire(event); });
+    scheduleEvent(event);
   }
+}
+
+void FaultInjector::scheduleEvent(const FaultEvent& event) {
+  if (sim_.shardCount() == 1) {
+    // Historical single-queue path: one event, shared link stream.
+    sim_.at(event.at, [this, event] { fire(event); });
+    return;
+  }
+  switch (event.kind) {
+    case FaultEvent::Kind::kLinkCut:
+    case FaultEvent::Kind::kLinkHeal:
+    case FaultEvent::Kind::kLinkRestore:
+    case FaultEvent::Kind::kLinkDegrade:
+      scheduleLinkEvent(event);
+      return;
+    default: {
+      // Host-affine faults (crash/restart/kill and the co-located daemons)
+      // execute on the shard owning the target host.
+      osim::Host* host = findHost(event.host);
+      const sim::ShardId target = host != nullptr ? host->shard() : 0;
+      sim_.postToShard(target, event.at, [this, event] { fire(event); });
+      return;
+    }
+  }
+}
+
+void FaultInjector::scheduleLinkEvent(const FaultEvent& event) {
+  net::NetNode* a = net_.nodeByName(event.nodeA);
+  net::NetNode* b = net_.nodeByName(event.nodeB);
+  net::LinkFaultProfile profile;  // kLinkHeal/kLinkRestore: clean profile
+  if (event.kind == FaultEvent::Kind::kLinkCut) profile.down = true;
+  if (event.kind == FaultEvent::Kind::kLinkDegrade) profile = event.profile;
+  // Per-packet draws use per-direction streams in sharded mode: each channel
+  // is polled only by the shard owning its source node, so directions must
+  // not share mutable RNG state across a boundary.
+  sim::RandomStream* randomAB = nullptr;
+  sim::RandomStream* randomBA = nullptr;
+  if (event.kind == FaultEvent::Kind::kLinkDegrade) {
+    randomAB = directionStream(event.nodeA, event.nodeB);
+    randomBA = directionStream(event.nodeB, event.nodeA);
+  }
+  if (a == nullptr || b == nullptr || a->shard() == b->shard()) {
+    const sim::ShardId target = (a != nullptr && b != nullptr) ? a->shard() : 0;
+    sim_.postToShard(target, event.at,
+                     [this, event, profile, randomAB, randomBA] {
+                       applyLinkProfile(event, profile, randomAB, randomBA);
+                     });
+    return;
+  }
+  // Endpoints on different shards: apply each direction on the shard owning
+  // the channel's source; the A-side post does the accounting.
+  sim_.postToShard(a->shard(), event.at, [this, event, profile, randomAB] {
+    applyLinkDirection(event, profile, randomAB, /*reverse=*/false,
+                       /*account=*/true);
+  });
+  sim_.postToShard(b->shard(), event.at, [this, event, profile, randomBA] {
+    applyLinkDirection(event, profile, randomBA, /*reverse=*/true,
+                       /*account=*/false);
+  });
+}
+
+sim::RandomStream* FaultInjector::directionStream(const std::string& from,
+                                                  const std::string& to) {
+  const std::string key = from + ">" + to;
+  auto it = linkStreamIndex_.find(key);
+  if (it != linkStreamIndex_.end()) return &linkStreams_[it->second];
+  linkStreams_.emplace_back(sim_.stream("faults:link:" + key));
+  linkStreamIndex_.emplace(key, linkStreams_.size() - 1);
+  return &linkStreams_.back();
 }
 
 osim::Host* FaultInjector::findHost(const std::string& name) {
@@ -43,7 +112,8 @@ osim::Host* FaultInjector::findHost(const std::string& name) {
 
 void FaultInjector::applyLinkProfile(const FaultEvent& event,
                                      const net::LinkFaultProfile& profile,
-                                     sim::RandomStream* random) {
+                                     sim::RandomStream* randomAB,
+                                     sim::RandomStream* randomBA) {
   net::NetNode* a = net_.nodeByName(event.nodeA);
   net::NetNode* b = net_.nodeByName(event.nodeB);
   net::Channel* ab =
@@ -57,12 +127,41 @@ void FaultInjector::applyLinkProfile(const FaultEvent& event,
                                            faultKindName(event.kind));
     return;
   }
-  ab->setFaultProfile(profile, random);
-  ba->setFaultProfile(profile, random);
+  ab->setFaultProfile(profile, randomAB);
+  ba->setFaultProfile(profile, randomBA);
   ++injected_;
   sim_.warn(std::string(kComponent),
             std::string(faultKindName(event.kind)) + " " + event.nodeA +
                 "<->" + event.nodeB);
+}
+
+void FaultInjector::applyLinkDirection(const FaultEvent& event,
+                                       const net::LinkFaultProfile& profile,
+                                       sim::RandomStream* random, bool reverse,
+                                       bool account) {
+  net::NetNode* a = net_.nodeByName(event.nodeA);
+  net::NetNode* b = net_.nodeByName(event.nodeB);
+  net::Channel* ch = nullptr;
+  if (a != nullptr && b != nullptr) {
+    ch = reverse ? net_.channel(b->id(), a->id())
+                 : net_.channel(a->id(), b->id());
+  }
+  if (ch == nullptr) {
+    if (account) {
+      ++misses_;
+      sim_.warn(std::string(kComponent),
+                "no such link " + event.nodeA + "<->" + event.nodeB + " for " +
+                    faultKindName(event.kind));
+    }
+    return;
+  }
+  ch->setFaultProfile(profile, random);
+  if (account) {
+    ++injected_;
+    sim_.warn(std::string(kComponent),
+              std::string(faultKindName(event.kind)) + " " + event.nodeA +
+                  "<->" + event.nodeB);
+  }
 }
 
 void FaultInjector::fire(const FaultEvent& event) {
@@ -110,15 +209,15 @@ void FaultInjector::fire(const FaultEvent& event) {
     case FaultEvent::Kind::kLinkCut: {
       net::LinkFaultProfile profile;
       profile.down = true;
-      applyLinkProfile(event, profile, nullptr);
+      applyLinkProfile(event, profile, nullptr, nullptr);
       return;
     }
     case FaultEvent::Kind::kLinkHeal:
     case FaultEvent::Kind::kLinkRestore:
-      applyLinkProfile(event, net::LinkFaultProfile{}, nullptr);
+      applyLinkProfile(event, net::LinkFaultProfile{}, nullptr, nullptr);
       return;
     case FaultEvent::Kind::kLinkDegrade:
-      applyLinkProfile(event, event.profile, &linkRandom_);
+      applyLinkProfile(event, event.profile, &linkRandom_, &linkRandom_);
       return;
     case FaultEvent::Kind::kManagerCrash: {
       auto it = hostManagers_.find(event.host);

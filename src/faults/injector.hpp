@@ -9,7 +9,9 @@
 // replay byte-identical runs, and a run with no armed plan draws nothing.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <string>
 
@@ -44,22 +46,45 @@ class FaultInjector {
                              manager::QoSDomainManager& dm);
 
   /// Schedule every event of `plan` on the simulation clock. May be called
-  /// more than once (plans accumulate). Events referencing unregistered
-  /// targets are counted in misses() and otherwise ignored at fire time.
+  /// more than once (plans accumulate), but only between runs — arming
+  /// resolves targets to their owning shards. Events referencing
+  /// unregistered targets are counted in misses() and otherwise ignored at
+  /// fire time. In a sharded simulation every event is posted to the shard
+  /// owning its target (host faults to the host's shard; a link fault whose
+  /// endpoints live on different shards is applied per direction, each on
+  /// the channel owner's shard).
   void arm(const FaultPlan& plan);
 
-  [[nodiscard]] std::uint64_t injected() const { return injected_; }
-  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t injected() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
 
   /// The stream backing per-packet loss/corruption draws (exposed for tests
   /// asserting replay determinism).
   [[nodiscard]] sim::RandomStream& linkRandom() { return linkRandom_; }
 
  private:
+  void scheduleEvent(const FaultEvent& event);
+  void scheduleLinkEvent(const FaultEvent& event);
   void fire(const FaultEvent& event);
   void applyLinkProfile(const FaultEvent& event,
                         const net::LinkFaultProfile& profile,
-                        sim::RandomStream* random);
+                        sim::RandomStream* randomAB,
+                        sim::RandomStream* randomBA);
+  /// Apply one direction of a link fault (reverse = the B->A channel);
+  /// `account` selects the single direction that records injected/misses so
+  /// a split cross-shard event still counts once.
+  void applyLinkDirection(const FaultEvent& event,
+                          const net::LinkFaultProfile& profile,
+                          sim::RandomStream* random, bool reverse,
+                          bool account);
+  /// Seeded per-direction stream for sharded runs ("faults:link:a>b");
+  /// created at arm time so firing never mutates shared state.
+  sim::RandomStream* directionStream(const std::string& from,
+                                     const std::string& to);
   [[nodiscard]] osim::Host* findHost(const std::string& name);
 
   sim::Simulation& sim_;
@@ -68,8 +93,10 @@ class FaultInjector {
   std::map<std::string, osim::Host*> hosts_;
   std::map<std::string, manager::QoSHostManager*> hostManagers_;
   std::map<std::string, manager::QoSDomainManager*> domainManagers_;
-  std::uint64_t injected_ = 0;
-  std::uint64_t misses_ = 0;
+  std::deque<sim::RandomStream> linkStreams_;  // stable addresses
+  std::map<std::string, std::size_t> linkStreamIndex_;
+  std::atomic<std::uint64_t> injected_{0};
+  std::atomic<std::uint64_t> misses_{0};
 };
 
 }  // namespace softqos::faults

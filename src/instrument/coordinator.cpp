@@ -15,7 +15,7 @@ Coordinator::Coordinator(sim::Simulation& simulation, std::string hostName,
       registry_(registry),
       notify_(std::move(notify)),
       reactionLatency_(
-          simulation.metrics().histogramHandle("qos.reaction_latency_us")) {}
+          simulation.localMetrics().histogramHandle("qos.reaction_latency_us")) {}
 
 Coordinator::~Coordinator() {
   for (const auto& po : policies_) {

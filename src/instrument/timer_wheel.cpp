@@ -1,0 +1,123 @@
+#include "instrument/timer_wheel.hpp"
+
+#include <stdexcept>
+
+namespace softqos::instrument {
+
+SensorTimerWheel::SensorTimerWheel(sim::Simulation& simulation,
+                                   sim::SimDuration granularity,
+                                   std::size_t slots)
+    : sim_(simulation), granularity_(granularity), slots_(slots) {
+  if (granularity <= 0) {
+    throw std::invalid_argument("SensorTimerWheel: granularity must be > 0");
+  }
+  if (slots == 0) {
+    throw std::invalid_argument("SensorTimerWheel: need at least one slot");
+  }
+}
+
+SensorTimerWheel::~SensorTimerWheel() { stop(); }
+
+SensorTimerWheel::Token SensorTimerWheel::add(Sensor& sensor,
+                                              sim::SimDuration interval) {
+  if (interval <= 0) {
+    throw std::invalid_argument("SensorTimerWheel::add: interval must be > 0");
+  }
+  // Round the interval UP to whole ticks so a wheel never polls faster than
+  // the requested cadence.
+  const std::uint64_t periodTicks = static_cast<std::uint64_t>(
+      (interval + granularity_ - 1) / granularity_);
+
+  std::size_t index;
+  if (!freeEntries_.empty()) {
+    index = freeEntries_.back();
+    freeEntries_.pop_back();
+  } else {
+    index = entries_.size();
+    entries_.emplace_back();
+  }
+  Entry& e = entries_[index];
+  e.sensor = &sensor;
+  e.periodTicks = periodTicks;
+  e.dueTick = tick_ + periodTicks;
+  e.token = nextToken_++;
+  e.live = true;
+  bucket(index);
+  ++live_;
+  if (event_ == sim::kInvalidEvent) start();
+  return e.token;
+}
+
+SensorTimerWheel::Token SensorTimerWheel::adopt(Sensor& sensor) {
+  const sim::SimDuration interval = sensor.tickInterval();
+  if (interval <= 0) return kInvalidToken;
+  sensor.setTickInterval(0);  // the wheel drives the cadence from here on
+  return add(sensor, interval);
+}
+
+bool SensorTimerWheel::remove(Token token) {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    Entry& e = entries_[i];
+    if (e.live && e.token == token) {
+      e.live = false;
+      e.sensor = nullptr;
+      --live_;
+      // The slot entry is dropped lazily when its slot is next visited.
+      if (live_ == 0) stop();
+      return true;
+    }
+  }
+  return false;
+}
+
+void SensorTimerWheel::bucket(std::size_t entryIndex) {
+  slots_[static_cast<std::size_t>(entries_[entryIndex].dueTick %
+                                  slots_.size())]
+      .push_back(entryIndex);
+}
+
+void SensorTimerWheel::start() {
+  event_ = sim_.every(granularity_, [this] { onTick(); });
+}
+
+void SensorTimerWheel::stop() {
+  if (event_ != sim::kInvalidEvent) {
+    sim_.cancel(event_);
+    event_ = sim::kInvalidEvent;
+  }
+}
+
+void SensorTimerWheel::onTick() {
+  ++tick_;
+  ++ticks_;
+  std::vector<std::size_t>& slot = slots_[tick_ % slots_.size()];
+  // Detach the slot before visiting: polls may re-enter the wheel (alarm
+  // handlers adding/removing sensors) and re-bucketing may target this very
+  // slot, so the live slot vector must stay safe to append to.
+  std::vector<std::size_t> visiting = std::move(slot);
+  slot.clear();
+  // Visit in insertion order (deterministic); entries due on a later round
+  // of the wheel go straight back, dead ones are reaped.
+  for (const std::size_t index : visiting) {
+    Entry& e = entries_[index];
+    if (!e.live) {
+      freeEntries_.push_back(index);
+      continue;
+    }
+    if (e.dueTick != tick_) {
+      slot.push_back(index);  // same slot, future round
+      continue;
+    }
+    e.sensor->pollNow();
+    ++polls_;
+    // pollNow() may have removed this entry from the wheel.
+    if (e.live) {
+      e.dueTick = tick_ + e.periodTicks;
+      bucket(index);
+    } else {
+      freeEntries_.push_back(index);
+    }
+  }
+}
+
+}  // namespace softqos::instrument

@@ -1,0 +1,94 @@
+// SensorTimerWheel: batches many sensors' periodic polls onto ONE kernel
+// periodic event instead of one periodic per sensor.
+//
+// At host-shard scale the per-sensor periodics dominate the event queue (N
+// sensors = N heap entries churning every cadence). The wheel keeps a single
+// periodic firing at its granularity; each firing visits one slot of a
+// classic timer wheel and polls the sensors due on that tick, re-bucketing
+// them one interval ahead. Intervals are rounded up to whole wheel ticks, so
+// a wheel trades per-sensor cadence precision (bounded by the granularity)
+// for an event-queue footprint of exactly one entry.
+//
+// Determinism: slots are visited in tick order and entries within a slot in
+// (re-)insertion order, which is itself deterministic, so wheel-driven polls
+// replay byte-identically. One wheel belongs to one shard (it schedules
+// through the current shard at first use); give each host-shard its own.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "instrument/sensor.hpp"
+#include "sim/simulation.hpp"
+
+namespace softqos::instrument {
+
+class SensorTimerWheel {
+ public:
+  /// Handle for removing a sensor from the wheel.
+  using Token = std::uint64_t;
+  static constexpr Token kInvalidToken = 0;
+
+  /// `granularity` is the wheel tick (> 0); `slots` the wheel circumference
+  /// (intervals longer than slots*granularity still work — entries just stay
+  /// in their slot across rounds).
+  SensorTimerWheel(sim::Simulation& simulation, sim::SimDuration granularity,
+                   std::size_t slots = 64);
+  ~SensorTimerWheel();
+
+  SensorTimerWheel(const SensorTimerWheel&) = delete;
+  SensorTimerWheel& operator=(const SensorTimerWheel&) = delete;
+
+  /// Poll `sensor` every `interval` (rounded up to whole wheel ticks; first
+  /// poll one interval from now, matching Sensor::setTickInterval timing).
+  /// The sensor must outlive its wheel membership.
+  Token add(Sensor& sensor, sim::SimDuration interval);
+
+  /// Adopt a sensor that currently drives its own periodic tick: disables
+  /// the sensor's internal tick and polls it at the same cadence from the
+  /// wheel. Returns kInvalidToken if the sensor had no tick configured.
+  Token adopt(Sensor& sensor);
+
+  /// Stop polling the sensor behind `token`. Safe with stale tokens.
+  bool remove(Token token);
+
+  /// Live sensors on the wheel.
+  [[nodiscard]] std::size_t sensorCount() const { return live_; }
+
+  /// Total sensor polls driven by the wheel (diagnostics / benchmarks).
+  [[nodiscard]] std::uint64_t polls() const { return polls_; }
+
+  /// Kernel events the wheel has consumed (one per non-idle granularity
+  /// tick) — the quantity the batching is meant to shrink.
+  [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
+
+  [[nodiscard]] sim::SimDuration granularity() const { return granularity_; }
+
+ private:
+  struct Entry {
+    Sensor* sensor = nullptr;
+    std::uint64_t periodTicks = 1;  // interval in wheel ticks
+    std::uint64_t dueTick = 0;      // absolute tick when next due
+    Token token = kInvalidToken;
+    bool live = false;
+  };
+
+  void onTick();
+  void bucket(std::size_t entryIndex);
+  void start();
+  void stop();
+
+  sim::Simulation& sim_;
+  sim::SimDuration granularity_;
+  std::vector<std::vector<std::size_t>> slots_;  // entry indices per slot
+  std::vector<Entry> entries_;
+  std::vector<std::size_t> freeEntries_;
+  std::uint64_t tick_ = 0;  // absolute ticks since the wheel started
+  std::size_t live_ = 0;
+  std::uint64_t polls_ = 0;
+  std::uint64_t ticks_ = 0;
+  Token nextToken_ = 1;
+  sim::EventId event_ = sim::kInvalidEvent;
+};
+
+}  // namespace softqos::instrument

@@ -20,7 +20,7 @@ QoSDomainManager::QoSDomainManager(sim::Simulation& simulation,
       config_(config),
       engine_("qosdm:" + name_),
       ruleFireNanos_(
-          simulation.metrics().histogramHandle("rules.fire_wall_ns")) {
+          simulation.localMetrics().histogramHandle("rules.fire_wall_ns")) {
   registerEngineFunctions();
   installFireHooks();
   if (config_.loadDefaultRules) loadDefaultRules();

@@ -19,7 +19,7 @@ QoSHostManager::QoSHostManager(sim::Simulation& simulation, osim::Host& host,
       cpuManager_(host),
       memoryManager_(host),
       ruleFireNanos_(
-          simulation.metrics().histogramHandle("rules.fire_wall_ns")) {
+          simulation.localMetrics().histogramHandle("rules.fire_wall_ns")) {
   registerEngineFunctions();
   installFireHooks();
   if (config_.loadDefaultRules) loadDefaultRules();

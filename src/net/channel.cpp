@@ -57,10 +57,17 @@ void Channel::pump() {
 
   sim_.after(serialize, [this, p = std::move(p)]() mutable {
     // Serialization finished: the wire is free for the next packet while this
-    // one propagates.
+    // one propagates. Delivery lands on the destination node's shard: the
+    // flight time is >= the configured lookahead for any cross-shard link,
+    // so the post always respects the conservative window. A channel's own
+    // state (queue, transmitter) stays on the sender's shard.
     transmitting_ = false;
-    sim_.after(config_.propagationDelay + fault_.extraDelay,
-               [this, p = std::move(p)]() mutable { to_.onPacket(std::move(p)); });
+    const sim::SimDuration flight = config_.propagationDelay + fault_.extraDelay;
+    NetNode* dst = &to_;
+    sim_.postToShard(to_.shard(), sim_.now() + flight,
+                     [dst, p = std::move(p)]() mutable {
+                       dst->onPacket(std::move(p));
+                     });
     pump();
   });
 }

@@ -12,6 +12,7 @@ namespace softqos::net {
 NetNode::NetNode(Network& network, std::string name)
     : network_(network), name_(std::move(name)) {
   id_ = network_.registerNode(this, name_);
+  shard_ = network_.sim().currentShard();
 }
 
 Network::Network(sim::Simulation& simulation, std::int64_t mtuBytes)
@@ -28,6 +29,7 @@ NodeId Network::registerNode(NetNode* node, const std::string& name) {
   const NodeId id = static_cast<NodeId>(nodes_.size());
   nodes_.push_back(node);
   adjacency_.emplace_back();
+  msgSeq_.push_back(0);
   byName_.emplace(name, id);
   routesDirty_ = true;
   return id;
@@ -151,9 +153,31 @@ void Network::forward(NodeId from, Packet packet) {
   ch->enqueue(std::move(packet));
 }
 
+void Network::primeRoutes() {
+  if (routesDirty_) recomputeRoutes();
+}
+
+sim::SimDuration Network::minCrossShardPropagation() const {
+  sim::SimDuration min = 0;
+  for (const auto& [key, channel] : channels_) {
+    const auto& [from, to] = key;
+    if (nodes_[static_cast<std::size_t>(from)]->shard() ==
+        nodes_[static_cast<std::size_t>(to)]->shard()) {
+      continue;
+    }
+    const sim::SimDuration delay = channel->config().propagationDelay;
+    if (min == 0 || delay < min) min = delay;
+  }
+  return min;
+}
+
 void Network::sendMessage(NodeId srcNic, NodeId dstNic, int dstPort,
                           osim::Message m) {
-  const std::uint64_t messageId = nextMessageId_++;
+  // Message ids embed the source node so shard-parallel senders never share
+  // a counter; the id is a reassembly key only.
+  const std::uint64_t messageId =
+      ((static_cast<std::uint64_t>(srcNic) + 1) << 40) |
+      ++msgSeq_[static_cast<std::size_t>(srcNic)];
   const std::int64_t total = std::max<std::int64_t>(m.bytes, 1);
   std::int64_t remaining = total;
   while (remaining > 0) {

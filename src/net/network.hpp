@@ -2,6 +2,7 @@
 // message-level transport (fragmentation to MTU-sized packets).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <set>
@@ -56,6 +57,16 @@ class Network {
   /// recomputed lazily after topology changes (BFS shortest path).
   NodeId nextHop(NodeId from, NodeId dst);
 
+  /// Force route computation now. Sharded runs require this before the first
+  /// window (the lazy recompute is not shard-safe); topology changes while
+  /// worker threads are running are unsupported.
+  void primeRoutes();
+
+  /// Minimum propagation delay over channels whose endpoints live on
+  /// different shards — the conservative lookahead for windowed runs.
+  /// Returns 0 when no link crosses a shard boundary (all nodes co-located).
+  [[nodiscard]] sim::SimDuration minCrossShardPropagation() const;
+
   /// Forward a packet out of node `from` toward its destination. Delivers
   /// locally when from == dst; silently drops unreachable packets (counted).
   void forward(NodeId from, Packet packet);
@@ -74,7 +85,9 @@ class Network {
                int portA, const std::shared_ptr<osim::Socket>& b,
                osim::Host& hostB, int portB);
 
-  [[nodiscard]] std::uint64_t unreachableDrops() const { return unreachable_; }
+  [[nodiscard]] std::uint64_t unreachableDrops() const {
+    return unreachable_.load(std::memory_order_relaxed);
+  }
 
   /// All directed channels (diagnostics; domain managers poll these).
   [[nodiscard]] const std::map<std::pair<NodeId, NodeId>,
@@ -96,8 +109,11 @@ class Network {
   std::set<std::pair<NodeId, NodeId>> disabledLinks_;  // directed pairs
   bool routesDirty_ = true;
   std::map<std::string, std::unique_ptr<Nic>> nics_;
-  std::uint64_t nextMessageId_ = 1;
-  std::uint64_t unreachable_ = 0;
+  /// Per-source message sequence numbers: message ids embed the source node,
+  /// so concurrent senders on different shards never contend on a shared
+  /// counter (ids are reassembly keys only; their values are unobservable).
+  std::vector<std::uint64_t> msgSeq_;
+  std::atomic<std::uint64_t> unreachable_{0};
 };
 
 }  // namespace softqos::net

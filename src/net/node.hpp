@@ -4,6 +4,7 @@
 #include <string>
 
 #include "net/packet.hpp"
+#include "sim/simulation.hpp"
 
 namespace softqos::net {
 
@@ -29,12 +30,20 @@ class NetNode {
   /// sinks terminate traffic, they do not route it).
   [[nodiscard]] virtual bool forwards() const { return false; }
 
+  /// Shard this node's events execute on. Captured from the simulation's
+  /// current shard at construction (so components built under a ShardScope
+  /// land there); may be reassigned with setShard() before the first run.
+  /// Channels deliver packets onto the destination node's shard.
+  [[nodiscard]] sim::ShardId shard() const { return shard_; }
+  void setShard(sim::ShardId shard) { shard_ = shard; }
+
  protected:
   Network& network_;
 
  private:
   std::string name_;
   NodeId id_;
+  sim::ShardId shard_ = 0;
 };
 
 }  // namespace softqos::net

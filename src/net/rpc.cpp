@@ -50,8 +50,8 @@ RpcEndpoint::RpcEndpoint(Network& network, osim::Host& host, int port)
       port_(port),
       backoffRandom_(network.sim().stream("rpc:" + host.name() + ":" +
                                           std::to_string(port))),
-      roundtrip_(network.sim().metrics().histogramHandle("rpc.roundtrip_us")),
-      attempts_(network.sim().metrics().histogramHandle("rpc.attempts")) {
+      roundtrip_(network.sim().localMetrics().histogramHandle("rpc.roundtrip_us")),
+      attempts_(network.sim().localMetrics().histogramHandle("rpc.attempts")) {
   socket_ = host.createSocket();
   Nic& nic = network_.attachHost(host);
   nic.bind(port_, socket_);

@@ -11,9 +11,9 @@ Host::Host(sim::Simulation& simulation, std::string name, HostConfig config)
       cpu_(simulation, *this),
       memory_(*this, config.memoryPages),
       load_(simulation, [this] { return cpu_.activeCount(); }),
-      spawned_(simulation.metrics().counterHandle("host." + name_ + ".spawned")),
+      spawned_(simulation.localMetrics().counterHandle("host." + name_ + ".spawned")),
       terminated_(
-          simulation.metrics().counterHandle("host." + name_ + ".terminated")) {
+          simulation.localMetrics().counterHandle("host." + name_ + ".terminated")) {
   load_.setKeepRunning([this] { return liveProcessCount() > 0; });
 }
 

@@ -34,6 +34,12 @@ class Host {
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] sim::Simulation& sim() { return sim_; }
 
+  /// Shard this host's activity executes on (0 unless assigned). Fault
+  /// injection posts crash/restart events to the owning shard; the host's
+  /// NIC and agents must be placed on the same shard.
+  [[nodiscard]] sim::ShardId shard() const { return shard_; }
+  void setShard(sim::ShardId shard) { shard_ = shard; }
+
   /// Create a process and start its behaviour immediately. The returned
   /// process stays in the table (as a zombie) after termination, so raw
   /// pointers held by instruments remain valid for the simulation's lifetime.
@@ -113,6 +119,7 @@ class Host {
   Socket::Fd nextFd_ = 3;  // 0..2 are conventionally stdio
   bool up_ = true;
   std::uint64_t crashes_ = 0;
+  sim::ShardId shard_ = 0;
 };
 
 }  // namespace softqos::osim

@@ -1,11 +1,19 @@
 #include "sim/event_queue.hpp"
 
 #include <cassert>
+#include <stdexcept>
 
 namespace softqos::sim {
 
+void EventQueue::setShardTag(std::uint8_t tag) {
+  assert(slots_.empty() && scheduled_ == 0 &&
+         "shard tag must be set before any event is scheduled");
+  shardTag_ = tag;
+}
+
 std::uint32_t EventQueue::resolve(EventId id) const {
-  const auto low = static_cast<std::uint32_t>(id & 0xffffffffu);
+  if (idShardTag(id) != shardTag_) return kNpos;
+  const auto low = static_cast<std::uint32_t>(id & 0xffffffu);
   if (low == 0) return kNpos;
   const std::uint32_t idx = low - 1;
   if (idx >= slots_.size()) return kNpos;
@@ -21,6 +29,11 @@ std::uint32_t EventQueue::allocSlot() {
     freeHead_ = slots_[idx].nextFree;
     slots_[idx].nextFree = kNpos;
     return idx;
+  }
+  // Slot indices must fit the 24-bit field of the id encoding; the bound is
+  // on *simultaneously live* events, not total throughput.
+  if (slots_.size() >= 0xfffffeu) {
+    throw std::length_error("EventQueue: more than 2^24-2 simultaneous events");
   }
   slots_.emplace_back();
   return static_cast<std::uint32_t>(slots_.size() - 1);
@@ -40,6 +53,13 @@ void EventQueue::freeSlot(std::uint32_t idx) {
 
 EventId EventQueue::schedule(SimTime when, Callback cb) {
   assert(cb && "scheduling an empty callback");
+  if (when < firedThrough_) {
+    ++pastSchedules_;
+    assert(false && "scheduling into an already-fired past window");
+    throw std::logic_error(
+        "EventQueue::schedule: timestamp precedes the already-fired window "
+        "(cross-shard lookahead violation or clock misuse)");
+  }
   const std::uint32_t idx = allocSlot();
   Slot& s = slots_[idx];
   s.when = when;
@@ -104,6 +124,7 @@ EventQueue::Firing EventQueue::beginFire() {
   Slot& s = slots_[idx];
   Firing f;
   f.when = s.when;
+  firedThrough_ = s.when;
   f.id = makeId(idx, s.generation);
   f.cb = std::move(s.cb);
   f.periodic = s.period > 0;

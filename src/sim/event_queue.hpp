@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -19,8 +20,12 @@
 namespace softqos::sim {
 
 /// Handle identifying a scheduled event; usable for cancellation. Encodes the
-/// arena slot in the low 32 bits (offset by one so 0 stays invalid) and the
-/// slot's generation in the high 32 bits.
+/// slot's generation in the high 32 bits, the owning queue's shard tag in
+/// bits 24..31, and the arena slot in the low 24 bits (offset by one so 0
+/// stays invalid). With the default tag of 0 the encoding is identical to
+/// the historical (generation, slot) layout, so single-shard ids are
+/// unchanged; in sharded simulations the kernel routes cancel/reschedule to
+/// the owning queue through the tag.
 using EventId = std::uint64_t;
 
 /// Sentinel returned when no event was scheduled.
@@ -46,8 +51,22 @@ class EventQueue {
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
-  /// Schedule `cb` to fire once at absolute time `when`. `when` must be >= the
-  /// time of the most recently popped event (the kernel enforces monotonicity).
+  /// Tag ids minted by this queue with a shard identifier (0..255). Must be
+  /// set before any event is scheduled; tag 0 (the default) reproduces the
+  /// historical id encoding bit-for-bit.
+  void setShardTag(std::uint8_t tag);
+
+  /// Shard tag carried by an id (0 for ids from an untagged queue).
+  [[nodiscard]] static std::uint8_t idShardTag(EventId id) {
+    return static_cast<std::uint8_t>((id >> 24) & 0xffu);
+  }
+
+  /// Schedule `cb` to fire once at absolute time `when`. Scheduling into the
+  /// already-fired past (`when` strictly before the timestamp of the most
+  /// recently fired event) is a logic error: it would silently reorder
+  /// history, and in a sharded run it means a cross-shard message violated
+  /// the lookahead contract. It fails loudly — asserts in debug builds,
+  /// bumps pastSchedules() and throws std::logic_error in all builds.
   EventId schedule(SimTime when, Callback cb);
 
   /// Schedule `cb` to fire at `first` and then every `period` ticks. The
@@ -96,6 +115,15 @@ class EventQueue {
   /// excluded (diagnostics).
   [[nodiscard]] std::uint64_t totalScheduled() const { return scheduled_; }
 
+  /// Rejected attempts to schedule strictly before the most recently fired
+  /// timestamp (each also threw std::logic_error). Nonzero means some caller
+  /// tried to rewrite drained history — in sharded runs, a lookahead bug.
+  [[nodiscard]] std::uint64_t pastSchedules() const { return pastSchedules_; }
+
+  /// Timestamp of the most recently fired event; the floor below which
+  /// schedule() refuses to insert. Starts at SimTime's minimum.
+  [[nodiscard]] SimTime firedThrough() const { return firedThrough_; }
+
   /// Number of arena slots ever allocated (diagnostics: bounded by the peak
   /// number of simultaneously live events, not by total throughput).
   [[nodiscard]] std::size_t slotCapacity() const { return slots_.size(); }
@@ -116,8 +144,9 @@ class EventQueue {
     Callback cb;
   };
 
-  static EventId makeId(std::uint32_t slot, std::uint32_t generation) {
+  EventId makeId(std::uint32_t slot, std::uint32_t generation) const {
     return (static_cast<EventId>(generation) << 32) |
+           (static_cast<EventId>(shardTag_) << 24) |
            (static_cast<EventId>(slot) + 1);
   }
 
@@ -145,6 +174,9 @@ class EventQueue {
   std::size_t live_ = 0;
   std::uint64_t seqCounter_ = 0;
   std::uint64_t scheduled_ = 0;
+  std::uint64_t pastSchedules_ = 0;
+  SimTime firedThrough_ = std::numeric_limits<SimTime>::min();
+  std::uint8_t shardTag_ = 0;
 };
 
 }  // namespace softqos::sim

@@ -1,0 +1,102 @@
+// City-scale thread benchmark: the full management stack — ~1k workload
+// hosts in a 3-tier domain tree (racks -> clusters -> root), a web+video
+// process mix per host, per-application partitioned working memory, and the
+// channel-affinity planner laying hosts out over 8 fixed shards — driven by
+// 1/2/4/8 worker threads against the historical serial kernel.
+//
+// Reported per configuration:
+//   items_per_second   -- simulator events executed per wall-clock second
+//   events_per_sec     -- same figure as an explicit counter
+//   wall_ms_per_sim_s  -- wall-clock milliseconds spent per simulated second
+//
+// The shard count is fixed across thread counts, so every row executes the
+// byte-identical event schedule (tests/city_test.cpp asserts digest equality);
+// the benchmark isolates worker-thread cost/benefit from any behavioural
+// change. Recorded to BENCH_city.json by scripts/bench.sh city. Numbers are
+// only as good as the machine: on a single-core container every thread count
+// shares one CPU and the >1-thread rows mostly measure barrier overhead;
+// scaling needs real cores.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+
+#include "apps/city.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace softqos;
+
+/// 32 racks x 32 hosts = 1024 workload hosts, 4 clusters, 3 tiers.
+/// threads == 0 selects the historical serial kernel on the same city.
+/// SOFTQOS_CITY_TINY=1 shrinks to a 2-tier, 16-host city — the CI smoke
+/// configuration, there to keep this binary building and running, not to
+/// produce meaningful numbers.
+apps::CityConfig cityConfig(unsigned threads) {
+  apps::CityConfig cfg;
+  cfg.seed = 20260808;
+  const char* tiny = std::getenv("SOFTQOS_CITY_TINY");
+  if (tiny != nullptr && tiny[0] == '1') {
+    cfg.tiers = 2;
+    cfg.racks = 4;
+    cfg.hostsPerRack = 4;
+  } else {
+    cfg.tiers = 3;
+    cfg.racks = 32;
+    cfg.hostsPerRack = 32;
+    cfg.racksPerCluster = 8;
+  }
+  cfg.processesPerHost = 2;
+  cfg.shards = threads > 0 ? 8 : 0;
+  cfg.workers = threads > 0 ? threads : 1;
+  return cfg;
+}
+
+void runCity(benchmark::State& state, unsigned threads) {
+  auto city = std::make_unique<apps::City>(cityConfig(threads));
+  constexpr sim::SimDuration kWindow = sim::msec(250);
+  std::uint64_t executed = 0;
+  std::uint64_t simNanos = 0;
+  const auto wallStart = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    executed += city->run(kWindow);
+    simNanos += static_cast<std::uint64_t>(sim::toSeconds(kWindow) * 1e9);
+  }
+  const double wallSec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wallStart)
+          .count();
+  const double simSec = static_cast<double>(simNanos) / 1e9;
+  benchmark::DoNotOptimize(city->digest());
+  state.SetItemsProcessed(static_cast<std::int64_t>(executed));
+  if (wallSec > 0 && simSec > 0) {
+    state.counters["events_per_sec"] =
+        static_cast<double>(executed) / wallSec;
+    state.counters["wall_ms_per_sim_s"] = 1000.0 * wallSec / simSec;
+  }
+}
+
+/// The historical serial kernel on the identical city: the floor any
+/// thread count must be judged against.
+void CitySerialBaseline(benchmark::State& state) { runCity(state, 0); }
+BENCHMARK(CitySerialBaseline)->Unit(benchmark::kMillisecond);
+
+/// 8 shards, range(0) worker threads — same schedule at every row.
+void CityThreads(benchmark::State& state) {
+  runCity(state, static_cast<unsigned>(state.range(0)));
+}
+BENCHMARK(CityThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -7,10 +7,13 @@
 #   scripts/bench.sh parallel [build-dir] -> BENCH_parallel.json (thread scaling
 #                              of the windowed conservative engine at 1/2/4/8
 #                              worker threads against the serial kernel)
+#   scripts/bench.sh city     [build-dir] -> BENCH_city.json     (~1k-host
+#                              3-tier domain tree, full management stack, at
+#                              1/2/4/8 worker threads vs the serial kernel)
 set -euo pipefail
 
 usage() {
-  echo "usage: scripts/bench.sh <rules|sim|parallel> [build-dir]" >&2
+  echo "usage: scripts/bench.sh <rules|sim|parallel|city> [build-dir]" >&2
   exit 2
 }
 
@@ -23,6 +26,7 @@ case "$suite" in
   rules) target="abl_inference_scaling"; out="$repo_root/BENCH_rules.json" ;;
   sim)   target="bench_sim_kernel";      out="$repo_root/BENCH_sim.json" ;;
   parallel) target="bench_parallel_engine"; out="$repo_root/BENCH_parallel.json" ;;
+  city)  target="bench_city";            out="$repo_root/BENCH_city.json" ;;
   *) usage ;;
 esac
 

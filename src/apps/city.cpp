@@ -1,0 +1,374 @@
+#include "apps/city.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "instrument/report.hpp"
+#include "net/nic.hpp"
+#include "obs/slo.hpp"
+
+namespace softqos::apps {
+
+namespace {
+
+net::ChannelConfig channelMbit(double mbit) {
+  net::ChannelConfig cfg;
+  cfg.bytesPerSecond = mbit * 1e6 / 8.0;
+  cfg.propagationDelay = sim::msec(1);
+  cfg.queueCapacityBytes = 96 * 1024;
+  return cfg;
+}
+
+std::string pad2(int v) {
+  return (v < 10 ? "0" : "") + std::to_string(v);
+}
+
+/// Light duty-cycle workload: enough CPU demand to move the load average
+/// and exercise the scheduler without swamping the event budget.
+void dutySpin(osim::Process& p) {
+  if (p.terminated()) return;
+  p.compute(sim::msec(2), [&p] {
+    p.sleepFor(sim::msec(48), [&p] { dutySpin(p); });
+  });
+}
+
+/// Receiver port for the paced intra-rack traffic. Deliberately unbound:
+/// the payload exists to load the channels (and the NIC counts the drop),
+/// not to reach an application.
+constexpr int kTrafficPort = 9900;
+
+}  // namespace
+
+std::string City::hostName(int rack, int i) {
+  return "h" + pad2(rack) + "-" + pad2(i);
+}
+
+std::string City::rackSeatName(int rack) { return "rdm-" + pad2(rack) + "-host"; }
+
+std::string City::clusterSeatName(int cluster) {
+  return "cdm-" + pad2(cluster) + "-host";
+}
+
+net::ShardPlanner City::affinityGraph(const CityConfig& config) {
+  net::ShardPlanner planner;
+  // The management plane (switch fabric, manager seats, their RPC endpoints)
+  // is pinned to shard 0; its stand-in node carries roughly one rack's worth
+  // of load so the packer keeps workload hosts off that shard.
+  planner.addNode("@management",
+                  static_cast<double>(config.racks * config.processesPerHost));
+  planner.pin("@management", 0);
+  const double trafficWeight =
+      config.trafficInterval > 0
+          ? static_cast<double>(config.trafficBytes) /
+                sim::toSeconds(config.trafficInterval)
+          : 0.0;
+  for (int r = 0; r < config.racks; ++r) {
+    for (int i = 0; i < config.hostsPerRack; ++i) {
+      planner.addNode(hostName(r, i),
+                      static_cast<double>(config.processesPerHost));
+      if (trafficWeight > 0 && config.hostsPerRack > 1) {
+        planner.addEdge(hostName(r, i),
+                        hostName(r, (i + 1) % config.hostsPerRack),
+                        trafficWeight);
+      }
+    }
+  }
+  return planner;
+}
+
+City::City(CityConfig config)
+    : sim(config.seed), network(sim), qorms(sim, network),
+      config_(std::move(config)) {
+  if (config_.racks < 1 || config_.hostsPerRack < 1 ||
+      config_.processesPerHost < 1) {
+    throw std::invalid_argument("City: racks/hosts/processes must be >= 1");
+  }
+  if (config_.tiers != 2 && config_.tiers != 3) {
+    throw std::invalid_argument("City: tiers must be 2 or 3");
+  }
+  if (config_.tiers == 3 && config_.racksPerCluster < 1) {
+    throw std::invalid_argument("City: racksPerCluster must be >= 1");
+  }
+  if (config_.shards > 0) {
+    if (config_.shards < 2) {
+      throw std::invalid_argument("City: sharded runs need >= 2 shards");
+    }
+    if (config_.workers < 1 || config_.shards % config_.workers != 0) {
+      throw std::invalid_argument("City: workers must divide shards");
+    }
+    // The shard count is the schedule; workers only drive it. Keeping the
+    // total fixed while workers vary is what makes thread counts comparable
+    // (and byte-identical).
+    sim.configureParallel(sim::ParallelConfig{
+        config_.workers, config_.shards / config_.workers});
+
+    if (config_.usePlanner) {
+      plan_ = affinityGraph(config_).plan(
+          net::ShardPlanConfig{config_.shards, 1.25});
+    } else {
+      // Hand placement baseline: round-robin over the non-management shards,
+      // ignoring traffic affinity. Cross-shard weight is computed over the
+      // same edge set so the two layouts are directly comparable.
+      plan_.assignment.emplace("@management", 0);
+      const unsigned spread = config_.shards - 1;
+      int k = 0;
+      for (int r = 0; r < config_.racks; ++r) {
+        for (int i = 0; i < config_.hostsPerRack; ++i, ++k) {
+          plan_.assignment.emplace(
+              hostName(r, i),
+              static_cast<sim::ShardId>(1 + (k % spread)));
+        }
+      }
+      const double trafficWeight =
+          config_.trafficInterval > 0
+              ? static_cast<double>(config_.trafficBytes) /
+                    sim::toSeconds(config_.trafficInterval)
+              : 0.0;
+      if (trafficWeight > 0 && config_.hostsPerRack > 1) {
+        for (int r = 0; r < config_.racks; ++r) {
+          for (int i = 0; i < config_.hostsPerRack; ++i) {
+            plan_.totalEdgeWeight += trafficWeight;
+            if (plan_.shardOf(hostName(r, i)) !=
+                plan_.shardOf(hostName(r, (i + 1) % config_.hostsPerRack))) {
+              plan_.crossShardWeight += trafficWeight;
+            }
+          }
+        }
+        if (config_.hostsPerRack == 2) {
+          // The two ring directions are one undirected edge.
+          plan_.totalEdgeWeight /= 2;
+          plan_.crossShardWeight /= 2;
+        }
+      }
+    }
+  }
+
+  buildTopology();
+  buildManagers();
+  startWorkloads();
+
+  network.primeRoutes();
+  if (config_.shards > 0) {
+    sim.setLookahead(network.minCrossShardPropagation());
+  }
+}
+
+void City::buildTopology() {
+  const int clusters =
+      config_.tiers == 3
+          ? (config_.racks + config_.racksPerCluster - 1) /
+                config_.racksPerCluster
+          : 0;
+
+  for (int r = 0; r < config_.racks; ++r) {
+    for (int i = 0; i < config_.hostsPerRack; ++i) {
+      const sim::ShardId shard = plan_.shardOf(hostName(r, i));
+      sim::ShardScope scope(sim, shard);
+      hosts_.push_back(std::make_unique<osim::Host>(sim, hostName(r, i)));
+      hosts_.back()->setShard(shard);
+    }
+  }
+  // Seats in rack, cluster, root order — all management, all shard 0.
+  for (int r = 0; r < config_.racks; ++r) {
+    seats_.push_back(std::make_unique<osim::Host>(sim, rackSeatName(r)));
+  }
+  for (int c = 0; c < clusters; ++c) {
+    seats_.push_back(std::make_unique<osim::Host>(sim, clusterSeatName(c)));
+  }
+  seats_.push_back(std::make_unique<osim::Host>(sim, "root-host"));
+
+  for (int r = 0; r < config_.racks; ++r) {
+    tors_.push_back(std::make_unique<net::Switch>(network, "tor-" + pad2(r)));
+  }
+  for (int c = 0; c < clusters; ++c) {
+    aggs_.push_back(std::make_unique<net::Switch>(network, "agg-" + pad2(c)));
+  }
+  core_ = std::make_unique<net::Switch>(network, "core");
+
+  for (std::size_t h = 0; h < hosts_.size(); ++h) {
+    net::Nic& nic = network.attachHost(*hosts_[h]);
+    nic.setShard(hosts_[h]->shard());
+    network.link(nic, *tors_[h / static_cast<std::size_t>(config_.hostsPerRack)],
+                 channelMbit(config_.edgeMbit));
+  }
+  for (int r = 0; r < config_.racks; ++r) {
+    net::Nic& nic = network.attachHost(*seats_[static_cast<std::size_t>(r)]);
+    network.link(nic, *tors_[static_cast<std::size_t>(r)],
+                 channelMbit(config_.edgeMbit));
+  }
+  if (config_.tiers == 3) {
+    for (int r = 0; r < config_.racks; ++r) {
+      network.link(*tors_[static_cast<std::size_t>(r)],
+                   *aggs_[static_cast<std::size_t>(r / config_.racksPerCluster)],
+                   channelMbit(config_.uplinkMbit));
+    }
+    for (int c = 0; c < clusters; ++c) {
+      net::Nic& nic = network.attachHost(
+          *seats_[static_cast<std::size_t>(config_.racks + c)]);
+      network.link(nic, *aggs_[static_cast<std::size_t>(c)],
+                   channelMbit(config_.edgeMbit));
+      network.link(*aggs_[static_cast<std::size_t>(c)], *core_,
+                   channelMbit(config_.uplinkMbit));
+    }
+  } else {
+    for (int r = 0; r < config_.racks; ++r) {
+      network.link(*tors_[static_cast<std::size_t>(r)], *core_,
+                   channelMbit(config_.uplinkMbit));
+    }
+  }
+  net::Nic& rootNic = network.attachHost(*seats_.back());
+  network.link(rootNic, *core_, channelMbit(config_.edgeMbit));
+}
+
+void City::buildManagers() {
+  const int clusters = static_cast<int>(aggs_.size());
+
+  manager::HostManagerConfig hmCfg;
+  hmCfg.partitionByApplication = config_.partitionWorkingMemory;
+  hmCfg.telemetryInterval = config_.telemetryInterval;
+  if (config_.telemetryInterval > 0) hmCfg.slos = obs::defaultManagementSlos();
+  for (std::size_t h = 0; h < hosts_.size(); ++h) {
+    const int rack = static_cast<int>(h) / config_.hostsPerRack;
+    hmCfg.domainManagerHost = rackSeatName(rack);
+    sim::ShardScope scope(sim, hosts_[h]->shard());
+    hms_.push_back(&qorms.createHostManager(*hosts_[h], hmCfg));
+  }
+
+  // Rack managers: diagnose locally, aggregate upward, sample the channels
+  // through the shard-safe monitor. Leaf alarms may climb tiers-1 hops.
+  for (int r = 0; r < config_.racks; ++r) {
+    manager::DomainManagerConfig dmCfg;
+    dmCfg.aggregationInterval = config_.aggregationInterval;
+    dmCfg.maxEscalationHops = config_.tiers - 1;
+    dmCfg.channelPollInterval = config_.channelPollInterval;
+    dmCfg.parentHost = config_.tiers == 3
+                           ? clusterSeatName(r / config_.racksPerCluster)
+                           : std::string("root-host");
+    std::vector<std::string> managed;
+    for (int i = 0; i < config_.hostsPerRack; ++i) {
+      managed.push_back(hostName(r, i));
+    }
+    managed.push_back(rackSeatName(r));
+    rackDms_.push_back(&qorms.createDomainManager(
+        *seats_[static_cast<std::size_t>(r)], "rack-" + pad2(r), managed,
+        dmCfg));
+  }
+  if (config_.tiers == 3) {
+    for (int c = 0; c < clusters; ++c) {
+      manager::DomainManagerConfig dmCfg;
+      dmCfg.aggregationInterval = config_.aggregationInterval;
+      dmCfg.maxEscalationHops = config_.tiers - 1;
+      dmCfg.parentHost = "root-host";
+      clusterDms_.push_back(&qorms.createDomainManager(
+          *seats_[static_cast<std::size_t>(config_.racks + c)],
+          "cluster-" + pad2(c), {}, dmCfg));
+    }
+  }
+  rootDm_ = &qorms.createDomainManager(*seats_.back(), "root", {}, {});
+}
+
+void City::startWorkloads() {
+  const std::size_t drivers = hosts_.size() *
+                              static_cast<std::size_t>(config_.processesPerHost);
+  violated_.assign(drivers, 0);
+  pids_.reserve(drivers);
+  streams_.reserve(hosts_.size());
+
+  for (std::size_t h = 0; h < hosts_.size(); ++h) {
+    streams_.push_back(std::make_unique<sim::RandomStream>(
+        sim.stream("city:" + hosts_[h]->name())));
+    sim::ShardScope scope(sim, hosts_[h]->shard());
+    for (int p = 0; p < config_.processesPerHost; ++p) {
+      const std::size_t idx =
+          h * static_cast<std::size_t>(config_.processesPerHost) +
+          static_cast<std::size_t>(p);
+      auto proc = hosts_[h]->spawn(
+          (p % 2 == 0 ? "web-" : "vid-") + std::to_string(p),
+          [](osim::Process& pr) { dutySpin(pr); });
+      pids_.push_back(proc->pid());
+      // Distinct per-driver phases keep simultaneous arrivals at shared
+      // managers apart, so event order is fixed by timestamps alone — the
+      // property that lets a sharded run replay the serial kernel exactly.
+      sim.at(config_.reportInterval + sim::usec(131 * (idx + 1)),
+             [this, idx] { reportTick(idx); });
+    }
+    if (config_.trafficInterval > 0 && config_.hostsPerRack > 1) {
+      const int rack = static_cast<int>(h) / config_.hostsPerRack;
+      const int i = static_cast<int>(h) % config_.hostsPerRack;
+      sim.at(config_.trafficInterval + sim::usec(53 * (h + 1) + 11),
+             [this, rack, i] { trafficTick(rack, i); });
+    }
+  }
+}
+
+void City::reportTick(std::size_t idx) {
+  const std::size_t h = idx / static_cast<std::size_t>(config_.processesPerHost);
+  const int p = static_cast<int>(idx %
+                                 static_cast<std::size_t>(config_.processesPerHost));
+  sim::RandomStream& rng = *streams_[h];
+
+  // Coordinator semantics: reports carry *transitions* only. The draw
+  // happens every tick regardless of outcome so the stream stays aligned.
+  const bool flip = rng.chance(violated_[idx] ? 0.5 : 0.25);
+  const double metric = rng.uniform(0.0, 1.0);
+  if (flip) {
+    violated_[idx] = violated_[idx] ? 0 : 1;
+    instrument::ViolationReport report;
+    report.policyId = "NotifyQoSViolation";
+    report.pid = static_cast<std::uint32_t>(pids_[idx]);
+    report.hostName = hosts_[h]->name();
+    report.executable = p % 2 == 0 ? "WebServer" : "VideoPlayer";
+    report.userRole = p % 2 == 0 ? "silver" : "gold";
+    report.violated = violated_[idx] != 0;
+    report.metrics.emplace_back(
+        "frame_rate", report.violated ? 18.0 + 8.0 * metric : 28.0 + 6.0 * metric);
+    hms_[h]->handleReport(report);
+  }
+  sim.after(config_.reportInterval, [this, idx] { reportTick(idx); });
+}
+
+void City::trafficTick(int rack, int i) {
+  osim::Message m;
+  m.kind = "pay";
+  m.bytes = config_.trafficBytes;
+  network.sendToHost(hostName(rack, i),
+                     hostName(rack, (i + 1) % config_.hostsPerRack),
+                     kTrafficPort, std::move(m));
+  sim.after(config_.trafficInterval, [this, rack, i] { trafficTick(rack, i); });
+}
+
+std::uint64_t City::run(sim::SimDuration span) {
+  return sim.runUntil(sim.now() + span);
+}
+
+std::string City::digest() const {
+  std::ostringstream out;
+  out << "t=" << sim.now() << '\n';
+  for (std::size_t h = 0; h < hosts_.size(); ++h) {
+    manager::QoSHostManager& hm = *hms_[h];
+    out << "hm:" << hosts_[h]->name() << ":r=" << hm.reportsReceived()
+        << ",b=" << hm.boostsApplied() << ",d=" << hm.decaysApplied()
+        << ",e=" << hm.escalationsSent() << ",g=" << hm.rtGrantsIssued()
+        << ",m=" << hm.memoryGrowths() << ",rs=" << hm.restartsPerformed()
+        << ",tp=" << hm.telemetryPublishes()
+        << ",f=" << hm.engine().totalFirings()
+        << ",load=" << hosts_[h]->loadAverage() << '\n';
+  }
+  auto dmRow = [&out](const manager::QoSDomainManager& dm) {
+    out << "dm:" << dm.name() << ":er=" << dm.escalationsReceived()
+        << ",fw=" << dm.forwardsSent() << ",sb=" << dm.serverBoostsSent()
+        << ",ag=" << dm.aggregatePublishes()
+        << ",tf=" << dm.telemetryFramesReceived();
+    for (const auto& [kind, count] : dm.diagnosisCounts()) {
+      out << ',' << kind << '=' << count;
+    }
+    out << '\n';
+  };
+  for (const auto* dm : rackDms_) dmRow(*dm);
+  for (const auto* dm : clusterDms_) dmRow(*dm);
+  dmRow(*rootDm_);
+  out << "net:unreachable=" << network.unreachableDrops() << '\n';
+  return out.str();
+}
+
+}  // namespace softqos::apps

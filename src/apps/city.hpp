@@ -1,0 +1,157 @@
+// A city-scale management testbed: racks of workload hosts behind top-of-rack
+// switches, a QoS Domain Manager per rack, optional mid-tier cluster managers,
+// and one root manager — the domain-of-domains tree from Section 9 scaled to
+// ~1k hosts. Every workload host runs a small web+video process mix whose
+// coordinator reports drive the per-host rule engines; rack managers aggregate
+// child telemetry and republish only the merged delta upward, so the root's
+// fabric traffic tracks tier fan-out, not host count.
+//
+//   h00-00..h00-NN --- tor-00 --+
+//   rdm-00-host ------/         +--- agg-0 --+
+//   h01-00..h01-NN --- tor-01 --+  (tiers=3) +--- core --- root-host
+//   rdm-01-host ------/                      |
+//   ...                   (tiers=2: tor -> core)
+//
+// Unlike the two-host video testbed, every workload here is host-local (no
+// cross-host session loops), so the shards are worker-clean: the same shard
+// layout can be driven by 1..N worker threads with byte-identical results,
+// and — because every event timestamp is deterministic and per-host phase
+// offsets keep simultaneous arrivals apart — the sharded schedule replays the
+// serial kernel's behaviour exactly (see CityConfig::shards).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "distribution/qorms.hpp"
+#include "net/partition.hpp"
+#include "net/switch.hpp"
+#include "osim/host.hpp"
+#include "sim/random.hpp"
+#include "sim/simulation.hpp"
+
+namespace softqos::apps {
+
+struct CityConfig {
+  std::uint64_t seed = 1;
+  /// 2: racks report to the root directly. 3: racks -> clusters -> root.
+  int tiers = 3;
+  int racks = 4;
+  int hostsPerRack = 4;
+  int racksPerCluster = 2;  // tiers == 3 only
+  /// Per-host process mix, alternating web ("WebServer") and video
+  /// ("VideoPlayer") workloads. Each process gets a coordinator-report
+  /// driver and contributes CPU demand to its host.
+  int processesPerHost = 2;
+  double edgeMbit = 100.0;    // host / manager access links
+  double uplinkMbit = 400.0;  // tor -> agg -> core trunks
+  /// Coordinator report cadence per process (violation/clear transitions
+  /// drawn from a per-host deterministic stream).
+  sim::SimDuration reportInterval = sim::msec(250);
+  /// Paced intra-rack host-to-host traffic (keeps the channels and the
+  /// planner's affinity graph honest). 0 disables.
+  sim::SimDuration trafficInterval = sim::msec(25);
+  std::int64_t trafficBytes = 4096;
+  /// Host-manager self-telemetry publish period (to the rack manager).
+  sim::SimDuration telemetryInterval = sim::msec(500);
+  /// Upward republish period at every non-root domain manager.
+  sim::SimDuration aggregationInterval = sim::msec(500);
+  /// Shard-safe channel sampling period at the rack managers.
+  sim::SimDuration channelPollInterval = sim::msec(250);
+  /// Total shard count — FIXED while `workers` varies, so every worker
+  /// count executes the identical schedule. 0 selects the historical
+  /// serial kernel (single event queue, no windowing).
+  unsigned shards = 8;
+  /// Worker threads driving the windows; must divide `shards`.
+  unsigned workers = 1;
+  /// Place workload hosts with the channel-affinity ShardPlanner (pinning
+  /// the management plane to shard 0). false: round-robin hand placement,
+  /// the baseline the planner is judged against.
+  bool usePlanner = true;
+  /// Partition every host manager's working memory by application pid.
+  bool partitionWorkingMemory = true;
+};
+
+/// The full city: topology, managers, workload drivers. Construction builds
+/// everything; run() advances the clock.
+class City {
+ public:
+  explicit City(CityConfig config = {});
+
+  City(const City&) = delete;
+  City& operator=(const City&) = delete;
+
+  sim::Simulation sim;
+  net::Network network;
+  distribution::Qorms qorms;
+
+  /// Advance the simulation by `span`; returns events executed.
+  std::uint64_t run(sim::SimDuration span);
+
+  [[nodiscard]] const CityConfig& config() const { return config_; }
+  [[nodiscard]] int hostCount() const { return config_.racks * config_.hostsPerRack; }
+
+  /// The root of the domain tree.
+  [[nodiscard]] manager::QoSDomainManager& rootDm() { return *rootDm_; }
+  [[nodiscard]] const std::vector<manager::QoSDomainManager*>& rackDms() const {
+    return rackDms_;
+  }
+  [[nodiscard]] const std::vector<manager::QoSHostManager*>& hostManagers() const {
+    return hms_;
+  }
+  [[nodiscard]] osim::Host& workloadHost(int rack, int i) {
+    return *hosts_[static_cast<std::size_t>(rack * config_.hostsPerRack + i)];
+  }
+
+  /// The shard layout chosen for the workload hosts (identity when serial).
+  [[nodiscard]] const net::ShardPlan& layout() const { return plan_; }
+
+  /// The affinity graph the layout is planned from: one node per workload
+  /// host (load = its process count), one edge per paced traffic pair, and
+  /// a pinned "@management" node standing in for the switch fabric and
+  /// manager seats on shard 0. Exposed so tests can compare the planner's
+  /// cut against hand placements over the identical graph.
+  [[nodiscard]] static net::ShardPlanner affinityGraph(const CityConfig& config);
+
+  /// Deterministic run fingerprint: every manager's observable counters in
+  /// creation order plus the network's drop statistics. Two runs are
+  /// behaviourally identical iff their digests match byte-for-byte.
+  [[nodiscard]] std::string digest() const;
+
+  /// Name helpers (also the planner-node names).
+  [[nodiscard]] static std::string hostName(int rack, int i);
+  [[nodiscard]] static std::string rackSeatName(int rack);
+  [[nodiscard]] static std::string clusterSeatName(int cluster);
+
+ private:
+  void buildTopology();
+  void buildManagers();
+  void startWorkloads();
+
+  CityConfig config_;
+  net::ShardPlan plan_;
+
+  std::vector<std::unique_ptr<osim::Host>> hosts_;       // workload hosts
+  std::vector<std::unique_ptr<osim::Host>> seats_;       // manager seats
+  std::vector<std::unique_ptr<net::Switch>> tors_;       // one per rack
+  std::vector<std::unique_ptr<net::Switch>> aggs_;       // one per cluster
+  std::unique_ptr<net::Switch> core_;
+
+  std::vector<manager::QoSHostManager*> hms_;            // one per host
+  std::vector<manager::QoSDomainManager*> rackDms_;
+  std::vector<manager::QoSDomainManager*> clusterDms_;
+  manager::QoSDomainManager* rootDm_ = nullptr;
+
+  /// One violation-state flag per (host, process); flipped by the report
+  /// drivers from per-host named streams.
+  std::vector<std::unique_ptr<sim::RandomStream>> streams_;
+  std::vector<char> violated_;
+  std::vector<osim::Pid> pids_;  // spawned workload pids, (host, process) order
+
+  void reportTick(std::size_t idx);
+  void trafficTick(int rack, int i);
+};
+
+}  // namespace softqos::apps

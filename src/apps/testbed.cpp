@@ -112,6 +112,7 @@ Testbed::Testbed(TestbedConfig config)
     dmCfg.heartbeatInterval = config_.heartbeatInterval;
     dmCfg.heartbeatMissThreshold = config_.heartbeatMissThreshold;
     dmCfg.rpcMaxAttempts = config_.rpcMaxAttempts;
+    dmCfg.channelPollInterval = config_.channelPollInterval;
     dm = &qorms.createDomainManager(mgmtHost, "domain-a",
                                     {clientHost.name(), serverHost.name(),
                                      mgmtHost.name()},

@@ -57,11 +57,17 @@ struct TestbedConfig {
   /// windowed conservative engine (shard 0: management host + switch fabric;
   /// shard 1: client host world; shard 2: server host world). 1 (default)
   /// keeps the historical serial kernel, byte-identical to earlier builds.
-  /// The testbed always runs its windows on a single worker thread: the
-  /// domain manager polls every channel's utilization state, which is only
-  /// safe without cross-shard concurrency. Multi-threaded execution is for
-  /// shard-clean scenarios (see bench_parallel_engine).
+  /// This two-host video testbed keeps its windows on a single worker
+  /// thread regardless of shard count: the server's session loop runs on
+  /// the client's shard by construction (see VideoSession), so its shards
+  /// are not worker-clean. Multi-threaded execution lives in the City
+  /// testbed (apps/city.hpp), whose host-local workloads are; channel
+  /// polling is shard-safe everywhere via channelPollInterval.
   unsigned parallelShards = 1;
+  /// Sample channel utilization through the shard-safe ChannelMonitor on
+  /// this period instead of the domain manager's inline fabric sweep. 0
+  /// (default) keeps the legacy sweep, byte-identical runs.
+  sim::SimDuration channelPollInterval = 0;
   /// Batch each video session's sensor ticks onto one SensorTimerWheel
   /// (one kernel periodic driving all sensors) instead of one periodic per
   /// sensor. Off by default — byte-identical to earlier builds.

@@ -32,7 +32,11 @@ void Sensor::init(const std::string& thresholdText,
 void Sensor::installComparison(policy::PolicyCmp op, double value,
                                int comparisonId) {
   removeComparison(comparisonId);
-  comparisons_.push_back(InstalledComparison{comparisonId, op, value, true});
+  InstalledComparison installed;
+  installed.comparisonId = comparisonId;
+  installed.op = op;
+  installed.value = value;
+  comparisons_.push_back(installed);
 }
 
 bool Sensor::removeComparison(int comparisonId) {
@@ -46,6 +50,16 @@ bool Sensor::removeComparison(int comparisonId) {
 }
 
 void Sensor::clearComparisons() { comparisons_.clear(); }
+
+bool Sensor::setHysteresis(int comparisonId, double band) {
+  for (InstalledComparison& c : comparisons_) {
+    if (c.comparisonId == comparisonId) {
+      c.hysteresis = band < 0 ? 0 : band;
+      return true;
+    }
+  }
+  return false;
+}
 
 bool Sensor::updateThreshold(int comparisonId, double newValue) {
   for (InstalledComparison& c : comparisons_) {
@@ -92,8 +106,27 @@ void Sensor::observe(double value) {
 
 void Sensor::evaluate(double value) {
   for (InstalledComparison& c : comparisons_) {
-    const bool holds =
+    bool holds =
         policy::PrimitiveComparison{attribute_, c.op, c.value}.holds(value);
+    if (holds && !c.lastHolds && c.hysteresis > 0) {
+      // Alarmed with a hysteresis band: only clear once the value recovers
+      // past the threshold by the band, so values hovering at the threshold
+      // do not flap alarm/clear on every sample.
+      double rearm = c.value;
+      switch (c.op) {
+        case policy::PolicyCmp::kGe:
+        case policy::PolicyCmp::kGt:
+          rearm = c.value + c.hysteresis;
+          break;
+        case policy::PolicyCmp::kLe:
+        case policy::PolicyCmp::kLt:
+          rearm = c.value - c.hysteresis;
+          break;
+        default:
+          break;  // equality comparators: band has no direction
+      }
+      holds = policy::PrimitiveComparison{attribute_, c.op, rearm}.holds(value);
+    }
     if (holds == c.lastHolds) continue;
     c.lastHolds = holds;
     if (holds) {

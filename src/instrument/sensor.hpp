@@ -53,6 +53,15 @@ class Sensor {
   /// Thresholds can be changed while the application executes (Section 9).
   bool updateThreshold(int comparisonId, double newValue);
 
+  /// Hysteresis band between alarm and clear: once alarmed, the comparison
+  /// re-arms only when the value recovers past the threshold by `band`
+  /// (kGe/kGt: value >= threshold + band; kLe/kLt: value <= threshold -
+  /// band; equality comparators ignore the band). The alarm edge itself is
+  /// unchanged. Kills alarm/clear flapping when a fleet of sensors hovers at
+  /// its thresholds. Returns false for an unknown comparison id; 0 (the
+  /// default) restores plain transition reporting.
+  bool setHysteresis(int comparisonId, double band);
+
   /// Character-form read (Section 5.2).
   [[nodiscard]] std::string read() const;
 
@@ -108,7 +117,8 @@ class Sensor {
     int comparisonId = 0;
     policy::PolicyCmp op = policy::PolicyCmp::kEq;
     double value = 0.0;
-    bool lastHolds = true;  // optimistic until the first observation
+    double hysteresis = 0.0;  // clear band above/below the threshold
+    bool lastHolds = true;    // optimistic until the first observation
   };
 
   void evaluate(double value);

@@ -1,6 +1,7 @@
 #include "manager/domain_manager.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 #include "net/nic.hpp"
@@ -28,30 +29,61 @@ QoSDomainManager::QoSDomainManager(sim::Simulation& simulation,
   rpc_ = std::make_unique<net::RpcEndpoint>(network_, seat, config_.rpcPort);
   rpc_->setHandler("escalate", [this](const std::string& body,
                                       net::RpcEndpoint::Responder respond) {
-    bool forwarded = false;
+    // Frames: bare report (0 hops), "FWD|report" (1 hop, the legacy peer
+    // protocol), "FWD<n>|report" (n hops across the management tree).
+    int hops = 0;
     std::string payload = body;
-    if (payload.rfind("FWD|", 0) == 0) {
-      forwarded = true;
-      payload = payload.substr(4);
+    if (payload.rfind("FWD", 0) == 0) {
+      const std::size_t bar = payload.find('|');
+      if (bar == std::string::npos) {
+        respond("ERR:bad-report");
+        return;
+      }
+      const std::string count = payload.substr(3, bar - 3);
+      if (count.empty()) {
+        hops = 1;
+      } else {
+        hops = std::atoi(count.c_str());
+        if (hops < 1) {
+          respond("ERR:bad-report");
+          return;
+        }
+      }
+      payload = payload.substr(bar + 1);
     }
     const auto report = instrument::ViolationReport::parse(payload);
     if (!report.has_value()) {
       respond("ERR:bad-report");
       return;
     }
-    handleEscalation(*report, forwarded);
+    handleEscalation(*report, hops);
     respond("OK");
   });
 
-  // Streaming telemetry from host managers (one-way publishes: the responder
-  // discards whatever we answer). Malformed frames are dropped silently —
-  // telemetry is best-effort by design.
+  // Streaming telemetry from host managers and child domain managers (one-
+  // way publishes: the responder discards whatever we answer). Malformed
+  // frames are dropped silently — telemetry is best-effort by design.
   rpc_->setHandler("telemetry", [this](const std::string& body,
                                        net::RpcEndpoint::Responder respond) {
     const auto snapshot = sim::TelemetrySnapshot::parse(body);
-    if (snapshot.has_value()) telemetry_.ingest(*snapshot);
+    if (snapshot.has_value()) {
+      ++telemetryFrames_;
+      telemetry_.ingest(*snapshot);
+    }
     respond("OK");
   });
+
+  if (config_.aggregationInterval > 0 && !config_.parentHost.empty()) {
+    lastAggregateCut_ = sim_.now();
+    sim_.every(config_.aggregationInterval, [this] { publishAggregate(); });
+  }
+
+  if (config_.channelPollInterval > 0) {
+    // Shard-safe sampling: requires the topology (and shard placement) to be
+    // final by the time this manager is constructed.
+    monitor_ = std::make_unique<net::ChannelMonitor>(network_);
+    monitor_->arm(config_.channelPollInterval);
+  }
 }
 
 void QoSDomainManager::addManagedHost(const std::string& hostName) {
@@ -337,6 +369,13 @@ void QoSDomainManager::registerEngineFunctions() {
 }
 
 double QoSDomainManager::sampleMaxChannelUtilization() {
+  if (monitor_ != nullptr) {
+    // Shard-safe path: read the monitor's combined view (one publish delay
+    // behind the probes) instead of sweeping — and mutating — every
+    // channel's poll state from this shard.
+    hottestChannel_ = monitor_->hottest();
+    return monitor_->maxUtilization();
+  }
   double maxUtil = 0.0;
   hottestChannel_ = {net::kNoNode, net::kNoNode};
   for (const auto& [key, channel] : network_.channels()) {
@@ -374,11 +413,44 @@ void QoSDomainManager::rerouteAroundCongestion() {
 
 void QoSDomainManager::handleEscalation(
     const instrument::ViolationReport& report, bool forwarded) {
+  handleEscalation(report, forwarded ? 1 : 0);
+}
+
+void QoSDomainManager::forwardEscalation(
+    const instrument::ViolationReport& report, int hops) {
+  // Frame the next hop: hop 1 keeps the legacy "FWD|" wire form so a
+  // two-tier deployment with maxEscalationHops = 1 is byte-identical.
+  const int next = hops + 1;
+  const std::string frame =
+      (next <= 1 ? std::string("FWD|") : "FWD" + std::to_string(next) + "|") +
+      report.serialize();
+  if (!config_.parentHost.empty()) {
+    // Tree routing: hand the alarm one tier up rather than flooding peers.
+    ++forwards_;
+    rpc_->call(config_.parentHost, config_.parentPort, "escalate", frame,
+               [](bool, const std::string&) {});
+    return;
+  }
+  for (const auto& [peerHost, peerPort] : peers_) {
+    ++forwards_;
+    rpc_->call(peerHost, peerPort, "escalate", frame,
+               [](bool, const std::string&) {});
+  }
+}
+
+void QoSDomainManager::handleEscalation(
+    const instrument::ViolationReport& report, int hops) {
   if (crashed_) return;  // direct calls while the daemon is down go nowhere
   ++received_;
 
   const auto it = services_.find(report.executable);
   if (it == services_.end()) {
+    // A mid-tier manager may simply not know the service: its parent holds
+    // the wider registry, so spend a hop before declaring it unknown.
+    if (!config_.parentHost.empty() && hops < config_.maxEscalationHops) {
+      forwardEscalation(report, hops);
+      return;
+    }
     ++diagnoses_["unknown-service"];
     lastDiagnosis_ = "unknown-service";
     return;
@@ -386,14 +458,11 @@ void QoSDomainManager::handleEscalation(
   const ServiceBinding binding = it->second;
 
   if (!manages(binding.serverHost)) {
-    // The server lives in another domain: hand the alarm to peers
-    // (hierarchical vs. arbitrary interconnection — Section 9).
-    if (forwarded) return;  // one hop only, to avoid loops
-    for (const auto& [peerHost, peerPort] : peers_) {
-      ++forwards_;
-      rpc_->call(peerHost, peerPort, "escalate", "FWD|" + report.serialize(),
-                 [](bool, const std::string&) {});
-    }
+    // The server lives in another domain: hand the alarm to the parent (or,
+    // with no tree configured, to peers — hierarchical vs. arbitrary
+    // interconnection, Section 9). The hop budget keeps loops out.
+    if (hops >= config_.maxEscalationHops) return;
+    forwardEscalation(report, hops);
     return;
   }
 
@@ -484,6 +553,26 @@ void QoSDomainManager::runDiagnosis(std::uint64_t escalationId,
     }
     activeCtx_ = sim::TraceContext{};
   }
+}
+
+void QoSDomainManager::publishAggregate() {
+  const sim::SimTime now = sim_.now();
+  if (crashed_) {
+    // The window is lost with the daemon: advance the baselines so the
+    // restart does not replay pre-crash data upward.
+    (void)telemetry_.cutDelta("dm:" + name_, lastAggregateCut_, now);
+    lastAggregateCut_ = now;
+    return;
+  }
+  sim::TelemetrySnapshot snap =
+      telemetry_.cutDelta("dm:" + name_, lastAggregateCut_, now);
+  lastAggregateCut_ = now;
+  // Quiet domains publish nothing: the root's fabric load tracks activity
+  // and fan-out, never raw host count.
+  if (snap.counters.empty() && snap.histograms.empty()) return;
+  ++aggregatePublishes_;
+  rpc_->notify(config_.parentHost, config_.parentPort, "telemetry",
+               snap.serialize());
 }
 
 void QoSDomainManager::retractEscalationFacts(std::uint64_t escalationId) {

@@ -16,6 +16,7 @@
 
 #include "instrument/report.hpp"
 #include "manager/default_rules.hpp"
+#include "net/monitor.hpp"
 #include "net/rpc.hpp"
 #include "osim/host.hpp"
 #include "rules/engine.hpp"
@@ -42,6 +43,33 @@ struct DomainManagerConfig {
   /// restart): attempts = 1 reproduces the old single-shot behaviour.
   int rpcMaxAttempts = 1;
   sim::SimDuration rpcTimeout = sim::sec(2);
+
+  // ---- Domain-of-domains tree (rack -> cluster -> region) ----
+  /// Seat of the parent domain manager (empty: this manager is a root, the
+  /// two-tier configuration the paper describes). A mid-tier manager
+  /// aggregates child telemetry locally and republishes only the merged
+  /// delta upward (see aggregationInterval), and routes escalations it
+  /// cannot place to its parent instead of flooding peers — so fabric
+  /// traffic at the root grows with tier fan-out, not host count.
+  std::string parentHost;
+  int parentPort = 7100;
+  /// Upward telemetry republish period: every interval the manager cuts a
+  /// delta rollup of everything its children reported since the last cut
+  /// and publishes one "telemetry" frame to the parent. 0 (default): never
+  /// republish — root / legacy behaviour, byte-identical runs.
+  sim::SimDuration aggregationInterval = 0;
+  /// Escalation forwarding budget across the management tree. 1 reproduces
+  /// the legacy single-hop peer protocol byte-for-byte (frames stay
+  /// "FWD|..."); a depth-d tree needs d-1 hops for a leaf alarm to reach
+  /// the root (frames carry the hop count as "FWD<n>|...").
+  int maxEscalationHops = 1;
+  /// Shard-safe channel utilization sampling: when > 0, a ChannelMonitor
+  /// probes each shard's channels on this period and the diagnosis path
+  /// reads the monitor's (slightly delayed) view instead of sweeping the
+  /// whole fabric inline — the sweep mutates per-channel poll state and is
+  /// only legal single-worker. Required for multi-worker runs; 0 (default)
+  /// keeps the legacy inline sweep, byte-identical runs.
+  sim::SimDuration channelPollInterval = 0;
 };
 
 class QoSDomainManager {
@@ -77,8 +105,11 @@ class QoSDomainManager {
   void distributeHostRules(const std::string& ruleText);
 
   /// Direct entry point (also wired to the "escalate" RPC method).
+  /// `forwarded` marks a report that already took one hop (legacy two-tier
+  /// protocol); the hop-counted overload serves the management tree.
   void handleEscalation(const instrument::ViolationReport& report,
                         bool forwarded);
+  void handleEscalation(const instrument::ViolationReport& report, int hops);
 
   // ---- Heartbeat / liveness (Section 5-6 fault localization) ----
 
@@ -114,8 +145,18 @@ class QoSDomainManager {
   // ---- Streaming telemetry (host managers publish over "telemetry") ----
   /// Domain-wide aggregation of per-host rollup windows: histograms merged
   /// bucket-wise across hosts, counters summed, latest snapshot per source.
+  /// In a tree, child domain managers publish here too (as "dm:<name>"), so
+  /// an upper tier sees one source per child domain, not per host.
   [[nodiscard]] const sim::TelemetryAggregator& telemetry() const {
     return telemetry_;
+  }
+  /// Delta rollups published to the parent (tree mode only).
+  [[nodiscard]] std::uint64_t aggregatePublishes() const {
+    return aggregatePublishes_;
+  }
+  /// Telemetry frames received from children (hosts or child domains).
+  [[nodiscard]] std::uint64_t telemetryFramesReceived() const {
+    return telemetryFrames_;
   }
 
  private:
@@ -151,6 +192,10 @@ class QoSDomainManager {
   [[nodiscard]] double sampleMaxChannelUtilization();
   void retractEscalationFacts(std::uint64_t escalationId);
   void rerouteAroundCongestion();
+  /// Route an escalation one tier up (parent when configured, else peers).
+  void forwardEscalation(const instrument::ViolationReport& report, int hops);
+  /// Cut and publish the child-telemetry delta rollup to the parent.
+  void publishAggregate();
 
   sim::Simulation& sim_;
   net::Network& network_;
@@ -159,6 +204,7 @@ class QoSDomainManager {
   DomainManagerConfig config_;
   rules::InferenceEngine engine_;
   std::unique_ptr<net::RpcEndpoint> rpc_;
+  std::unique_ptr<net::ChannelMonitor> monitor_;  // channelPollInterval > 0
   std::set<std::string> managedHosts_;
   std::vector<std::pair<std::string, int>> peers_;
   std::map<std::string, ServiceBinding> services_;
@@ -193,6 +239,9 @@ class QoSDomainManager {
   std::map<std::string, std::uint64_t> diagnoses_;
   std::string lastDiagnosis_;
   sim::TelemetryAggregator telemetry_;
+  sim::SimTime lastAggregateCut_ = 0;
+  std::uint64_t aggregatePublishes_ = 0;
+  std::uint64_t telemetryFrames_ = 0;
 };
 
 }  // namespace softqos::manager

@@ -22,6 +22,7 @@ QoSHostManager::QoSHostManager(sim::Simulation& simulation, osim::Host& host,
           simulation.localMetrics().histogramHandle("rules.fire_wall_ns")) {
   registerEngineFunctions();
   installFireHooks();
+  if (config_.partitionByApplication) engine_.setPartitionSlot("pid");
   if (config_.loadDefaultRules) loadDefaultRules();
 
   // Coordinators reach the manager through the host message queue.

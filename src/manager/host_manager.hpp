@@ -32,6 +32,12 @@ struct HostManagerConfig {
   int domainManagerPort = 7100;
   HostRuleThresholds thresholds;
   bool loadDefaultRules = true;
+  /// Partition the engine's working memory by the "pid" slot so rule joins
+  /// for one application never scan another application's facts — the
+  /// scaling knob for hosts managing thousands of sessions. Matching results
+  /// are byte-identical either way (the engine derives partition scope per
+  /// join position); default off to keep the seed configuration untouched.
+  bool partitionByApplication = false;
   /// Working-memory staleness bound: session facts (violation / metric /
   /// proc-stat / alloc-state) for a pid whose coordinator has gone silent
   /// for this long are retracted, so a crashed process's last sensor

@@ -171,6 +171,16 @@ sim::SimDuration Network::minCrossShardPropagation() const {
   return min;
 }
 
+sim::SimDuration Network::minPropagation() const {
+  sim::SimDuration min = 0;
+  for (const auto& [key, channel] : channels_) {
+    (void)key;
+    const sim::SimDuration delay = channel->config().propagationDelay;
+    if (min == 0 || delay < min) min = delay;
+  }
+  return min;
+}
+
 void Network::sendMessage(NodeId srcNic, NodeId dstNic, int dstPort,
                           osim::Message m) {
   // Message ids embed the source node so shard-parallel senders never share

@@ -67,6 +67,11 @@ class Network {
   /// Returns 0 when no link crosses a shard boundary (all nodes co-located).
   [[nodiscard]] sim::SimDuration minCrossShardPropagation() const;
 
+  /// Minimum propagation delay over all channels (0 with no links): a lower
+  /// bound on how stale any cross-shard observation of channel state can be,
+  /// used by ChannelMonitor to schedule its sample publications.
+  [[nodiscard]] sim::SimDuration minPropagation() const;
+
   /// Forward a packet out of node `from` toward its destination. Delivers
   /// locally when from == dst; silently drops unreachable packets (counted).
   void forward(NodeId from, Packet packet);

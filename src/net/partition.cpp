@@ -1,0 +1,164 @@
+#include "net/partition.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace softqos::net {
+
+void ShardPlanner::addNode(const std::string& name, double load) {
+  nodes_[name] += load;
+}
+
+void ShardPlanner::addEdge(const std::string& a, const std::string& b,
+                           double weight) {
+  if (a == b) return;
+  nodes_[a];  // ensure endpoints exist
+  nodes_[b];
+  edges_[a < b ? std::make_pair(a, b) : std::make_pair(b, a)] += weight;
+}
+
+void ShardPlanner::pin(const std::string& name, sim::ShardId shard) {
+  nodes_[name];
+  pins_.emplace(name, shard);  // first pin wins
+}
+
+namespace {
+
+struct Component {
+  double load = 0;
+  bool pinned = false;
+  sim::ShardId pinShard = 0;
+};
+
+std::size_t findRoot(std::vector<std::size_t>& parent, std::size_t i) {
+  while (parent[i] != i) {
+    parent[i] = parent[parent[i]];  // path halving
+    i = parent[i];
+  }
+  return i;
+}
+
+}  // namespace
+
+ShardPlan ShardPlanner::plan(const ShardPlanConfig& config) const {
+  ShardPlan out;
+  const std::uint32_t shards = std::max<std::uint32_t>(config.shards, 1);
+
+  // Dense index in name order (deterministic across runs).
+  std::vector<std::string> names;
+  names.reserve(nodes_.size());
+  double totalLoad = 0;
+  double maxLoad = 0;
+  for (const auto& [name, load] : nodes_) {
+    names.push_back(name);
+    totalLoad += load;
+    maxLoad = std::max(maxLoad, load);
+  }
+  std::map<std::string, std::size_t> index;
+  for (std::size_t i = 0; i < names.size(); ++i) index.emplace(names[i], i);
+
+  // A component may grow to the balanced share times the slack, but never
+  // below the heaviest single node (which must land somewhere).
+  const double capacity = std::max(
+      maxLoad, totalLoad / static_cast<double>(shards) * config.capacitySlack);
+
+  std::vector<std::size_t> parent(names.size());
+  std::vector<Component> comp(names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    parent[i] = i;
+    comp[i].load = nodes_.at(names[i]);
+    const auto pinIt = pins_.find(names[i]);
+    if (pinIt != pins_.end()) {
+      comp[i].pinned = true;
+      comp[i].pinShard = pinIt->second;
+    }
+  }
+
+  // Heaviest edges first; ties in lexicographic (a, b) order — the map
+  // already iterates that way, and stable_sort keeps it.
+  std::vector<Edge> order;
+  order.reserve(edges_.size());
+  for (const auto& [key, weight] : edges_) {
+    order.push_back(Edge{key.first, key.second, weight});
+    out.totalEdgeWeight += weight;
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [](const Edge& x, const Edge& y) {
+                     return x.weight > y.weight;
+                   });
+
+  for (const Edge& edge : order) {
+    const std::size_t ra = findRoot(parent, index.at(edge.a));
+    const std::size_t rb = findRoot(parent, index.at(edge.b));
+    if (ra == rb) continue;
+    if (comp[ra].pinned && comp[rb].pinned &&
+        comp[ra].pinShard != comp[rb].pinShard) {
+      continue;  // pinned to different shards: never mergeable
+    }
+    if (comp[ra].load + comp[rb].load > capacity) continue;
+    // Union by smaller index as root: keeps root choice deterministic.
+    const std::size_t root = std::min(ra, rb);
+    const std::size_t child = ra == root ? rb : ra;
+    parent[child] = root;
+    comp[root].load += comp[child].load;
+    comp[root].pinned = comp[root].pinned || comp[child].pinned;
+    if (comp[child].pinned) comp[root].pinShard = comp[child].pinShard;
+  }
+
+  // Pack components onto shards: pinned ones go home, the rest heaviest
+  // first onto the least-loaded shard (lowest id on ties).
+  out.shardLoad.assign(shards, 0.0);
+  struct Pack {
+    std::size_t root;
+    double load;
+    std::string anchor;  // lexicographically smallest member, for tie order
+  };
+  std::map<std::size_t, Pack> byRoot;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const std::size_t root = findRoot(parent, i);
+    auto [it, inserted] = byRoot.emplace(root, Pack{root, 0.0, names[i]});
+    it->second.load += comp[i].load;
+    if (inserted) it->second.anchor = names[i];
+  }
+  std::vector<Pack> packs;
+  packs.reserve(byRoot.size());
+  std::vector<sim::ShardId> shardOfRoot(names.size(), 0);
+  for (auto& [root, pack] : byRoot) {
+    if (comp[root].pinned) {
+      const sim::ShardId target =
+          comp[root].pinShard < shards ? comp[root].pinShard : shards - 1;
+      shardOfRoot[root] = target;
+      out.shardLoad[target] += pack.load;
+    } else {
+      packs.push_back(pack);
+    }
+  }
+  std::stable_sort(packs.begin(), packs.end(), [](const Pack& x, const Pack& y) {
+    if (x.load != y.load) return x.load > y.load;
+    return x.anchor < y.anchor;
+  });
+  for (const Pack& pack : packs) {
+    sim::ShardId best = 0;
+    double bestLoad = std::numeric_limits<double>::infinity();
+    for (sim::ShardId s = 0; s < shards; ++s) {
+      if (out.shardLoad[s] < bestLoad) {
+        bestLoad = out.shardLoad[s];
+        best = s;
+      }
+    }
+    shardOfRoot[pack.root] = best;
+    out.shardLoad[best] += pack.load;
+  }
+
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    out.assignment.emplace(names[i], shardOfRoot[findRoot(parent, i)]);
+  }
+  for (const auto& [key, weight] : edges_) {
+    if (out.assignment.at(key.first) != out.assignment.at(key.second)) {
+      out.crossShardWeight += weight;
+    }
+  }
+  return out;
+}
+
+}  // namespace softqos::net

@@ -1,0 +1,85 @@
+// Automatic shard placement for parallel testbeds.
+//
+// A windowed parallel run wants hosts that talk to each other on the same
+// shard: every cross-shard channel bounds the lookahead and every cross-shard
+// message pays a mailbox hop. Hand-placing a thousand hosts is not an option,
+// so ShardPlanner takes the communication graph (nodes weighted by expected
+// event load, edges by expected traffic) and greedily merges the heaviest
+// edges first — classic Kruskal-style agglomeration under a per-shard
+// capacity bound — then packs the resulting components onto shards by load.
+// Pins reserve nodes for a specific shard (switches and manager seats stay on
+// shard 0, whose events interleave with every domain); components holding a
+// pinned node can only merge with compatible components and are packed onto
+// their pinned shard regardless of balance.
+//
+// The plan is deterministic: ties break on lexicographic node/edge names,
+// never on hash order or pointer identity, so the same topology always yields
+// the same placement — a prerequisite for byte-identical replays.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace softqos::net {
+
+struct ShardPlanConfig {
+  /// Number of worker shards to fill (plan() clamps to >= 1).
+  std::uint32_t shards = 1;
+  /// Per-shard load capacity as a multiple of the perfectly balanced share
+  /// (totalLoad / shards). Growth of a component stops at the bound, keeping
+  /// the greedy merge from collapsing everything into one shard.
+  double capacitySlack = 1.25;
+};
+
+struct ShardPlan {
+  /// Node name -> shard, every added node exactly once.
+  std::map<std::string, sim::ShardId> assignment;
+  /// Sum of all edge weights in the graph.
+  double totalEdgeWeight = 0;
+  /// Sum of edge weights whose endpoints landed on different shards.
+  double crossShardWeight = 0;
+  /// Accumulated node load per shard (index = shard id).
+  std::vector<double> shardLoad;
+
+  [[nodiscard]] sim::ShardId shardOf(const std::string& name) const {
+    const auto it = assignment.find(name);
+    return it == assignment.end() ? 0 : it->second;
+  }
+};
+
+class ShardPlanner {
+ public:
+  /// Register a node with its expected event load. Re-adding a node
+  /// accumulates load.
+  void addNode(const std::string& name, double load = 1.0);
+
+  /// Register expected traffic between two nodes (direction-agnostic;
+  /// repeated edges accumulate weight). Unknown endpoints are added with
+  /// zero load.
+  void addEdge(const std::string& a, const std::string& b,
+               double weight = 1.0);
+
+  /// Reserve a node for a fixed shard (e.g. switches and manager seats on
+  /// shard 0). Pinning the same node to two different shards makes the two
+  /// pins' components unmergeable but is otherwise first-pin-wins.
+  void pin(const std::string& name, sim::ShardId shard);
+
+  [[nodiscard]] ShardPlan plan(const ShardPlanConfig& config) const;
+
+ private:
+  struct Edge {
+    std::string a;
+    std::string b;
+    double weight = 0;
+  };
+
+  std::map<std::string, double> nodes_;          // name -> load
+  std::map<std::pair<std::string, std::string>, double> edges_;
+  std::map<std::string, sim::ShardId> pins_;
+};
+
+}  // namespace softqos::net

@@ -40,6 +40,81 @@ std::size_t FactRepository::alphaHash(const std::string& templateName,
   return hashCombine(h, value.hash());
 }
 
+void FactRepository::partitionIndexInsert(const Fact& fact) {
+  if (partitionSlot_.empty()) return;
+  const Value* key = fact.slot(partitionSlot_);
+  if (key == nullptr) {
+    globalByTemplate_[fact.templateName].emplace(fact.id, &fact);
+  } else {
+    partition_[alphaHash(fact.templateName, partitionSlot_, *key)].emplace(
+        fact.id, &fact);
+  }
+}
+
+void FactRepository::partitionIndexRemove(const Fact& fact) {
+  if (partitionSlot_.empty()) return;
+  const Value* key = fact.slot(partitionSlot_);
+  if (key == nullptr) {
+    const auto it = globalByTemplate_.find(fact.templateName);
+    if (it != globalByTemplate_.end()) {
+      it->second.erase(fact.id);
+      if (it->second.empty()) globalByTemplate_.erase(it);
+    }
+  } else {
+    const auto it =
+        partition_.find(alphaHash(fact.templateName, partitionSlot_, *key));
+    if (it != partition_.end()) {
+      it->second.erase(fact.id);
+      if (it->second.empty()) partition_.erase(it);
+    }
+  }
+}
+
+void FactRepository::setPartitionSlot(std::string slot) {
+  partitionSlot_ = std::move(slot);
+  partition_.clear();
+  globalByTemplate_.clear();
+  for (const auto& [id, fact] : live_) {
+    (void)id;
+    partitionIndexInsert(fact);
+  }
+}
+
+const Value* FactRepository::partitionKey(const Fact& fact) const {
+  return partitionSlot_.empty() ? nullptr : fact.slot(partitionSlot_);
+}
+
+void FactRepository::forEachInPartition(
+    const std::string& templateName, const Value& key,
+    const std::function<bool(const Fact&)>& visit) const {
+  // Two id-ordered sources merged in id order: the keyed partition (bucket
+  // may hold hash collisions, verified per fact) and the global facts of the
+  // template. Matches forEach's visiting order restricted to this subset.
+  static const std::map<FactId, const Fact*> kEmpty;
+  const auto keyedIt =
+      partition_.find(alphaHash(templateName, partitionSlot_, key));
+  const auto globalIt = globalByTemplate_.find(templateName);
+  const auto& keyed = keyedIt == partition_.end() ? kEmpty : keyedIt->second;
+  const auto& global =
+      globalIt == globalByTemplate_.end() ? kEmpty : globalIt->second;
+
+  auto k = keyed.begin();
+  auto g = global.begin();
+  while (k != keyed.end() || g != global.end()) {
+    if (g == global.end() || (k != keyed.end() && k->first < g->first)) {
+      const Fact& fact = *k->second;
+      ++k;
+      if (fact.templateName != templateName) continue;  // hash collision
+      const Value* actual = fact.slot(partitionSlot_);
+      if (actual == nullptr || !(*actual == key)) continue;
+      if (!visit(fact)) return;
+    } else {
+      if (!visit(*g->second)) return;
+      ++g;
+    }
+  }
+}
+
 FactId FactRepository::insert(const std::string& templateName, SlotMap slots) {
   const FactId id = nextId_++;
   Fact f;
@@ -54,6 +129,7 @@ FactId FactRepository::insert(const std::string& templateName, SlotMap slots) {
   for (const auto& [name, value] : stored.slots) {
     alpha_[alphaHash(templateName, name, value)].emplace(id, &stored);
   }
+  partitionIndexInsert(stored);
   publish(FactDelta::Kind::kAssert, stored);
   return id;
 }
@@ -84,6 +160,7 @@ bool FactRepository::remove(FactId id) {
       if (alphaIt->second.empty()) alpha_.erase(alphaIt);
     }
   }
+  partitionIndexRemove(gone);
   publish(FactDelta::Kind::kRetract, gone);
   return true;
 }

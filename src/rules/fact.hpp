@@ -102,6 +102,27 @@ class FactRepository {
     deltaListener_ = std::move(listener);
   }
 
+  /// Partition working memory by a slot name: facts carrying the slot land
+  /// in the partition keyed by its value; facts without it are global.
+  /// forEachInPartition then visits one partition plus the globals — on a
+  /// host managing thousands of applications, rule joins keyed on the slot
+  /// stop scanning every other application's facts. Existing facts are
+  /// re-indexed; an empty slot name turns partitioning off again.
+  void setPartitionSlot(std::string slot);
+  [[nodiscard]] const std::string& partitionSlot() const {
+    return partitionSlot_;
+  }
+  [[nodiscard]] bool partitioned() const { return !partitionSlot_.empty(); }
+
+  /// The partition key of a fact (nullptr: global / partitioning off).
+  [[nodiscard]] const Value* partitionKey(const Fact& fact) const;
+
+  /// Visit every live fact of a template within one partition plus the
+  /// global set, in recency (id) order — the same order forEach would visit
+  /// that subset in. Requires setPartitionSlot.
+  void forEachInPartition(const std::string& templateName, const Value& key,
+                          const std::function<bool(const Fact&)>& visit) const;
+
   void clear();
 
  private:
@@ -116,6 +137,8 @@ class FactRepository {
                                  const SlotMap& slots);
   static std::size_t alphaHash(const std::string& templateName,
                                const std::string& slot, const Value& value);
+  void partitionIndexInsert(const Fact& fact);
+  void partitionIndexRemove(const Fact& fact);
 
   std::unordered_map<FactId, Fact> live_;
   // Template index: id-ordered so iteration preserves assertion order.
@@ -124,6 +147,13 @@ class FactRepository {
   std::unordered_map<std::size_t, std::vector<FactId>> byContent_;
   // Alpha index: (template, slot, value) hash -> id-ordered facts.
   std::unordered_map<std::size_t, std::map<FactId, const Fact*>> alpha_;
+  // Partition index (setPartitionSlot): (template, key) hash -> id-ordered
+  // keyed facts; facts lacking the slot sit in globalByTemplate_. Both empty
+  // while partitioning is off.
+  std::unordered_map<std::size_t, std::map<FactId, const Fact*>> partition_;
+  std::unordered_map<std::string, std::map<FactId, const Fact*>>
+      globalByTemplate_;
+  std::string partitionSlot_;
   FactId nextId_ = 1;
   Listener listener_;
   DeltaListener deltaListener_;

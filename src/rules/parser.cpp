@@ -207,14 +207,25 @@ Rule parseDefrule(const Sexp& s) {
     if (!item.items.empty() && item.items[0].isAtom) {
       const std::string& head = item.items[0].atom;
       if (head == "declare") {
-        if (item.items.size() == 2 && !item.items[1].isAtom &&
-            item.items[1].items.size() == 2 &&
-            item.items[1].items[0].isAtom &&
-            item.items[1].items[0].atom == "salience") {
-          rule.salience = std::stoi(atomOf(item.items[1].items[1], "salience"));
-          continue;
+        if (item.items.size() < 2) {
+          throw RuleParseError("malformed declare in rule " + rule.name);
         }
-        throw RuleParseError("malformed declare in rule " + rule.name);
+        for (std::size_t d = 1; d < item.items.size(); ++d) {
+          const Sexp& decl = item.items[d];
+          if (!decl.isAtom && decl.items.size() == 2 &&
+              decl.items[0].isAtom && decl.items[0].atom == "salience") {
+            rule.salience = std::stoi(atomOf(decl.items[1], "salience"));
+            continue;
+          }
+          if (!decl.isAtom && decl.items.size() == 1 &&
+              decl.items[0].isAtom &&
+              decl.items[0].atom == "cross-partition") {
+            rule.crossPartition = true;
+            continue;
+          }
+          throw RuleParseError("malformed declare in rule " + rule.name);
+        }
+        continue;
       }
       if (head == "not") {
         if (item.items.size() != 2) {

@@ -265,6 +265,29 @@ std::optional<TelemetrySnapshot> TelemetrySnapshot::parse(
   return snap;
 }
 
+TelemetrySnapshot TelemetryAggregator::cutDelta(std::string source,
+                                                SimTime windowStart,
+                                                SimTime windowEnd) {
+  TelemetrySnapshot snap;
+  snap.source = std::move(source);
+  snap.windowStart = windowStart;
+  snap.windowEnd = windowEnd;
+  for (const auto& [name, total] : counters_) {
+    std::int64_t& base = cutCounters_[name];
+    if (total != base) snap.counters.emplace_back(name, total - base);
+    base = total;
+  }
+  for (const auto& [name, hist] : merged_) {
+    Histogram& base = cutHistograms_[name];
+    Histogram delta = hist.deltaSince(base);
+    if (delta.count() != 0) {
+      snap.histograms.emplace_back(name, std::move(delta));
+    }
+    base = hist;
+  }
+  return snap;
+}
+
 void TelemetryAggregator::ingest(const TelemetrySnapshot& snapshot) {
   ++ingested_;
   for (const auto& [name, delta] : snapshot.counters) {

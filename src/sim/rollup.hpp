@@ -146,6 +146,17 @@ class TelemetryAggregator {
  public:
   void ingest(const TelemetrySnapshot& snapshot);
 
+  /// Cut one upward rollup: everything ingested since the previous cut, as
+  /// counter deltas and histogram delta slices (metrics with no new samples
+  /// are omitted). A mid-tier domain manager publishes this to its parent,
+  /// so a tree of aggregators carries each child sample upward exactly once
+  /// per tier — histogram merging is associative and bucket-wise, so the
+  /// root's merged view is identical whether hosts report directly or
+  /// through any arrangement of intermediate tiers.
+  [[nodiscard]] TelemetrySnapshot cutDelta(std::string source,
+                                           SimTime windowStart,
+                                           SimTime windowEnd);
+
   [[nodiscard]] const std::map<std::string, Histogram>& mergedHistograms()
       const {
     return merged_;
@@ -165,6 +176,9 @@ class TelemetryAggregator {
   std::map<std::string, Histogram> merged_;
   std::map<std::string, std::int64_t> counters_;
   std::map<std::string, TelemetrySnapshot> latest_;
+  // Baselines at the previous cutDelta (empty until the first cut).
+  std::map<std::string, Histogram> cutHistograms_;
+  std::map<std::string, std::int64_t> cutCounters_;
   std::uint64_t ingested_ = 0;
 };
 

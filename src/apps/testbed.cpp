@@ -94,6 +94,7 @@ Testbed::Testbed(TestbedConfig config)
     hmCfg.factTtl = config_.factTtl;
     hmCfg.escalationMaxAttempts = config_.rpcMaxAttempts;
     hmCfg.telemetryInterval = config_.telemetryInterval;
+    if (config_.contractPlane) hmCfg.contractAgentHost = mgmtHost.name();
     if (config_.telemetryInterval > 0) {
       hmCfg.slos = config_.telemetrySlos.empty() ? obs::defaultManagementSlos()
                                                  : config_.telemetrySlos;
@@ -124,6 +125,13 @@ Testbed::Testbed(TestbedConfig config)
                         config_.policyTolUp, config_.policyTolDown,
                         config_.policyJitterMax),
         "VideoConference", "");
+
+    if (config_.contractPlane) {
+      seedVideoContracts(qorms.repository());
+      // The agent's RPC endpoint seats on the management host (shard 0,
+      // alongside the repository it consults).
+      qorms.enableContractPlane(mgmtHost);
+    }
   }
 
   if (config_.parallelShards > 1) {
@@ -160,13 +168,10 @@ VideoSession& Testbed::startVideo(const std::string& role) {
       sensorWheel = std::make_unique<instrument::SensorTimerWheel>(
           sim, config_.sensorWheelGranularity);
     }
-    // Move every self-ticking session sensor onto the shared wheel: one
-    // kernel periodic now drives them all.
-    for (const std::string& id : video->registry().sensorIds()) {
-      if (instrument::Sensor* s = video->registry().sensor(id)) {
-        sensorWheel->adopt(*s);
-      }
-    }
+    // Move every self-ticking session sensor onto the shared wheel (one
+    // kernel periodic drives them all) and keep following the registry:
+    // hotplugged sensors land on the wheel, departed ones release slots.
+    sensorWheel->attachRegistry(video->registry());
   }
   return *video;
 }

@@ -68,6 +68,12 @@ struct TestbedConfig {
   /// this period instead of the domain manager's inline fabric sweep. 0
   /// (default) keeps the legacy sweep, byte-identical runs.
   sim::SimDuration channelPollInterval = 0;
+  /// Arm the QoS contract plane: seed the video offer/request contracts,
+  /// run requested-vs-offered admission in the policy agent (its
+  /// "renegotiate" RPC seats on the management host, port 7200), push the
+  /// contract rules to both host managers and let rules renegotiate session
+  /// tiers under load. Off by default — byte-identical to earlier builds.
+  bool contractPlane = false;
   /// Batch each video session's sensor ticks onto one SensorTimerWheel
   /// (one kernel periodic driving all sensors) instead of one periodic per
   /// sensor. Off by default — byte-identical to earlier builds.

@@ -188,6 +188,7 @@ std::size_t VideoSession::instrument(distribution::PolicyAgent& agent,
   reg.executable = "VideoApplication";
   reg.role = role;
   reg.coordinator = coordinator_.get();
+  reg.hostName = clientHost_.name();
 
   // Manager -> process control channel (adaptation, run-time retuning).
   coordinator_->attachControlQueue(

@@ -27,6 +27,43 @@ void seedVideoModel(distribution::RepositoryService& repository) {
   repository.addRole(policy::UserRole{"silver", 1});
 }
 
+void seedVideoContracts(distribution::RepositoryService& repository) {
+  {
+    policy::ContractSpec offer;
+    offer.name = "video-server-offer";
+    offer.executable = "VideoApplication";
+    offer.hasOffer = true;
+    offer.offer = policy::parseQosOffer(
+        "deadline=33ms liveliness=automatic:400ms history=8 "
+        "durability=transient_local strength=10");
+    offer.deadlineAttribute = "frame_rate";
+    repository.addContract(offer);
+  }
+  {
+    policy::ContractSpec gold;
+    gold.name = "video-gold-request";
+    gold.application = "VideoConference";
+    gold.userRole = "gold";
+    gold.hasRequest = true;
+    gold.request = policy::parseQosRequest(
+        "deadline<=36ms lease<=500ms history>=4 durability>=transient_local "
+        "degrade-deadline<=80ms degrade-history>=1");
+    gold.deadlineAttribute = "frame_rate";
+    repository.addContract(gold);
+  }
+  {
+    policy::ContractSpec silver;
+    silver.name = "video-silver-request";
+    silver.application = "VideoConference";
+    silver.userRole = "silver";
+    silver.hasRequest = true;
+    silver.request = policy::parseQosRequest(
+        "deadline<=40ms degrade-deadline<=100ms degrade-history>=1");
+    silver.deadlineAttribute = "frame_rate";
+    repository.addContract(silver);
+  }
+}
+
 std::string videoPolicyText(const std::string& policyName, double targetFps,
                             double tolUp, double tolDown, double jitterMax) {
   std::ostringstream out;

@@ -14,6 +14,13 @@ namespace softqos::apps {
 /// gold/silver user roles.
 void seedVideoModel(distribution::RepositoryService& repository);
 
+/// Seed the QoS contract entries for the video testbed: the server-side
+/// offer (33 ms deadline / automatic liveliness 400 ms / history 8 /
+/// transient-local / strength 10) plus gold and silver requested contracts.
+/// Gold asks within the offer (full admission); both carry degraded floors
+/// so renegotiation under load has somewhere to go.
+void seedVideoContracts(distribution::RepositoryService& repository);
+
 /// The Example 1 obligation policy, parameterized:
 ///   on not (frame_rate = <target>(+<tolUp>)(-<tolDown>)
 ///           AND jitter_rate < <jitterMax>)

@@ -56,4 +56,10 @@ void Qorms::distributeDomainRules(const std::string& ruleText) {
   for (const auto& dm : domainManagers_) dm->loadRuleText(ruleText);
 }
 
+void Qorms::enableContractPlane(osim::Host& seat, int port) {
+  agent_.enableContractPlane();
+  agent_.bindRpc(network_, seat, port);
+  distributeHostRules(manager::contractHostRules());
+}
+
 }  // namespace softqos::distribution

@@ -48,6 +48,13 @@ class Qorms {
   void distributeHostRules(const std::string& ruleText);
   void distributeDomainRules(const std::string& ruleText);
 
+  /// Arm the QoS contract plane: requested-vs-offered admission at the
+  /// policy agent, its "renegotiate" RPC endpoint seated on `seat`, and
+  /// contract rules pushed to every existing host manager. Host managers
+  /// created afterwards must carry contractAgentHost in their config and
+  /// load manager::contractHostRules() themselves.
+  void enableContractPlane(osim::Host& seat, int port = 7200);
+
  private:
   sim::Simulation& sim_;
   net::Network& network_;

@@ -76,6 +76,17 @@ bool RepositoryService::removePolicy(const std::string& name) {
   return true;
 }
 
+LdapResult RepositoryService::addContract(const policy::ContractSpec& contract) {
+  const Dn dn = policy::dit::contracts().child("cn", contract.name);
+  if (directory_.lookup(dn) != nullptr) directory_.remove(dn);
+  return directory_.add(policy::toEntry(contract));
+}
+
+bool RepositoryService::removeContract(const std::string& name) {
+  return directory_.remove(policy::dit::contracts().child("cn", name)) ==
+         LdapResult::kSuccess;
+}
+
 std::optional<policy::ApplicationInfo> RepositoryService::findApplication(
     const std::string& name) const {
   const Entry* e = directory_.lookup(policy::dit::applications().child("cn", name));
@@ -109,6 +120,64 @@ std::optional<policy::PolicySpec> RepositoryService::findPolicy(
   const Entry* e = directory_.lookup(policy::dit::policies().child("cn", name));
   if (e == nullptr) return std::nullopt;
   return policy::policyFromEntry(*e, directory_);
+}
+
+std::optional<policy::ContractSpec> RepositoryService::findContract(
+    const std::string& name) const {
+  const Entry* e = directory_.lookup(policy::dit::contracts().child("cn", name));
+  if (e == nullptr) return std::nullopt;
+  return policy::contractFromEntry(*e);
+}
+
+std::vector<std::string> RepositoryService::contractNames() const {
+  std::vector<std::string> out;
+  for (const Entry* e :
+       directory_.search(policy::dit::contracts(), SearchScope::kOneLevel,
+                         Filter::parse("(objectClass=qosContract)"))) {
+    out.push_back(e->firstValue("cn").value_or(""));
+  }
+  return out;
+}
+
+std::optional<policy::ContractSpec> RepositoryService::offeredContractFor(
+    const std::string& executable, const std::string& application) const {
+  std::optional<policy::ContractSpec> best;
+  for (const Entry* e :
+       directory_.search(policy::dit::contracts(), SearchScope::kOneLevel,
+                         Filter::parse("(&(objectClass=qosContract)"
+                                       "(!(enabled=FALSE)))"))) {
+    policy::ContractSpec c = policy::contractFromEntry(*e);
+    if (!c.hasOffer || c.executable != executable) continue;
+    if (!c.application.empty() && c.application != application) continue;
+    // Application-specific offers shadow wildcard ones; among equals the
+    // directory's deterministic search order keeps the first.
+    if (!best.has_value() ||
+        (best->application.empty() && !c.application.empty())) {
+      best = std::move(c);
+    }
+  }
+  return best;
+}
+
+std::optional<policy::ContractSpec> RepositoryService::requestedContractFor(
+    const std::string& application, const std::string& role) const {
+  std::optional<policy::ContractSpec> best;
+  const auto specificity = [](const policy::ContractSpec& c) {
+    return (c.userRole.empty() ? 0 : 2) + (c.application.empty() ? 0 : 1);
+  };
+  for (const Entry* e :
+       directory_.search(policy::dit::contracts(), SearchScope::kOneLevel,
+                         Filter::parse("(&(objectClass=qosContract)"
+                                       "(!(enabled=FALSE)))"))) {
+    policy::ContractSpec c = policy::contractFromEntry(*e);
+    if (!c.hasRequest) continue;
+    if (!c.userRole.empty() && c.userRole != role) continue;
+    if (!c.application.empty() && c.application != application) continue;
+    if (!best.has_value() || specificity(c) > specificity(*best)) {
+      best = std::move(c);
+    }
+  }
+  return best;
 }
 
 std::vector<std::string> RepositoryService::policyNames() const {

@@ -34,6 +34,12 @@ class RepositoryService {
   ldapdir::LdapResult addPolicy(const policy::PolicySpec& spec);
   bool removePolicy(const std::string& name);
 
+  /// Store a QoS contract (offered/requested sets under ou=contracts).
+  /// Re-adding an existing name replaces the entry (contracts are tuned at
+  /// run time; the policy agent re-runs admission on refresh).
+  ldapdir::LdapResult addContract(const policy::ContractSpec& contract);
+  bool removeContract(const std::string& name);
+
   [[nodiscard]] std::optional<policy::ApplicationInfo> findApplication(
       const std::string& name) const;
   [[nodiscard]] std::optional<policy::ExecutableInfo> findExecutable(
@@ -44,8 +50,11 @@ class RepositoryService {
       const std::string& name) const;
   [[nodiscard]] std::optional<policy::PolicySpec> findPolicy(
       const std::string& name) const;
+  [[nodiscard]] std::optional<policy::ContractSpec> findContract(
+      const std::string& name) const;
 
   [[nodiscard]] std::vector<std::string> policyNames() const;
+  [[nodiscard]] std::vector<std::string> contractNames() const;
 
   /// Policies applicable to a registering process (Section 6.2): enabled,
   /// matching executable, application (exact or wildcard) and user role
@@ -54,6 +63,19 @@ class RepositoryService {
   [[nodiscard]] std::vector<policy::PolicySpec> policiesFor(
       const std::string& application, const std::string& executable,
       const std::string& role) const;
+
+  /// The offered QoS for a registering process: the enabled offering
+  /// contract matching its executable (application-specific entries win
+  /// over wildcard ones). nullopt: the executable offers no contract.
+  [[nodiscard]] std::optional<policy::ContractSpec> offeredContractFor(
+      const std::string& executable, const std::string& application) const;
+
+  /// The requested QoS applicable to a registration: the enabled requesting
+  /// contract matching its role (role-specific entries win over role-less
+  /// ones; application likewise). nullopt: nothing requested — admission
+  /// control does not apply.
+  [[nodiscard]] std::optional<policy::ContractSpec> requestedContractFor(
+      const std::string& application, const std::string& role) const;
 
   // ---- LDIF interchange ----
   ldapdir::LdifApplyStats uploadLdif(const std::string& text);

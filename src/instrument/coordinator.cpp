@@ -15,9 +15,12 @@ Coordinator::Coordinator(sim::Simulation& simulation, std::string hostName,
       registry_(registry),
       notify_(std::move(notify)),
       reactionLatency_(
-          simulation.localMetrics().histogramHandle("qos.reaction_latency_us")) {}
+          simulation.localMetrics().histogramHandle("qos.reaction_latency_us")) {
+  registry_.addListener(this);
+}
 
 Coordinator::~Coordinator() {
+  registry_.removeListener(this);
   for (const auto& po : policies_) {
     if (po->repeatEvent != sim::kInvalidEvent) sim_.cancel(po->repeatEvent);
   }
@@ -189,6 +192,53 @@ void Coordinator::onAlarm(Sensor& sensor, int comparisonId, bool holds) {
   }
 }
 
+void Coordinator::onSensorAdded(Sensor& sensor) {
+  // Re-arm every installed condition bound to the arriving id. byComparison_
+  // still maps the comparison ids (removal keeps them: the policy object
+  // never left), so alarms resume flowing into the same variables.
+  bool any = false;
+  for (const auto& po : policies_) {
+    for (const policy::CompiledCondition& cond : po->compiled.conditions) {
+      if (cond.sensorId != sensor.id()) continue;
+      sensor.installComparison(cond.op, cond.value, cond.comparisonId);
+      sensor.setAlarmHandler([this](Sensor& s, int comparisonId, bool holds) {
+        onAlarm(s, comparisonId, holds);
+      });
+      byComparison_[cond.comparisonId] = {po.get(), cond.varIndex};
+      any = true;
+    }
+  }
+  if (any) {
+    ++sensorsAttached_;
+    sim_.info("coordinator",
+              [&] { return "sensor " + sensor.id() + " attached (hotplug)"; });
+  }
+}
+
+void Coordinator::onSensorRemoved(Sensor& sensor) {
+  std::vector<PolicyObject*> affected;
+  for (const auto& po : policies_) {
+    bool touched = false;
+    for (const policy::CompiledCondition& cond : po->compiled.conditions) {
+      if (cond.sensorId != sensor.id()) continue;
+      sensor.removeComparison(cond.comparisonId);
+      if (cond.varIndex >= 0 &&
+          cond.varIndex < static_cast<int>(po->vars.size())) {
+        po->vars[static_cast<std::size_t>(cond.varIndex)] = true;  // optimistic
+      }
+      touched = true;
+    }
+    if (touched) affected.push_back(po.get());
+  }
+  if (affected.empty()) return;
+  ++sensorsDetached_;
+  sim_.info("coordinator",
+            [&] { return "sensor " + sensor.id() + " detached (hotplug)"; });
+  // A violation held open solely by the departed sensor clears here, which
+  // sends the clear report the manager needs to retract the stale facts.
+  for (PolicyObject* po : affected) evaluate(*po);
+}
+
 void Coordinator::evaluate(PolicyObject& po) {
   const bool satisfied = po.compiled.expression.evaluate(po.vars);
   const bool violated = !satisfied;
@@ -319,9 +369,16 @@ void Coordinator::deliver(const ViolationReport& report) {
   if (!notify_) return;
   if (buffer_.empty() && notify_(report)) return;
 
+  // VOLATILE durability (contract plane): the process offers no persistence
+  // across manager outages — drop rather than store.
+  if (!storeAndForward_) {
+    ++volatileDrops_;
+    return;
+  }
+
   // The manager is unreachable (or older reports are already queued and
   // must stay in order): store locally and retransmit on recovery.
-  if (buffer_.size() >= kMaxBufferedReports) {
+  while (buffer_.size() >= bufferCap_ && !buffer_.empty()) {
     buffer_.pop_front();
     ++bufferOverflows_;
   }

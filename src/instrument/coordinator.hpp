@@ -29,7 +29,7 @@ class InstrumentError : public std::runtime_error {
       : std::runtime_error(message) {}
 };
 
-class Coordinator {
+class Coordinator : public SensorRegistry::Listener {
  public:
   /// `notify` delivers a report to the QoS Host Manager (typically a message
   /// queue send); the coordinator neither knows nor cares what is behind it.
@@ -42,7 +42,7 @@ class Coordinator {
               std::uint32_t pid, std::string executable,
               SensorRegistry& registry, NotifyFn notify);
 
-  ~Coordinator();
+  ~Coordinator() override;
 
   Coordinator(const Coordinator&) = delete;
   Coordinator& operator=(const Coordinator&) = delete;
@@ -76,6 +76,19 @@ class Coordinator {
   /// Alarm entry point (wired as the sensors' alarm handler).
   void onAlarm(Sensor& sensor, int comparisonId, bool holds);
 
+  // ---- Sensor hotplug (SensorRegistry::Listener) ----
+  /// A sensor arrived (or replaced a same-id predecessor): re-arm every
+  /// installed policy condition bound to its id so monitoring resumes
+  /// without recompiling.
+  void onSensorAdded(Sensor& sensor) override;
+  /// A sensor departed: uninstall its comparisons, flip the orphaned
+  /// variables back to optimistic (a gone sensor can no longer witness a
+  /// violation) and re-evaluate — clearing any violation it alone held open.
+  void onSensorRemoved(Sensor& sensor) override;
+
+  [[nodiscard]] std::uint64_t sensorsAttached() const { return sensorsAttached_; }
+  [[nodiscard]] std::uint64_t sensorsDetached() const { return sensorsDetached_; }
+
   /// Attach the manager->process control channel (a per-process message
   /// queue): managers can invoke actuators (application adaptation under
   /// overload), retune thresholds while the application executes, toggle
@@ -104,6 +117,17 @@ class Coordinator {
   /// Reports dropped because the local buffer overflowed (oldest first —
   /// the freshest observations are the ones worth keeping).
   [[nodiscard]] std::uint64_t bufferOverflows() const { return bufferOverflows_; }
+
+  // ---- Contract-tier knobs (QoS contract plane) ----
+  /// Cap the store-and-forward buffer: a degraded HISTORY admission shrinks
+  /// how much a process may hold for an absent manager.
+  void setReportBufferCap(std::size_t cap) { bufferCap_ = cap; }
+  [[nodiscard]] std::size_t reportBufferCap() const { return bufferCap_; }
+  /// VOLATILE durability: reports that cannot be delivered now are dropped
+  /// instead of buffered (counted in volatileDrops()).
+  void setStoreAndForward(bool enabled) { storeAndForward_ = enabled; }
+  [[nodiscard]] bool storeAndForwardEnabled() const { return storeAndForward_; }
+  [[nodiscard]] std::uint64_t volatileDrops() const { return volatileDrops_; }
 
  private:
   struct PolicyObject {
@@ -154,6 +178,11 @@ class Coordinator {
   std::uint64_t retransmitted_ = 0;
   std::uint64_t bufferOverflows_ = 0;
   static constexpr std::size_t kMaxBufferedReports = 64;
+  std::size_t bufferCap_ = kMaxBufferedReports;
+  bool storeAndForward_ = true;
+  std::uint64_t volatileDrops_ = 0;
+  std::uint64_t sensorsAttached_ = 0;
+  std::uint64_t sensorsDetached_ = 0;
 };
 
 }  // namespace softqos::instrument

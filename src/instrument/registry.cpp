@@ -6,8 +6,55 @@ namespace softqos::instrument {
 
 void SensorRegistry::addSensor(std::shared_ptr<Sensor> sensor) {
   const std::string id = sensor->id();
-  if (!sensors_.contains(id)) order_.push_back(id);
+  const auto it = sensors_.find(id);
+  if (it == sensors_.end()) {
+    order_.push_back(id);
+  } else {
+    // Replacement: the old sensor departs before the new one arrives, so
+    // listeners can migrate comparisons/poll slots between the two.
+    std::shared_ptr<Sensor> old = it->second;
+    sensors_.erase(it);
+    notifyRemoved(*old);
+  }
+  Sensor& ref = *sensor;
   sensors_[id] = std::move(sensor);
+  notifyAdded(ref);
+}
+
+std::shared_ptr<Sensor> SensorRegistry::removeSensor(const std::string& id) {
+  const auto it = sensors_.find(id);
+  if (it == sensors_.end()) return nullptr;
+  std::shared_ptr<Sensor> departed = it->second;
+  sensors_.erase(it);
+  order_.erase(std::remove(order_.begin(), order_.end(), id), order_.end());
+  notifyRemoved(*departed);
+  return departed;
+}
+
+void SensorRegistry::addListener(Listener* listener) {
+  if (listener == nullptr) return;
+  if (std::find(listeners_.begin(), listeners_.end(), listener) ==
+      listeners_.end()) {
+    listeners_.push_back(listener);
+  }
+}
+
+void SensorRegistry::removeListener(Listener* listener) {
+  listeners_.erase(
+      std::remove(listeners_.begin(), listeners_.end(), listener),
+      listeners_.end());
+}
+
+void SensorRegistry::notifyAdded(Sensor& sensor) {
+  for (Listener* l : std::vector<Listener*>(listeners_)) {
+    l->onSensorAdded(sensor);
+  }
+}
+
+void SensorRegistry::notifyRemoved(Sensor& sensor) {
+  for (Listener* l : std::vector<Listener*>(listeners_)) {
+    l->onSensorRemoved(sensor);
+  }
 }
 
 void SensorRegistry::addActuator(std::shared_ptr<Actuator> actuator) {

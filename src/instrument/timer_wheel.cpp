@@ -16,7 +16,41 @@ SensorTimerWheel::SensorTimerWheel(sim::Simulation& simulation,
   }
 }
 
-SensorTimerWheel::~SensorTimerWheel() { stop(); }
+SensorTimerWheel::~SensorTimerWheel() {
+  detachRegistry();
+  stop();
+}
+
+void SensorTimerWheel::attachRegistry(SensorRegistry& registry) {
+  detachRegistry();
+  registry_ = &registry;
+  registry.addListener(this);
+  // Adopt the sensors already present (those with a periodic tick).
+  for (const std::string& id : registry.sensorIds()) {
+    if (Sensor* s = registry.sensor(id)) onSensorAdded(*s);
+  }
+}
+
+void SensorTimerWheel::detachRegistry() {
+  if (registry_ == nullptr) return;
+  registry_->removeListener(this);
+  registry_ = nullptr;
+  for (const auto& [sensor, token] : adopted_) remove(token);
+  adopted_.clear();
+}
+
+void SensorTimerWheel::onSensorAdded(Sensor& sensor) {
+  if (adopted_.count(&sensor) != 0) return;  // already on the wheel
+  const Token token = adopt(sensor);
+  if (token != kInvalidToken) adopted_[&sensor] = token;
+}
+
+void SensorTimerWheel::onSensorRemoved(Sensor& sensor) {
+  const auto it = adopted_.find(&sensor);
+  if (it == adopted_.end()) return;
+  remove(it->second);
+  adopted_.erase(it);
+}
 
 SensorTimerWheel::Token SensorTimerWheel::add(Sensor& sensor,
                                               sim::SimDuration interval) {

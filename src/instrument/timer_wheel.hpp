@@ -16,14 +16,16 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
+#include "instrument/registry.hpp"
 #include "instrument/sensor.hpp"
 #include "sim/simulation.hpp"
 
 namespace softqos::instrument {
 
-class SensorTimerWheel {
+class SensorTimerWheel : public SensorRegistry::Listener {
  public:
   /// Handle for removing a sensor from the wheel.
   using Token = std::uint64_t;
@@ -34,7 +36,7 @@ class SensorTimerWheel {
   /// in their slot across rounds).
   SensorTimerWheel(sim::Simulation& simulation, sim::SimDuration granularity,
                    std::size_t slots = 64);
-  ~SensorTimerWheel();
+  ~SensorTimerWheel() override;
 
   SensorTimerWheel(const SensorTimerWheel&) = delete;
   SensorTimerWheel& operator=(const SensorTimerWheel&) = delete;
@@ -51,6 +53,17 @@ class SensorTimerWheel {
 
   /// Stop polling the sensor behind `token`. Safe with stale tokens.
   bool remove(Token token);
+
+  /// Follow a registry's hotplug traffic: tick-driven sensors that arrive
+  /// are adopted onto the wheel automatically, departing sensors release
+  /// their slot. Detaches from any previously-attached registry; the
+  /// registry must outlive the wheel (or the wheel must detach first).
+  void attachRegistry(SensorRegistry& registry);
+  void detachRegistry();
+
+  // SensorRegistry::Listener
+  void onSensorAdded(Sensor& sensor) override;
+  void onSensorRemoved(Sensor& sensor) override;
 
   /// Live sensors on the wheel.
   [[nodiscard]] std::size_t sensorCount() const { return live_; }
@@ -89,6 +102,8 @@ class SensorTimerWheel {
   std::uint64_t ticks_ = 0;
   Token nextToken_ = 1;
   sim::EventId event_ = sim::kInvalidEvent;
+  SensorRegistry* registry_ = nullptr;        // attached registry, if any
+  std::map<const Sensor*, Token> adopted_;    // hotplug-adopted memberships
 };
 
 }  // namespace softqos::instrument

@@ -90,6 +90,14 @@ Schema informationModelSchema() {
             {"userRole", "conditionRef", "actionRef", "enabled",
              "conditionExpr", "subjectPath", "targetPath"}});
   s.define({"qosUserRole", "top", {"cn"}, {"priorityWeight"}});
+  // A QoS contract binds offered and/or requested QoS (DDS-style Deadline /
+  // Liveliness / History / Durability / Ownership, compact string form) to
+  // an executable and/or application+role for RxO admission control.
+  s.define({"qosContract",
+            "top",
+            {"cn"},
+            {"executableRef", "applicationRef", "userRole", "offeredQos",
+             "requestedQos", "deadlineAttribute", "enabled"}});
   return s;
 }
 

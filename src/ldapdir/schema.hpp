@@ -39,7 +39,7 @@ class Schema {
 
 /// The paper's information model (Section 6.1) as an LDAP schema:
 /// qosApplication, qosExecutable, qosSensor, qosPolicy, qosCondition,
-/// qosAction, qosUserRole, plus structural containers.
+/// qosAction, qosUserRole, qosContract, plus structural containers.
 Schema informationModelSchema();
 
 }  // namespace softqos::ldapdir

@@ -149,6 +149,51 @@ std::string defaultHostRules(const HostRuleThresholds& t) {
 )";
 }
 
+std::string contractHostRules(const HostRuleThresholds& t) {
+  const std::string fLow = num(t.fpsLow);
+
+  return std::string(R"(
+; ---- Graceful degradation: a session still under its full-tier contract is
+; ---- violating with the frame rate below the policy band -> ask the Policy
+; ---- Agent to renegotiate down to the request's degraded floors. The agent
+; ---- verifies the tier (and the request's willingness to degrade); the
+; ---- per-pid throttle in the manager absorbs repeat notifications.
+(defrule contract-downgrade-on-violation
+  (declare (salience 8))
+  (violation (pid ?pid))
+  (metric (pid ?pid) (name frame_rate) (value ?f))
+  (not (contract-degraded (pid ?pid)))
+  (test (< ?f )") + fLow + R"())
+  =>
+  (call renegotiate-contract ?pid down))
+
+; ---- Renegotiation back up: the degraded session returned to compliance,
+; ---- so try to restore the full tier (the agent refuses when the offer
+; ---- cannot satisfy the full request).
+(defrule contract-upgrade-on-recovery
+  (declare (salience 8))
+  (cleared (pid ?pid))
+  (contract-degraded (pid ?pid))
+  =>
+  (call renegotiate-contract ?pid up))
+
+; ---- An offerer missed its liveliness lease: record the loss. The Policy
+; ---- Agent has already moved exclusive ownership to the next-strongest
+; ---- alive offerer; a contract-owner fact follows with the new owner.
+(defrule contract-liveliness-lost
+  (declare (salience 30))
+  (liveliness-lost (pid ?pid) (contract ?c))
+  =>
+  (call log liveliness-lost pid ?pid contract ?c))
+
+(defrule contract-owner-changed
+  (declare (salience 30))
+  (contract-owner (contract ?c) (pid ?pid))
+  =>
+  (call log contract ?c now owned by pid ?pid))
+)";
+}
+
 std::string defaultDomainRules(const DomainRuleThresholds& t) {
   const std::string loadHigh = num(t.serverLoadHigh);
   const std::string utilHigh = num(t.netUtilHigh);

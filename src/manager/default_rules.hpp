@@ -25,6 +25,12 @@ struct HostRuleThresholds {
 /// (Section 2); grow memory when the process is paging.
 std::string defaultHostRules(const HostRuleThresholds& t = {});
 
+/// QoS contract-plane rules for the host manager, loaded only when the
+/// contract plane is armed (keeping the default rule base byte-identical):
+/// downgrade a violating full-tier session to its degraded floors, restore
+/// it on recovery, and log liveliness-loss / ownership-failover facts.
+std::string contractHostRules(const HostRuleThresholds& t = {});
+
 /// Thresholds substituted into the domain manager's default rule set.
 struct DomainRuleThresholds {
   double serverLoadHigh = 2.5;  // CPU load average indicating server overload

@@ -203,6 +203,7 @@ bool QoSHostManager::crash() {
   lastReport_.clear();
   lastEscalationAt_.clear();
   lastReportAt_.clear();
+  lastRenegotiationAt_.clear();
   if (telemetry_) {
     // The crash wiped working memory, slo-breach facts included; episode
     // tracking restarts from scratch when the daemon comes back.
@@ -336,6 +337,17 @@ void QoSHostManager::registerEngineFunctions() {
     }
     markActuation("adapt:" + cmd.target);
     sendControl(static_cast<osim::Pid>(args[0].asInt()), cmd);
+  });
+
+  // QoS contract plane: rules ask the Policy Agent to renegotiate a
+  // session's tier ("down" on sustained violation, "up" on recovery).
+  engine_.registerFunction("renegotiate-contract",
+                           [this](const std::vector<Value>& args) {
+    if (args.size() != 2) return;
+    const auto pid = static_cast<std::uint32_t>(args[0].asInt());
+    const std::string dir = args[1].asString();
+    if (dir != "down" && dir != "up") return;
+    requestRenegotiation(pid, dir == "down");
   });
 
   engine_.registerFunction("clear-state", [this](const std::vector<Value>& args) {
@@ -475,6 +487,107 @@ void QoSHostManager::setupRpcHandlers() {
                                          net::RpcEndpoint::Responder respond) {
     respond(engine_.removeRule(body) ? "OK" : "ERR:no-such-rule");
   });
+
+  // Contract-plane events from the Policy Agent (one-way notifications).
+  rpc_->setHandler("contract-event", [this](const std::string& body,
+                                            net::RpcEndpoint::Responder respond) {
+    respond(handleContractEvent(body) ? "OK" : "ERR:bad-event");
+  });
+}
+
+bool QoSHostManager::handleContractEvent(const std::string& body) {
+  if (crashed_) return false;
+  std::string kind, contract, detail;
+  std::uint32_t pid = 0;
+  for (const std::string& part : net::splitString(body, ';', 4)) {
+    const auto eq = part.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = part.substr(0, eq);
+    const std::string value = part.substr(eq + 1);
+    if (key == "kind") kind = value;
+    else if (key == "pid") pid = static_cast<std::uint32_t>(
+        std::strtoul(value.c_str(), nullptr, 10));
+    else if (key == "contract") contract = value;
+    else if (key == "detail") detail = value;
+  }
+  if (kind.empty()) return false;
+  ++contractEvents_;
+  sim_.info(traceName_, [&] {
+    return "contract event " + kind + " pid " + std::to_string(pid) + " (" +
+           contract + "): " + detail;
+  });
+
+  const Value pidValue = Value::integer(pid);
+  const Value contractValue = Value::symbol(contract.empty() ? "none" : contract);
+  if (kind == "degraded") {
+    // Working memory holds one tier fact per pid.
+    retractContractFacts("contract-degraded", "pid", pidValue);
+    rules::SlotMap slots;
+    slots.emplace("pid", pidValue);
+    slots.emplace("contract", contractValue);
+    engine_.facts().assertFact("contract-degraded", std::move(slots));
+  } else if (kind == "restored") {
+    retractContractFacts("contract-degraded", "pid", pidValue);
+  } else if (kind == "liveliness-lost") {
+    rules::SlotMap slots;
+    slots.emplace("pid", pidValue);
+    slots.emplace("contract", contractValue);
+    engine_.facts().assertFact("liveliness-lost", std::move(slots));
+  } else if (kind == "owner-changed") {
+    // One owner fact per contract; pid 0 (no owner left) just retracts.
+    retractContractFacts("contract-owner", "contract", contractValue);
+    if (pid != 0) {
+      rules::SlotMap slots;
+      slots.emplace("contract", contractValue);
+      slots.emplace("pid", pidValue);
+      engine_.facts().assertFact("contract-owner", std::move(slots));
+    }
+  } else if (kind == "rejected") {
+    // Rejections shed load before a session ever exists: nothing to track
+    // in working memory, the count + log line is the record.
+  } else {
+    return false;
+  }
+  engine_.run();
+  return true;
+}
+
+void QoSHostManager::retractContractFacts(const char* tmpl, const char* slot,
+                                          const Value& value) {
+  std::vector<rules::FactId> toRetract;
+  engine_.facts().forEach(tmpl, [&](const rules::Fact& f) {
+    const Value* v = f.slot(slot);
+    if (v != nullptr && *v == value) toRetract.push_back(f.id);
+    return true;
+  });
+  for (const rules::FactId id : toRetract) engine_.facts().retract(id);
+}
+
+void QoSHostManager::requestRenegotiation(std::uint32_t pid, bool down) {
+  ++renegotiationsRequested_;
+  if (rpc_ == nullptr || config_.contractAgentHost.empty()) return;
+  // Repeat-notifications re-fire the rule twice a second while the breach
+  // persists; the agent-side recompile is expensive, so throttle per pid.
+  const auto lastIt = lastRenegotiationAt_.find(pid);
+  if (lastIt != lastRenegotiationAt_.end() &&
+      sim_.now() - lastIt->second < renegotiationThrottle_) {
+    return;
+  }
+  lastRenegotiationAt_[pid] = sim_.now();
+  markActuation(down ? "renegotiate-down" : "renegotiate-up");
+  net::RpcEndpoint::CallOptions options;
+  options.timeout = config_.escalationTimeout;
+  options.maxAttempts = config_.escalationMaxAttempts;
+  options.context = activeCtx_;
+  rpc_->call(config_.contractAgentHost, config_.contractAgentPort,
+             "renegotiate",
+             "pid=" + std::to_string(pid) + ";dir=" + (down ? "down" : "up"),
+             [this](bool ok, const std::string&) {
+               if (!ok) {
+                 sim_.warn(traceName_, "renegotiation RPC timed out");
+               }
+             },
+             options);
 }
 
 void QoSHostManager::retractSessionFacts(std::uint32_t pid) {

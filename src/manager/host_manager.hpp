@@ -62,6 +62,11 @@ struct HostManagerConfig {
   /// `slo-breach` fact into working memory (retracted on recovery), so the
   /// rule base reacts to the manager missing its own objectives.
   std::vector<obs::SloObjective> slos;
+  /// QoS contract plane: where the Policy Agent's "renegotiate" RPC lives.
+  /// Empty (the default) disables the renegotiation engine function — rules
+  /// calling it are counted but dropped, and no contract rules are loaded.
+  std::string contractAgentHost;
+  int contractAgentPort = 7200;
 };
 
 class QoSHostManager {
@@ -86,6 +91,13 @@ class QoSHostManager {
 
   /// Handle one coordinator report (also the message-queue entry point).
   void handleReport(const instrument::ViolationReport& report);
+
+  /// Handle one contract-plane event from the Policy Agent (also the
+  /// "contract-event" RPC entry point). `body` is the ContractEvent wire
+  /// form "kind=...;pid=...;contract=...;detail=...". Asserts / retracts
+  /// the contract facts (contract-degraded, liveliness-lost,
+  /// contract-owner) and forward-chains. Returns false on a malformed body.
+  bool handleContractEvent(const std::string& body);
 
   /// Send a control command to a process coordinator over its per-process
   /// control queue (application adaptation, run-time threshold changes).
@@ -125,6 +137,14 @@ class QoSHostManager {
   /// Pids whose session facts were expired by the TTL sweep.
   [[nodiscard]] std::uint64_t staleExpiries() const { return staleExpiries_; }
   [[nodiscard]] std::uint64_t daemonCrashes() const { return daemonCrashes_; }
+  /// Contract-plane events asserted into working memory.
+  [[nodiscard]] std::uint64_t contractEventsSeen() const {
+    return contractEvents_;
+  }
+  /// Tier renegotiations requested from the Policy Agent (rule-driven).
+  [[nodiscard]] std::uint64_t renegotiationsRequested() const {
+    return renegotiationsRequested_;
+  }
 
   // ---- Streaming self-telemetry (config_.telemetryInterval > 0) ----
   [[nodiscard]] bool telemetryEnabled() const { return telemetry_ != nullptr; }
@@ -144,7 +164,10 @@ class QoSHostManager {
   void installQueueReceiver();
   void sweepStaleFacts();
   void retractSessionFacts(std::uint32_t pid);
+  void retractContractFacts(const char* tmpl, const char* slot,
+                            const rules::Value& value);
   void escalate(std::uint32_t pid);
+  void requestRenegotiation(std::uint32_t pid, bool down);
   /// Causal tracing: mark an actuator/resource-knob invocation inside the
   /// active diagnosis span (no-op when untraced).
   void markActuation(std::string_view what);
@@ -168,7 +191,9 @@ class QoSHostManager {
   std::map<std::uint32_t, instrument::ViolationReport> lastReport_;
   std::map<std::uint32_t, sim::SimTime> lastEscalationAt_;
   std::map<std::uint32_t, sim::SimTime> lastReportAt_;  // TTL bookkeeping
+  std::map<std::uint32_t, sim::SimTime> lastRenegotiationAt_;
   sim::SimDuration escalationThrottle_ = sim::sec(2);
+  sim::SimDuration renegotiationThrottle_ = sim::sec(2);
   bool crashed_ = false;
 
   // Causal tracing: the diagnosis span of the report currently being
@@ -220,6 +245,8 @@ class QoSHostManager {
   std::uint64_t adaptationsRequested_ = 0;
   std::uint64_t staleExpiries_ = 0;
   std::uint64_t daemonCrashes_ = 0;
+  std::uint64_t contractEvents_ = 0;
+  std::uint64_t renegotiationsRequested_ = 0;
 
  public:
   [[nodiscard]] std::uint64_t adaptationsRequested() const {

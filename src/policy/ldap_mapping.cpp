@@ -18,6 +18,7 @@ Dn conditions() { return Dn::parse("ou=conditions,o=uwo"); }
 Dn actions() { return Dn::parse("ou=actions,o=uwo"); }
 Dn policies() { return Dn::parse("ou=policies,o=uwo"); }
 Dn roles() { return Dn::parse("ou=roles,o=uwo"); }
+Dn contracts() { return Dn::parse("ou=contracts,o=uwo"); }
 
 std::vector<Entry> containerEntries() {
   std::vector<Entry> out;
@@ -26,7 +27,7 @@ std::vector<Entry> containerEntries() {
   rootEntry.addValue("o", "uwo");
   out.push_back(std::move(rootEntry));
   for (const Dn& dn : {applications(), executables(), sensors(), conditions(),
-                       actions(), policies(), roles()}) {
+                       actions(), policies(), roles(), contracts()}) {
     Entry e(dn);
     e.addValue("objectClass", "container");
     e.addValue("ou", dn.leaf().value);
@@ -134,6 +135,52 @@ UserRole roleFromEntry(const Entry& entry) {
   role.priorityWeight =
       static_cast<int>(numberOr(entry, "priorityweight", 1.0));
   return role;
+}
+
+Entry toEntry(const ContractSpec& contract) {
+  Entry e(dit::contracts().child("cn", contract.name));
+  e.addValue("objectClass", "qosContract");
+  e.addValue("cn", contract.name);
+  if (!contract.executable.empty()) {
+    e.addValue("executableRef", contract.executable);
+  }
+  if (!contract.application.empty()) {
+    e.addValue("applicationRef", contract.application);
+  }
+  if (!contract.userRole.empty()) e.addValue("userRole", contract.userRole);
+  if (contract.hasOffer) e.addValue("offeredQos", contract.offer.toString());
+  if (contract.hasRequest) {
+    e.addValue("requestedQos", contract.request.toString());
+  }
+  if (!contract.deadlineAttribute.empty()) {
+    e.addValue("deadlineAttribute", contract.deadlineAttribute);
+  }
+  e.addValue("enabled", contract.enabled ? "TRUE" : "FALSE");
+  return e;
+}
+
+ContractSpec contractFromEntry(const Entry& entry) {
+  ContractSpec contract;
+  contract.name = require(entry, "cn");
+  contract.executable = entry.firstValue("executableref").value_or("");
+  contract.application = entry.firstValue("applicationref").value_or("");
+  contract.userRole = entry.firstValue("userrole").value_or("");
+  contract.deadlineAttribute =
+      entry.firstValue("deadlineattribute").value_or("");
+  contract.enabled = entry.firstValue("enabled").value_or("TRUE") != "FALSE";
+  try {
+    if (const auto offered = entry.firstValue("offeredqos")) {
+      contract.offer = parseQosOffer(*offered);
+      contract.hasOffer = true;
+    }
+    if (const auto requested = entry.firstValue("requestedqos")) {
+      contract.request = parseQosRequest(*requested);
+      contract.hasRequest = true;
+    }
+  } catch (const std::invalid_argument& e) {
+    throw MappingError("contract " + contract.name + ": " + e.what());
+  }
+  return contract;
 }
 
 Entry conditionToEntry(const PolicyCondition& cond, const std::string& cn) {

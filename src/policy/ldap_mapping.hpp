@@ -14,6 +14,7 @@
 #include "ldapdir/directory.hpp"
 #include "ldapdir/entry.hpp"
 #include "policy/model.hpp"
+#include "policy/qos_contract.hpp"
 
 namespace softqos::policy {
 
@@ -33,6 +34,7 @@ ldapdir::Dn conditions();
 ldapdir::Dn actions();
 ldapdir::Dn policies();
 ldapdir::Dn roles();
+ldapdir::Dn contracts();
 /// The container entries themselves (for bootstrapping a repository).
 std::vector<ldapdir::Entry> containerEntries();
 }  // namespace dit
@@ -41,11 +43,13 @@ ldapdir::Entry toEntry(const ApplicationInfo& app);
 ldapdir::Entry toEntry(const ExecutableInfo& exec);
 ldapdir::Entry toEntry(const SensorInfo& sensor);
 ldapdir::Entry toEntry(const UserRole& role);
+ldapdir::Entry toEntry(const ContractSpec& contract);
 
 ApplicationInfo applicationFromEntry(const ldapdir::Entry& entry);
 ExecutableInfo executableFromEntry(const ldapdir::Entry& entry);
 SensorInfo sensorFromEntry(const ldapdir::Entry& entry);
 UserRole roleFromEntry(const ldapdir::Entry& entry);
+ContractSpec contractFromEntry(const ldapdir::Entry& entry);
 
 /// A policy maps to one qosPolicy entry plus one qosCondition / qosAction
 /// entry per inline condition/action (reusable ones — with a non-empty id —

@@ -404,4 +404,95 @@ std::vector<PolicySpec> parseObligations(const std::string& text) {
   return out;
 }
 
+ContractSpec parseContract(const std::string& text) {
+  const std::vector<ContractSpec> all = parseContracts(text);
+  if (all.size() != 1) {
+    throw PolicyParseError("expected exactly one contract block, found " +
+                           std::to_string(all.size()));
+  }
+  return all.front();
+}
+
+std::vector<ContractSpec> parseContracts(const std::string& text) {
+  std::vector<ContractSpec> out;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t kw = text.find("contract", pos);
+    if (kw == std::string::npos) break;
+    if ((kw > 0 && !std::isspace(static_cast<unsigned char>(text[kw - 1]))) ||
+        kw + 8 >= text.size() ||
+        !std::isspace(static_cast<unsigned char>(text[kw + 8]))) {
+      pos = kw + 8;
+      continue;
+    }
+    const std::size_t open = text.find('{', kw);
+    if (open == std::string::npos) throw PolicyParseError("contract missing '{'");
+    const std::size_t close = text.find('}', open);
+    if (close == std::string::npos) throw PolicyParseError("contract missing '}'");
+    ContractSpec spec;
+    spec.name = trim(text.substr(kw + 8, open - kw - 8));
+    if (spec.name.empty()) throw PolicyParseError("contract missing a name");
+
+    // Same clause shape as oblig: a keyword at the start of a line opens a
+    // clause, other lines continue the previous one.
+    const std::string body = text.substr(open + 1, close - open - 1);
+    std::vector<std::pair<std::string, std::string>> clauses;
+    std::istringstream lines(body);
+    std::string line;
+    while (std::getline(lines, line)) {
+      const std::string t = trim(line);
+      if (t.empty()) continue;
+      std::string keyword;
+      for (const char* kwName : {"executable", "application", "role", "offers",
+                                 "requests", "deadline_attribute", "enabled"}) {
+        const std::size_t len = std::string(kwName).size();
+        if (t.size() > len && t.compare(0, len, kwName) == 0 &&
+            std::isspace(static_cast<unsigned char>(t[len]))) {
+          keyword = kwName;
+          break;
+        }
+      }
+      if (!keyword.empty()) {
+        clauses.emplace_back(keyword, trim(t.substr(keyword.size())));
+      } else if (!clauses.empty()) {
+        clauses.back().second += " " + t;
+      } else {
+        throw PolicyParseError("unexpected text in contract body: " + t);
+      }
+    }
+
+    for (const auto& [keyword, value] : clauses) {
+      try {
+        if (keyword == "executable") {
+          spec.executable = value;
+        } else if (keyword == "application") {
+          spec.application = value;
+        } else if (keyword == "role") {
+          spec.userRole = value;
+        } else if (keyword == "offers") {
+          spec.offer = parseQosOffer(value);
+          spec.hasOffer = true;
+        } else if (keyword == "requests") {
+          spec.request = parseQosRequest(value);
+          spec.hasRequest = true;
+        } else if (keyword == "deadline_attribute") {
+          spec.deadlineAttribute = value;
+        } else if (keyword == "enabled") {
+          spec.enabled = lowered(value) != "false";
+        }
+      } catch (const std::invalid_argument& e) {
+        throw PolicyParseError("contract " + spec.name + ": " + e.what());
+      }
+    }
+    if (!spec.hasOffer && !spec.hasRequest) {
+      throw PolicyParseError("contract " + spec.name +
+                             " declares neither offers nor requests");
+    }
+    out.push_back(std::move(spec));
+    pos = close + 1;
+  }
+  if (out.empty()) throw PolicyParseError("no contract block found");
+  return out;
+}
+
 }  // namespace softqos::policy

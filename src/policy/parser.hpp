@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "policy/model.hpp"
+#include "policy/qos_contract.hpp"
 
 namespace softqos::policy {
 
@@ -39,5 +40,26 @@ PolicySpec parseObligation(const std::string& text);
 /// "frame_rate = 25(+2)(-2) AND jitter_rate < 1.25", returning the condition
 /// list and either a flat combinator or a custom expression (into `spec`).
 void parseConditionExpr(const std::string& text, PolicySpec& spec);
+
+/// Parse one or more `contract` blocks declaring offered/requested QoS per
+/// executable/role (the DDS-style RxO contract plane):
+///
+///   contract VideoOffer {
+///     executable VideoApplication
+///     offers deadline=33ms liveliness=automatic:200ms history=64
+///            durability=transient_local strength=10
+///     deadline_attribute frame_rate
+///   }
+///   contract SilverAsk {
+///     application VideoConference
+///     role silver
+///     requests deadline<=36ms history>=4 degrade-deadline<=80ms
+///   }
+///
+/// Throws PolicyParseError on bad input.
+std::vector<ContractSpec> parseContracts(const std::string& text);
+
+/// Parse exactly one `contract` block.
+ContractSpec parseContract(const std::string& text);
 
 }  // namespace softqos::policy

@@ -1,0 +1,132 @@
+// DDS-style QoS contracts (requested-vs-offered admission control).
+//
+// The paper's management plane is purely reactive: the QoS Host Manager only
+// learns a requirement is unsatisfiable after the violation fires. This
+// module adds the missing contract vocabulary — Deadline, Liveliness,
+// History depth, Durability and Ownership strength — with the standard RxO
+// compatibility matrix (offered deadline <= requested deadline, offered
+// history >= requested history, offered durability >= requested durability),
+// so the Policy Agent can reject or degrade an incompatible match at
+// registration time instead of letting the HM discover it later.
+//
+// A contract either *offers* QoS (bound to an executable: what a process of
+// that executable can sustain) or *requests* it (bound to a user role and/or
+// application: what a registering client asks for), or both. A request may
+// carry a degraded tier — relaxed deadline/history floors the client is
+// willing to fall back to when the full ask cannot be met.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace softqos::policy {
+
+enum class LivelinessKind { kAutomatic, kManual };
+/// Ordered weakest-to-strongest: an offer satisfies a request iff
+/// offered.durability >= requested.durability.
+enum class DurabilityKind { kVolatile, kTransientLocal };
+
+[[nodiscard]] const char* livelinessKindName(LivelinessKind kind);
+[[nodiscard]] const char* durabilityKindName(DurabilityKind kind);
+LivelinessKind parseLivelinessKind(const std::string& name);
+DurabilityKind parseDurabilityKind(const std::string& name);
+
+/// The offered side: what a process of this executable commits to sustain.
+/// Zero-valued fields mean "no commitment" (the weakest possible offer).
+struct QosOffer {
+  double deadlineMs = 0;      // inter-sample deadline period (0 = none)
+  LivelinessKind liveliness = LivelinessKind::kAutomatic;
+  double leaseMs = 0;         // liveliness lease (0 = no liveliness promise)
+  int historyDepth = 0;       // retained samples the offerer can replay
+  DurabilityKind durability = DurabilityKind::kVolatile;
+  int ownershipStrength = 0;  // exclusive-ownership arbitration strength
+
+  [[nodiscard]] std::string toString() const;
+};
+
+/// The requested side: bounds the client asks for. Zero-valued fields mean
+/// "don't care" (always compatible on that policy).
+struct QosRequest {
+  double maxDeadlineMs = 0;   // offered deadline must be <= this
+  double maxLeaseMs = 0;      // offered lease must exist and be <= this
+  int minHistoryDepth = 0;    // offered history must be >= this
+  DurabilityKind minDurability = DurabilityKind::kVolatile;
+
+  // Degraded tier: floors the client accepts when the full ask fails.
+  // Unset (degradedDeadlineMs == 0 and degradedHistoryDepth < 0) means the
+  // request is strict — incompatible matches are rejected outright.
+  double degradedDeadlineMs = 0;
+  int degradedHistoryDepth = -1;
+
+  [[nodiscard]] bool allowDegraded() const {
+    return degradedDeadlineMs > 0 || degradedHistoryDepth >= 0;
+  }
+  [[nodiscard]] std::string toString() const;
+};
+
+/// A contract entry in the repository: offered and/or requested QoS bound to
+/// an executable (offers) and/or role+application (requests).
+struct ContractSpec {
+  std::string name;
+  std::string executable;   // offers bind here (empty: any)
+  std::string application;  // empty: any application
+  std::string userRole;     // requests bind here (empty: any role)
+  bool hasOffer = false;
+  QosOffer offer;
+  bool hasRequest = false;
+  QosRequest request;
+  /// Attribute whose policy thresholds track 1000/deadlineMs (frames-per-
+  /// second style): degraded admission relaxes these thresholds.
+  std::string deadlineAttribute;
+  bool enabled = true;
+};
+
+/// Which QoS policy an RxO check failed on (the typed rejection reason).
+enum class QosPolicyKind { kDeadline, kLiveliness, kHistory, kDurability,
+                           kOwnership };
+[[nodiscard]] const char* qosPolicyKindName(QosPolicyKind kind);
+
+struct QosMismatch {
+  QosPolicyKind kind = QosPolicyKind::kDeadline;
+  std::string detail;  // "offered 40ms > requested 25ms"
+};
+
+enum class AdmissionTier { kFull, kDegraded, kRejected };
+[[nodiscard]] const char* admissionTierName(AdmissionTier tier);
+
+struct AdmissionDecision {
+  AdmissionTier tier = AdmissionTier::kFull;
+  /// The bounds actually in force for the session: the offer's values at
+  /// full tier, the degraded floors at degraded tier (0 / 0 = unbounded).
+  double effectiveDeadlineMs = 0;
+  int effectiveHistoryDepth = 0;
+  /// Why the full tier failed (degraded admission) or why the match was
+  /// rejected. Empty at full tier.
+  std::vector<QosMismatch> mismatches;
+
+  [[nodiscard]] std::string reason() const;  // "deadline: ...; history: ..."
+};
+
+/// The RxO compatibility matrix: every policy on which `offered` fails to
+/// satisfy `requested` (empty = compatible).
+[[nodiscard]] std::vector<QosMismatch> rxoMismatches(const QosOffer& offered,
+                                                     const QosRequest& requested);
+
+/// Run admission: full tier when the offer satisfies the request, degraded
+/// tier when the request carries degraded floors the offer can meet,
+/// rejected otherwise (mismatches carry the typed reasons).
+[[nodiscard]] AdmissionDecision admit(const QosOffer& offered,
+                                      const QosRequest& requested);
+
+// ---- Compact wire/LDAP serialization ----
+// Offers:   "deadline=33ms liveliness=automatic:200ms history=8
+//            durability=transient_local strength=10"
+// Requests: "deadline<=36ms lease<=400ms history>=4
+//            durability>=transient_local degrade-deadline<=80ms
+//            degrade-history>=1"
+// Omitted fields keep their zero/don't-care defaults.
+[[nodiscard]] QosOffer parseQosOffer(const std::string& text);
+[[nodiscard]] QosRequest parseQosRequest(const std::string& text);
+
+}  // namespace softqos::policy

@@ -1,0 +1,285 @@
+// Contract-plane chaos: three offerer sessions of one exclusive-ownership
+// contract run at different strengths on their own hosts (and shards); the
+// strongest offerer's host crashes mid-run. Liveliness probing must declare
+// the session lost and fail ownership over to the next-strongest ALIVE
+// offerer, the new owner's host manager must hear about it, and the whole
+// run must replay byte-identically — with the same 4-shard schedule
+// executing identically on 1, 2 and 4 worker threads.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "distribution/qorms.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/injector.hpp"
+#include "instrument/registry.hpp"
+#include "net/nic.hpp"
+#include "net/switch.hpp"
+#include "rules/fact.hpp"
+
+namespace softqos {
+namespace {
+
+net::ChannelConfig channelMbit(double mbit) {
+  net::ChannelConfig cfg;
+  cfg.bytesPerSecond = mbit * 1e6 / 8.0;
+  cfg.propagationDelay = sim::msec(1);
+  cfg.queueCapacityBytes = 96 * 1024;
+  return cfg;
+}
+
+constexpr int kStrengths[3] = {30, 20, 10};
+
+/// A camera daemon that just stays alive: the liveliness probes ask its
+/// host manager whether the pid still runs, so the process must be real.
+void idleLoop(osim::Process& p) {
+  if (p.terminated()) return;
+  p.sleepFor(sim::sec(1), [&p] { idleLoop(p); });
+}
+
+/// Management host (shard 0, seats the policy agent's RPC endpoint) plus
+/// three offerer hosts (shards 1..3), each running a camera process and a
+/// QoS Host Manager that answers the agent's liveliness probes. The three
+/// sessions offer the same exclusive-ownership contract at strengths
+/// 30/20/10; the offer's lease is 300ms with a 3-miss threshold.
+struct CamWorld {
+  sim::Simulation sim;
+  net::Network network;
+  osim::Host mgmt;
+  std::vector<std::unique_ptr<osim::Host>> offerers;
+  net::Switch hub;
+  distribution::Qorms qorms;
+  std::vector<manager::QoSHostManager*> hms;
+  std::vector<std::unique_ptr<instrument::SensorRegistry>> registries;
+  std::vector<std::unique_ptr<instrument::Coordinator>> coordinators;
+  faults::FaultInjector injector;
+  osim::Pid pids[3] = {0, 0, 0};
+
+  CamWorld(std::uint64_t seed, unsigned workers, bool traced)
+      : sim(seed),
+        network((traced ? sim.trace().setLevel(sim::TraceLevel::kInfo)
+                        : void(),
+                 sim.configureParallel(sim::ParallelConfig{workers, 4 / workers}),
+                 sim)),
+        mgmt(sim, "mgmt-host"),
+        hub(network, "hub"),
+        qorms(sim, network),
+        injector(sim, network) {
+    for (unsigned i = 0; i < 3; ++i) {
+      offerers.push_back(std::make_unique<osim::Host>(
+          sim, "offerer-" + std::to_string(i + 1)));
+      offerers.back()->setShard(static_cast<sim::ShardId>(i + 1));
+    }
+    net::Nic& mgmtNic = network.attachHost(mgmt);
+    network.link(mgmtNic, hub, channelMbit(100));
+    for (unsigned i = 0; i < 3; ++i) {
+      net::Nic& nic = network.attachHost(*offerers[i]);
+      nic.setShard(static_cast<sim::ShardId>(i + 1));
+      network.link(nic, hub, channelMbit(100));
+    }
+
+    distribution::RepositoryService& repo = qorms.repository();
+    repo.addExecutable(policy::ExecutableInfo{"CamFeed", "/opt/cam/feed", {}});
+    repo.addApplication(policy::ApplicationInfo{"CityCam", {"CamFeed"}});
+    policy::ContractSpec offer;
+    offer.name = "cam-offer";
+    offer.executable = "CamFeed";
+    offer.hasOffer = true;
+    offer.offer = policy::parseQosOffer(
+        "deadline=50ms liveliness=automatic:300ms history=4 strength=5");
+    repo.addContract(offer);
+    policy::ContractSpec ask;
+    ask.name = "cam-ask";
+    ask.application = "CityCam";
+    ask.hasRequest = true;
+    ask.request = policy::parseQosRequest("deadline<=100ms");
+    repo.addContract(ask);
+
+    manager::HostManagerConfig hmCfg;
+    hmCfg.domainManagerHost = mgmt.name();
+    hmCfg.contractAgentHost = mgmt.name();
+    for (unsigned i = 0; i < 3; ++i) {
+      sim::ShardScope scope(sim, static_cast<sim::ShardId>(i + 1));
+      hms.push_back(&qorms.createHostManager(*offerers[i], hmCfg));
+    }
+    qorms.enableContractPlane(mgmt);
+
+    // The camera daemons (real processes: host-stats reports on them) and
+    // their coordinators live on the offerer shards; the registrations run
+    // on shard 0, where the agent (and every event it schedules — probes,
+    // retries) is seated. They carry no policies — the plane under test is
+    // contracts, not obligations.
+    for (unsigned i = 0; i < 3; ++i) {
+      sim::ShardScope scope(sim, static_cast<sim::ShardId>(i + 1));
+      // Pids are per-host; the agent keys sessions by pid domain-wide, so
+      // pad each host's pid space to keep the daemons' pids distinct
+      // (1 / 2 / 3) — colliding pids would read as re-registrations.
+      for (unsigned pad = 0; pad < i; ++pad) {
+        offerers[i]->spawn("pad", [](osim::Process& p) { idleLoop(p); });
+      }
+      auto daemon = offerers[i]->spawn(
+          "cam-daemon", [](osim::Process& p) { idleLoop(p); });
+      pids[i] = daemon->pid();
+      registries.push_back(std::make_unique<instrument::SensorRegistry>());
+      coordinators.push_back(std::make_unique<instrument::Coordinator>(
+          sim, offerers[i]->name(), pids[i], "CamFeed", *registries.back(),
+          [](const instrument::ViolationReport&) { return true; }));
+    }
+    for (unsigned i = 0; i < 3; ++i) {
+      distribution::PolicyAgent::Registration reg;
+      reg.pid = pids[i];
+      reg.application = "CityCam";
+      reg.executable = "CamFeed";
+      reg.coordinator = coordinators[i].get();
+      reg.hostName = offerers[i]->name();
+      reg.ownershipStrength = kStrengths[i];
+      qorms.agent().registerProcess(reg);
+    }
+
+    injector.registerHost(mgmt);
+    for (unsigned i = 0; i < 3; ++i) injector.registerHost(*offerers[i]);
+    for (unsigned i = 0; i < 3; ++i) {
+      injector.registerHostManager(offerers[i]->name(), *hms[i]);
+    }
+  }
+
+  void armCrash(const std::string& hostName) {
+    faults::FaultPlan plan;
+    plan.hostCrash(sim::sec(2), hostName);
+    injector.arm(plan);
+    network.primeRoutes();
+    sim.setLookahead(network.minCrossShardPropagation());
+  }
+
+  [[nodiscard]] std::string countersDigest() {
+    std::ostringstream out;
+    distribution::PolicyAgent& agent = qorms.agent();
+    out << "owner=" << agent.ownerOf("cam-offer")
+        << " losses=" << agent.livelinessLosses()
+        << " failovers=" << agent.ownershipFailovers()
+        << " probes=" << agent.livelinessProbesSent()
+        << " full=" << agent.admissionsFull()
+        << " registrations=" << agent.registrations() << '\n';
+    for (unsigned i = 0; i < 3; ++i) {
+      out << "hm" << i << ":events=" << hms[i]->contractEventsSeen()
+          << ",firings=" << hms[i]->engine().totalFirings()
+          << ",facts=" << hms[i]->engine().facts().size() << '\n';
+    }
+    for (unsigned i = 0; i < 3; ++i) {
+      const auto info = agent.sessionInfo(pids[i]);
+      out << "session" << pids[i]
+          << ":alive=" << (info.has_value() && info->alive) << '\n';
+    }
+    return out.str();
+  }
+
+  [[nodiscard]] std::string traceDigest() {
+    std::ostringstream out;
+    for (const sim::TraceRecord& rec : sim.trace().records()) {
+      out << rec.time << '|' << static_cast<int>(rec.level) << '|'
+          << rec.component << '|' << rec.message << '\n';
+    }
+    return out.str() + countersDigest();
+  }
+};
+
+struct ChaosResult {
+  std::string counters;
+  std::string trace;  // traced single-worker runs only
+  osim::Pid pids[3] = {0, 0, 0};
+  std::uint32_t ownerBefore = 0;
+  std::uint32_t ownerAfterCrash = 0;
+  std::uint64_t losses = 0;
+  std::uint64_t failovers = 0;
+  bool newOwnerHmHasFact = false;
+  bool crashedSessionAlive = true;
+};
+
+ChaosResult runOffererCrash(std::uint64_t seed, unsigned workers,
+                            bool traced) {
+  CamWorld world(seed, workers, traced);
+  world.armCrash("offerer-1");  // the strength-30 owner
+
+  ChaosResult result;
+  for (unsigned i = 0; i < 3; ++i) result.pids[i] = world.pids[i];
+  result.ownerBefore = world.qorms.agent().ownerOf("cam-offer");
+  world.sim.runUntil(sim::sec(6));
+  result.ownerAfterCrash = world.qorms.agent().ownerOf("cam-offer");
+  result.losses = world.qorms.agent().livelinessLosses();
+  result.failovers = world.qorms.agent().ownershipFailovers();
+  const auto crashed = world.qorms.agent().sessionInfo(world.pids[0]);
+  result.crashedSessionAlive = crashed.has_value() && crashed->alive;
+  // The new owner's manager heard the owner-changed event as a fact.
+  result.newOwnerHmHasFact =
+      world.hms[1]->engine().facts().findWhere(
+          "contract-owner",
+          {{"contract", rules::Value::symbol("cam-offer")},
+           {"pid", rules::Value::integer(world.pids[1])}}) != nullptr;
+  result.counters = world.countersDigest();
+  if (traced) result.trace = world.traceDigest();
+  return result;
+}
+
+class OffererCrash : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OffererCrash, FailsOverToNextStrongestAndReplaysByteIdentically) {
+  const std::uint64_t seed = GetParam();
+  const ChaosResult a = runOffererCrash(seed, /*workers=*/1, /*traced=*/true);
+
+  // Before the crash the strength-30 session owns the contract; after it,
+  // liveliness probing noticed the silence and ownership moved to the
+  // strength-20 session — deterministically, never to strength 10.
+  EXPECT_EQ(a.ownerBefore, a.pids[0]) << "seed " << seed;
+  EXPECT_EQ(a.ownerAfterCrash, a.pids[1]) << "seed " << seed;
+  EXPECT_FALSE(a.crashedSessionAlive) << "seed " << seed;
+  EXPECT_EQ(a.losses, 1u) << "seed " << seed;
+  EXPECT_EQ(a.failovers, 1u) << "seed " << seed;
+  EXPECT_TRUE(a.newOwnerHmHasFact)
+      << "seed " << seed << ": owner-changed never reached the new "
+      << "owner's host manager";
+
+  // Byte-identical replay: full trace plus counters.
+  const ChaosResult b = runOffererCrash(seed, 1, true);
+  ASSERT_EQ(a.trace, b.trace) << "seed " << seed << " diverged on replay";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OffererCrash,
+                         ::testing::Values(1u, 7u, 42u, 99991u));
+
+// The same 4-shard schedule driven by 1, 2 and 4 worker threads must make
+// every decision identically: the shard count is the schedule, workers only
+// execute it. (Multi-threaded runs keep tracing off — the trace ring is
+// shared — so the comparison is over the full counter digest.)
+TEST(OffererCrashWorkers, WorkerCountDoesNotChangeTheRun) {
+  std::vector<std::string> digests;
+  for (unsigned workers : {1u, 2u, 4u}) {
+    const ChaosResult r = runOffererCrash(7, workers, /*traced=*/false);
+    EXPECT_EQ(r.ownerAfterCrash, r.pids[1]) << workers << " workers";
+    digests.push_back(r.counters);
+  }
+  EXPECT_EQ(digests[0], digests[1]);
+  EXPECT_EQ(digests[0], digests[2]);
+
+  // And a multi-worker run replays byte-identically against itself.
+  const ChaosResult again = runOffererCrash(7, 2, false);
+  EXPECT_EQ(again.counters, digests[1]);
+}
+
+// Crashing a NON-owner must not move ownership: liveliness loss is
+// per-session, failover only follows the owner.
+TEST(OffererCrashWorkers, NonOwnerCrashKeepsTheOwner) {
+  CamWorld world(5, /*workers=*/2, /*traced=*/false);
+  world.armCrash("offerer-3");  // the weakest, not the owner
+  world.sim.runUntil(sim::sec(6));
+
+  EXPECT_EQ(world.qorms.agent().ownerOf("cam-offer"), world.pids[0]);
+  EXPECT_EQ(world.qorms.agent().livelinessLosses(), 1u);
+  EXPECT_EQ(world.qorms.agent().ownershipFailovers(), 0u)
+      << "losing a non-owner must not count as failover";
+}
+
+}  // namespace
+}  // namespace softqos

@@ -1,0 +1,208 @@
+// City-scale observability sweep: the city testbed with tail-based trace
+// sampling and the QoS contract plane armed, a deterministic chaos plan
+// (the strongest contract offerer's host crashes mid-run), driven by
+// 1/2/4/8 worker threads over the same fixed 8-shard schedule.
+//
+// Each ObsCityRetention iteration is one complete 6-simulated-second run:
+// construct, run in 500 ms flush chunks, finalFlush, export. Reported per
+// configuration:
+//
+//   items_per_second  -- simulator events executed per wall-clock second
+//   total_spans       -- spans the sampler saw (the keep-all baseline)
+//   retained_spans    -- spans surviving the retention policy
+//   reduction_pct     -- 100 * (1 - retained/total); the full (non-tiny)
+//                        city must stay >= 90
+//   retained_traces / total_traces / trace_hash (FNV-1a of the canonical
+//   Chrome trace export, so worker rows showing the same hash shipped the
+//   byte-identical retained set)
+//
+// The run aborts (SkipWithError) unless every injected fault left a
+// complete retained causal trace: a liveliness loss and an ownership
+// failover at the agent, and retained "contract:liveliness-lost" /
+// "contract:owner-changed" traces in the sampler. ObsCityWorkerInvariance
+// runs the sweep at 1/2/4/8 workers and fails unless the exported retained
+// set is byte-identical.
+//
+// SOFTQOS_CITY_TINY=1 shrinks to the 2-tier, 16-host city — the CI smoke
+// configuration (reduction there is reported but not asserted: the floor is
+// a city-scale property). Recorded to BENCH_obs_city.json by
+// scripts/bench.sh obs_city.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "apps/city.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/injector.hpp"
+#include "obs/export.hpp"
+
+namespace {
+
+using namespace softqos;
+
+bool tinyCity() {
+  const char* tiny = std::getenv("SOFTQOS_CITY_TINY");
+  return tiny != nullptr && tiny[0] == '1';
+}
+
+apps::CityConfig obsCityConfig(unsigned workers) {
+  apps::CityConfig cfg;
+  cfg.seed = 20260808;
+  if (tinyCity()) {
+    cfg.tiers = 2;
+    cfg.racks = 4;
+    cfg.hostsPerRack = 4;
+  } else {
+    cfg.tiers = 3;
+    cfg.racks = 32;
+    cfg.hostsPerRack = 32;
+    cfg.racksPerCluster = 8;
+  }
+  cfg.processesPerHost = 2;
+  cfg.shards = 8;
+  cfg.workers = workers;
+  cfg.sampling = true;
+  cfg.samplerConfig.slowestReservoir = 8;
+  cfg.samplerConfig.baselineProbability = 0.01;
+  cfg.contractPlane = true;
+  return cfg;
+}
+
+struct ObsRun {
+  std::uint64_t executed = 0;
+  std::uint64_t totalTraces = 0;
+  std::uint64_t totalSpans = 0;
+  std::uint64_t retainedTraces = 0;
+  std::uint64_t retainedSpans = 0;
+  std::string traceJson;
+  std::string error;
+};
+
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+ObsRun runObsCity(unsigned workers) {
+  ObsRun r;
+  apps::City city(obsCityConfig(workers));
+
+  // Chaos: the strongest offerer's host crashes at t=2s. Liveliness probing
+  // must declare the session lost and fail ownership over to the
+  // next-strongest alive offerer; the flight recorder captures each
+  // decision and the sampler's "contract:" trigger retains the traces.
+  faults::FaultInjector injector(city.sim, city.network);
+  osim::Host& victim = city.contractHost(0);
+  injector.registerHost(victim);
+  if (manager::QoSHostManager* hm = city.qorms.hostManagerFor(victim.name())) {
+    injector.registerHostManager(victim.name(), *hm);
+  }
+  faults::FaultPlan plan;
+  plan.hostCrash(sim::sec(2), victim.name());
+  injector.arm(plan);
+
+  // 6 simulated seconds in 500 ms chunks: every chunk boundary is a sampler
+  // flush at a fixed sim time, identical at every worker count.
+  for (int i = 0; i < 12; ++i) r.executed += city.run(sim::msec(500));
+  city.finishSampling();
+
+  const obs::TraceSampler& sampler = *city.sampler;
+  r.totalTraces = sampler.totalTraces();
+  r.totalSpans = sampler.totalSpans();
+  r.retainedTraces = sampler.retainedCount();
+  r.retainedSpans = sampler.retainedSpanCount();
+  r.traceJson = obs::chromeTraceJson(sampler);
+
+  bool lossRetained = false;
+  bool failoverRetained = false;
+  for (const obs::SampledTrace* t : sampler.retained()) {
+    if (!t->complete) continue;
+    if (t->rootName == "contract:liveliness-lost") lossRetained = true;
+    if (t->rootName == "contract:owner-changed") failoverRetained = true;
+  }
+
+  const distribution::PolicyAgent& agent = city.qorms.agent();
+  if (agent.livelinessLosses() < 1 || agent.ownershipFailovers() < 1) {
+    r.error = "host crash produced no liveliness loss / failover";
+  } else if (!lossRetained || !failoverRetained) {
+    r.error = "injected fault left no complete retained contract trace";
+  } else if (r.retainedSpans > city.config().samplerConfig.maxRetainedSpans) {
+    r.error = "retained spans exceed the configured cap";
+  } else if (!tinyCity() && r.totalSpans > 0 &&
+             r.retainedSpans * 10 > r.totalSpans) {
+    r.error = "retention reduced spans by less than 90% at city scale";
+  }
+  return r;
+}
+
+void ObsCityRetention(benchmark::State& state) {
+  const auto workers = static_cast<unsigned>(state.range(0));
+  ObsRun last;
+  std::uint64_t executed = 0;
+  for (auto _ : state) {
+    last = runObsCity(workers);
+    executed += last.executed;
+    if (!last.error.empty()) {
+      state.SkipWithError(last.error.c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(executed));
+  state.counters["total_traces"] = static_cast<double>(last.totalTraces);
+  state.counters["total_spans"] = static_cast<double>(last.totalSpans);
+  state.counters["retained_traces"] = static_cast<double>(last.retainedTraces);
+  state.counters["retained_spans"] = static_cast<double>(last.retainedSpans);
+  state.counters["reduction_pct"] =
+      last.totalSpans > 0
+          ? 100.0 * (1.0 - static_cast<double>(last.retainedSpans) /
+                               static_cast<double>(last.totalSpans))
+          : 0.0;
+  // Masked to 32 bits so the double-valued counter is exact.
+  state.counters["trace_hash"] =
+      static_cast<double>(fnv1a(last.traceJson) & 0xffffffffull);
+}
+BENCHMARK(ObsCityRetention)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+/// The acceptance gate: the same chaos run at 1/2/4/8 workers must export
+/// the byte-identical retained-trace document.
+void ObsCityWorkerInvariance(benchmark::State& state) {
+  for (auto _ : state) {
+    const ObsRun base = runObsCity(1);
+    if (!base.error.empty()) {
+      state.SkipWithError(base.error.c_str());
+      return;
+    }
+    for (unsigned workers : {2u, 4u, 8u}) {
+      const ObsRun other = runObsCity(workers);
+      if (!other.error.empty()) {
+        state.SkipWithError(other.error.c_str());
+        return;
+      }
+      if (other.traceJson != base.traceJson) {
+        const std::string message =
+            "retained-trace export at " + std::to_string(workers) +
+            " workers diverged from the 1-worker run";
+        state.SkipWithError(message.c_str());
+        return;
+      }
+    }
+  }
+}
+BENCHMARK(ObsCityWorkerInvariance)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

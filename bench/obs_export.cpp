@@ -2,6 +2,7 @@
 // tracing enabled and export the results for offline analysis.
 //
 //   obs_export [--chaos] [trace.json [metrics.json]]
+//   obs_export --city [trace.json [metrics.json [domain.json [flight.json]]]]
 //
 // Default mode replays the Figure 3 "high load" scenario (competing CPU
 // workers, then bottleneck cross traffic) so the trace contains complete
@@ -11,14 +12,24 @@
 // running the liveness protocol, exercising retry/duplicate-suppression and
 // fault-localization spans.
 //
+// --city runs the tiny sharded city with tail-based trace sampling and the
+// QoS contract plane armed, crashing the strongest contract offerer's host
+// mid-run. It writes the sampler's retained traces (canonically renumbered,
+// worker-invariant), a metrics snapshot with the observability drop-counter
+// section, the root domain manager's aggregated telemetry with histogram
+// exemplars resolved against the sampler, and the contract-plane flight
+// recorder's dashboard JSON.
+//
 // trace.json is Chrome trace_event JSON (open in https://ui.perfetto.dev or
-// chrome://tracing); metrics.json is a MetricRegistry snapshot. Both runs
-// print the violation-reaction latency p50/p99 ("qos.reaction_latency_us").
+// chrome://tracing); metrics.json is a MetricRegistry snapshot. The testbed
+// runs print the violation-reaction latency p50/p99
+// ("qos.reaction_latency_us").
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
 
+#include "apps/city.hpp"
 #include "apps/testbed.hpp"
 #include "faults/fault_plan.hpp"
 #include "faults/injector.hpp"
@@ -123,24 +134,103 @@ void run(bool chaos, const std::string& tracePath,
   std::printf("wrote %s and %s\n", tracePath.c_str(), metricsPath.c_str());
 }
 
+void runCity(const std::string& tracePath, const std::string& metricsPath,
+             const std::string& domainPath, const std::string& flightPath) {
+  apps::CityConfig config;
+  config.seed = 20260808;
+  config.tiers = 2;
+  config.racks = 4;
+  config.hostsPerRack = 4;
+  config.processesPerHost = 2;
+  config.shards = 8;
+  config.workers = 2;
+  config.sampling = true;
+  config.samplerConfig.slowestReservoir = 8;
+  config.samplerConfig.baselineProbability = 0.01;
+  config.contractPlane = true;
+  apps::City city(config);
+
+  // The strongest contract offerer's host crashes at t=2s; liveliness
+  // probing must surface the loss and fail ownership over, and the sampler's
+  // "contract:" trigger must retain the resulting traces.
+  faults::FaultInjector injector(city.sim, city.network);
+  osim::Host& victim = city.contractHost(0);
+  injector.registerHost(victim);
+  if (manager::QoSHostManager* hm = city.qorms.hostManagerFor(victim.name())) {
+    injector.registerHostManager(victim.name(), *hm);
+  }
+  faults::FaultPlan plan;
+  plan.hostCrash(sim::sec(2), victim.name());
+  injector.arm(plan);
+
+  // 8 simulated seconds in 500 ms flush chunks (the boundaries land at the
+  // same sim times at every worker count, keeping the retained set
+  // invariant), then resolve everything still pending.
+  for (int i = 0; i < 16; ++i) city.run(sim::msec(500));
+  city.finishSampling();
+
+  const obs::TraceSampler& sampler = *city.sampler;
+  std::printf("victim host: %s (crashed at t=2s; its manager stays down, so "
+              "its episodes detect without diagnosing)\n",
+              victim.name().c_str());
+  std::printf("city run: %.0f simulated seconds, %d hosts, "
+              "traces %llu/%llu retained, spans %llu/%llu retained\n",
+              sim::toSeconds(city.sim.now()), city.hostCount(),
+              static_cast<unsigned long long>(sampler.retainedCount()),
+              static_cast<unsigned long long>(sampler.totalTraces()),
+              static_cast<unsigned long long>(sampler.retainedSpanCount()),
+              static_cast<unsigned long long>(sampler.totalSpans()));
+  const distribution::PolicyAgent& agent = city.qorms.agent();
+  std::printf("contract plane: %llu liveliness losses, %llu failovers, "
+              "%llu flight-recorder decisions\n",
+              static_cast<unsigned long long>(agent.livelinessLosses()),
+              static_cast<unsigned long long>(agent.ownershipFailovers()),
+              static_cast<unsigned long long>(
+                  city.flightRecorder->totalRecords()));
+
+  {
+    std::ofstream out(tracePath);
+    out << obs::chromeTraceJson(sampler);
+  }
+  {
+    std::ofstream out(metricsPath);
+    out << obs::metricsJson(city.sim.metrics(), &city.sim.trace(), nullptr,
+                            &sampler);
+  }
+  {
+    std::ofstream out(domainPath);
+    out << obs::domainMetricsJson(city.rootDm().telemetry(), &sampler);
+  }
+  {
+    std::ofstream out(flightPath);
+    out << obs::flightRecorderJson(*city.flightRecorder);
+  }
+  std::printf("wrote %s, %s, %s and %s\n", tracePath.c_str(),
+              metricsPath.c_str(), domainPath.c_str(), flightPath.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool chaos = false;
-  std::string tracePath = "trace.json";
-  std::string metricsPath = "metrics.json";
+  bool cityMode = false;
+  std::string paths[4] = {"trace.json", "metrics.json", "domain.json",
+                          "flight.json"};
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--chaos") == 0) {
       chaos = true;
-    } else if (positional == 0) {
-      tracePath = argv[i];
-      ++positional;
-    } else {
-      metricsPath = argv[i];
+    } else if (std::strcmp(argv[i], "--city") == 0) {
+      cityMode = true;
+    } else if (positional < 4) {
+      paths[positional] = argv[i];
       ++positional;
     }
   }
-  run(chaos, tracePath, metricsPath);
+  if (cityMode) {
+    runCity(paths[0], paths[1], paths[2], paths[3]);
+  } else {
+    run(chaos, paths[0], paths[1]);
+  }
   return 0;
 }

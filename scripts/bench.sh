@@ -13,10 +13,14 @@
 #   scripts/bench.sh contracts [build-dir] -> BENCH_contracts.json (RxO
 #                              admission decision + register-time admission
 #                              latency: plane off / full tier / rejection)
+#   scripts/bench.sh obs_city [build-dir] -> BENCH_obs_city.json (city run
+#                              with tail-based sampling + contract plane
+#                              under a host-crash plan: span retention vs
+#                              keep-all, plus the worker-invariance gate)
 set -euo pipefail
 
 usage() {
-  echo "usage: scripts/bench.sh <rules|sim|parallel|city|contracts> [build-dir]" >&2
+  echo "usage: scripts/bench.sh <rules|sim|parallel|city|contracts|obs_city> [build-dir]" >&2
   exit 2
 }
 
@@ -31,6 +35,7 @@ case "$suite" in
   parallel) target="bench_parallel_engine"; out="$repo_root/BENCH_parallel.json" ;;
   city)  target="bench_city";            out="$repo_root/BENCH_city.json" ;;
   contracts) target="bench_contracts";   out="$repo_root/BENCH_contracts.json" ;;
+  obs_city) target="bench_obs_city";     out="$repo_root/BENCH_obs_city.json" ;;
   *) usage ;;
 esac
 

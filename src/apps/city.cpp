@@ -1,11 +1,13 @@
 #include "apps/city.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
 #include "instrument/report.hpp"
 #include "net/nic.hpp"
 #include "obs/slo.hpp"
+#include "policy/qos_contract.hpp"
 
 namespace softqos::apps {
 
@@ -36,6 +38,14 @@ void dutySpin(osim::Process& p) {
 /// the payload exists to load the channels (and the NIC counts the drop),
 /// not to reach an application.
 constexpr int kTrafficPort = 9900;
+
+/// Camera daemon for the contract plane: stays alive so liveliness probes
+/// (which ask the host manager whether the pid still runs) succeed until a
+/// fault kills the host.
+void camIdle(osim::Process& p) {
+  if (p.terminated()) return;
+  p.sleepFor(sim::sec(1), [&p] { camIdle(p); });
+}
 
 }  // namespace
 
@@ -88,6 +98,13 @@ City::City(CityConfig config)
   }
   if (config_.tiers == 3 && config_.racksPerCluster < 1) {
     throw std::invalid_argument("City: racksPerCluster must be >= 1");
+  }
+  // Attach before anything is built so manager construction and every later
+  // event run under sampling. Attaching is pure bookkeeping — no events, no
+  // RNG draws — and the sampler is shard-safe, so it stays attached through
+  // multi-worker windowed runs.
+  if (config_.sampling) {
+    sampler = std::make_unique<obs::TraceSampler>(sim, config_.samplerConfig);
   }
   if (config_.shards > 0) {
     if (config_.shards < 2) {
@@ -146,6 +163,7 @@ City::City(CityConfig config)
   buildTopology();
   buildManagers();
   startWorkloads();
+  if (config_.contractPlane) startContractPlane();
 
   network.primeRoutes();
   if (config_.shards > 0) {
@@ -227,6 +245,9 @@ void City::buildManagers() {
   hmCfg.partitionByApplication = config_.partitionWorkingMemory;
   hmCfg.telemetryInterval = config_.telemetryInterval;
   if (config_.telemetryInterval > 0) hmCfg.slos = obs::defaultManagementSlos();
+  // Contract sessions are probed through their host's manager, so every
+  // manager must know the agent's seat at construction time.
+  if (config_.contractPlane) hmCfg.contractAgentHost = "root-host";
   for (std::size_t h = 0; h < hosts_.size(); ++h) {
     const int rack = static_cast<int>(h) / config_.hostsPerRack;
     hmCfg.domainManagerHost = rackSeatName(rack);
@@ -271,6 +292,7 @@ void City::startWorkloads() {
   const std::size_t drivers = hosts_.size() *
                               static_cast<std::size_t>(config_.processesPerHost);
   violated_.assign(drivers, 0);
+  episodeCtx_.assign(drivers, sim::TraceContext{});
   pids_.reserve(drivers);
   streams_.reserve(hosts_.size());
 
@@ -322,7 +344,30 @@ void City::reportTick(std::size_t idx) {
     report.violated = violated_[idx] != 0;
     report.metrics.emplace_back(
         "frame_rate", report.violated ? 18.0 + 8.0 * metric : 28.0 + 6.0 * metric);
+    // Causal tracing (sampling on): the driver plays the coordinator's part,
+    // opening an episode trace at the violation and closing it at the clear.
+    // Everything the managers do with the report — diagnosis, rule firings,
+    // actuations, escalation into the domain tree — nests under it via
+    // report.context, exactly like the two-host testbed's episodes.
+    sim::SpanObserver* o = sim.observer();
+    if (o != nullptr) {
+      if (report.violated) {
+        episodeCtx_[idx] =
+            o->beginTrace(sim.now(), "episode:frame_rate", hosts_[h]->name());
+        o->annotate(episodeCtx_[idx], "pid", std::to_string(report.pid));
+        o->instant(sim.now(), episodeCtx_[idx], "violation",
+                   hosts_[h]->name());
+      } else if (episodeCtx_[idx].valid()) {
+        o->instant(sim.now(), episodeCtx_[idx], "recovered",
+                   hosts_[h]->name());
+      }
+      report.context = episodeCtx_[idx];
+    }
     hms_[h]->handleReport(report);
+    if (o != nullptr && !report.violated && episodeCtx_[idx].valid()) {
+      o->endSpan(sim.now(), episodeCtx_[idx]);
+      episodeCtx_[idx] = sim::TraceContext{};
+    }
   }
   sim.after(config_.reportInterval, [this, idx] { reportTick(idx); });
 }
@@ -338,7 +383,78 @@ void City::trafficTick(int rack, int i) {
 }
 
 std::uint64_t City::run(sim::SimDuration span) {
-  return sim.runUntil(sim.now() + span);
+  const std::uint64_t executed = sim.runUntil(sim.now() + span);
+  // The flush point is a sim time (now), identical at every shard and
+  // worker count, so the sampler resolves the same retained set everywhere.
+  if (sampler) sampler->flush();
+  return executed;
+}
+
+void City::finishSampling() {
+  if (sampler) sampler->finalFlush();
+}
+
+void City::startContractPlane() {
+  flightRecorder = std::make_unique<obs::FlightRecorder>(sim);
+  qorms.agent().setFlightRecorder(flightRecorder.get());
+
+  distribution::RepositoryService& repo = qorms.repository();
+  repo.addExecutable(policy::ExecutableInfo{"CamFeed", "/opt/cam/feed", {}});
+  repo.addApplication(policy::ApplicationInfo{"CityCam", {"CamFeed"}});
+  policy::ContractSpec offer;
+  offer.name = "cam-offer";
+  offer.executable = "CamFeed";
+  offer.hasOffer = true;
+  offer.offer = policy::parseQosOffer(
+      "deadline=50ms liveliness=automatic:300ms history=4 strength=5");
+  repo.addContract(offer);
+  policy::ContractSpec ask;
+  ask.name = "cam-ask";
+  ask.application = "CityCam";
+  ask.hasRequest = true;
+  ask.request = policy::parseQosRequest("deadline<=100ms");
+  repo.addContract(ask);
+
+  // The agent's RPC endpoint (renegotiate, probes, event notifications)
+  // seats on the root host — shard 0, beside the repository it consults.
+  qorms.enableContractPlane(*seats_.back());
+
+  // One camera daemon per session, spread rack-first over the workload
+  // hosts. Pids are per-host and the agent keys sessions by pid
+  // domain-wide, so each host pads its pid space to keep the daemons' pids
+  // distinct (colliding pids would read as re-registrations).
+  const int sessions = std::min(config_.contractSessions, hostCount());
+  for (int i = 0; i < sessions; ++i) {
+    const std::size_t h = static_cast<std::size_t>(
+        (i % config_.racks) * config_.hostsPerRack +
+        (i / config_.racks) % config_.hostsPerRack);
+    contractHostIdx_.push_back(h);
+    osim::Host& host = *hosts_[h];
+    sim::ShardScope scope(sim, host.shard());
+    for (int pad = 0; pad < i; ++pad) {
+      host.spawn("pad", [](osim::Process& p) { camIdle(p); });
+    }
+    auto daemon = host.spawn("cam-daemon",
+                             [](osim::Process& p) { camIdle(p); });
+    contractPids_.push_back(daemon->pid());
+    camRegistries_.push_back(std::make_unique<instrument::SensorRegistry>());
+    camCoordinators_.push_back(std::make_unique<instrument::Coordinator>(
+        sim, host.name(), daemon->pid(), "CamFeed", *camRegistries_.back(),
+        [](const instrument::ViolationReport&) { return true; }));
+  }
+  // Registrations run on shard 0, where the agent (and every event it
+  // schedules — probes, retries) is seated. Strength descends with i, so
+  // session 0 owns the contract until a fault takes it out.
+  for (int i = 0; i < sessions; ++i) {
+    distribution::PolicyAgent::Registration reg;
+    reg.pid = static_cast<std::uint32_t>(contractPids_[static_cast<std::size_t>(i)]);
+    reg.application = "CityCam";
+    reg.executable = "CamFeed";
+    reg.coordinator = camCoordinators_[static_cast<std::size_t>(i)].get();
+    reg.hostName = hosts_[contractHostIdx_[static_cast<std::size_t>(i)]]->name();
+    reg.ownershipStrength = 10 * (sessions - i);
+    qorms.agent().registerProcess(reg);
+  }
 }
 
 std::string City::digest() const {

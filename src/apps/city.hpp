@@ -26,11 +26,16 @@
 #include <vector>
 
 #include "distribution/qorms.hpp"
+#include "instrument/coordinator.hpp"
+#include "instrument/registry.hpp"
 #include "net/partition.hpp"
 #include "net/switch.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/sampler.hpp"
 #include "osim/host.hpp"
 #include "sim/random.hpp"
 #include "sim/simulation.hpp"
+#include "sim/span.hpp"
 
 namespace softqos::apps {
 
@@ -72,6 +77,21 @@ struct CityConfig {
   bool usePlanner = true;
   /// Partition every host manager's working memory by application pid.
   bool partitionWorkingMemory = true;
+  /// Attach an obs::TraceSampler (tail-based sampling): the report drivers
+  /// mint "episode:frame_rate" traces the managers' diagnosis/actuation
+  /// spans nest under, per-shard buffers are flushed at every run()
+  /// boundary, and samplerConfig's retention policy decides which traces
+  /// survive. Shard-safe: stays attached through multi-worker runs. Off by
+  /// default — a city without it runs byte-identically to earlier builds.
+  bool sampling = false;
+  obs::SamplerConfig samplerConfig;
+  /// Arm the QoS contract plane: `contractSessions` camera offerer sessions
+  /// (spread over the racks, descending ownership strength) admitted
+  /// through the policy agent's RxO matcher, liveliness-probed over RPC
+  /// from the root seat, and captured by a contract-plane flight recorder.
+  /// Off by default — byte-identical to earlier builds.
+  bool contractPlane = false;
+  int contractSessions = 3;
 };
 
 /// The full city: topology, managers, workload drivers. Construction builds
@@ -87,8 +107,22 @@ class City {
   net::Network network;
   distribution::Qorms qorms;
 
-  /// Advance the simulation by `span`; returns events executed.
+  /// Non-null when config.sampling; attached to `sim` for the city's
+  /// lifetime. run() flushes it at each boundary; call finalFlush() (or
+  /// finishSampling()) once before exporting.
+  std::unique_ptr<obs::TraceSampler> sampler;
+  /// Non-null when config.contractPlane; wired into the policy agent.
+  std::unique_ptr<obs::FlightRecorder> flightRecorder;
+
+  /// Advance the simulation by `span`; returns events executed. With
+  /// sampling on, the sampler's per-shard buffers are flushed afterwards —
+  /// the boundary lands at the same sim time regardless of shard or worker
+  /// count, which keeps the retained set invariant.
   std::uint64_t run(sim::SimDuration span);
+
+  /// Resolve every still-pending sampled trace (end of run). No-op without
+  /// sampling.
+  void finishSampling();
 
   [[nodiscard]] const CityConfig& config() const { return config_; }
   [[nodiscard]] int hostCount() const { return config_.racks * config_.hostsPerRack; }
@@ -103,6 +137,16 @@ class City {
   }
   [[nodiscard]] osim::Host& workloadHost(int rack, int i) {
     return *hosts_[static_cast<std::size_t>(rack * config_.hostsPerRack + i)];
+  }
+
+  /// Pids of the contract-plane camera sessions, in registration
+  /// (descending-strength) order; empty without the contract plane.
+  [[nodiscard]] const std::vector<osim::Pid>& contractPids() const {
+    return contractPids_;
+  }
+  /// Host the i-th contract session runs on.
+  [[nodiscard]] osim::Host& contractHost(int i) {
+    return *hosts_[contractHostIdx_[static_cast<std::size_t>(i)]];
   }
 
   /// The shard layout chosen for the workload hosts (identity when serial).
@@ -129,6 +173,7 @@ class City {
   void buildTopology();
   void buildManagers();
   void startWorkloads();
+  void startContractPlane();
 
   CityConfig config_;
   net::ShardPlan plan_;
@@ -149,6 +194,14 @@ class City {
   std::vector<std::unique_ptr<sim::RandomStream>> streams_;
   std::vector<char> violated_;
   std::vector<osim::Pid> pids_;  // spawned workload pids, (host, process) order
+  /// Open episode trace per driver (sampling only; default contexts else).
+  std::vector<sim::TraceContext> episodeCtx_;
+
+  // Contract-plane sessions (config.contractPlane).
+  std::vector<std::unique_ptr<instrument::SensorRegistry>> camRegistries_;
+  std::vector<std::unique_ptr<instrument::Coordinator>> camCoordinators_;
+  std::vector<osim::Pid> contractPids_;
+  std::vector<std::size_t> contractHostIdx_;
 
   void reportTick(std::size_t idx);
   void trafficTick(int rack, int i);

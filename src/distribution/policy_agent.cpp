@@ -116,6 +116,10 @@ void PolicyAgent::admitSession(Session& session,
   switch (session.decision.tier) {
     case policy::AdmissionTier::kFull:
       ++admissionsFull_;
+      if (flightRecorder_ != nullptr) {
+        flightRecorder_->record("admit-full", reg.pid,
+                                session.requestedContract, "");
+      }
       sim_.debug("policy-agent", [&] {
         return "pid " + std::to_string(reg.pid) + " admitted (full) under " +
                session.requestedContract;
@@ -194,6 +198,7 @@ std::size_t PolicyAgent::registerProcess(const Registration& registration) {
       sessions_.emplace(registration.pid, std::move(session));
   (void)inserted;
   if (contractPlane_) {
+    recordTierEnter(it->second);
     startProbe(it->second);
     if (!offeredContract.empty()) recomputeOwner(offeredContract, hostName);
   }
@@ -223,6 +228,7 @@ void PolicyAgent::dropSession(std::map<std::uint32_t, Session>::iterator it) {
     sim_.cancel(it->second.probeEvent);
   }
   stopUpgradeRetry(it->second);
+  if (flightRecorder_ != nullptr) flightRecorder_->sessionEnd(it->first);
   const std::string contract = it->second.offeredContract;
   const std::string host = it->second.reg.hostName;
   sessions_.erase(it);
@@ -276,6 +282,7 @@ bool PolicyAgent::renegotiate(std::uint32_t pid, bool down) {
     });
     emitEvent({ContractEvent::Kind::kDegraded, pid, session.reg.hostName,
                session.requestedContract, "renegotiated down"});
+    recordTierEnter(session);
     // Once the relaxed floors are met the stream goes quiet, so recovery
     // has no violation edge to ride: probe the full tier periodically.
     startUpgradeRetry(session);
@@ -301,6 +308,7 @@ bool PolicyAgent::renegotiate(std::uint32_t pid, bool down) {
   });
   emitEvent({ContractEvent::Kind::kRestored, pid, session.reg.hostName,
              session.requestedContract, "renegotiated up"});
+  recordTierEnter(session);
   return true;
 }
 
@@ -470,7 +478,19 @@ std::optional<PolicyAgent::SessionInfo> PolicyAgent::sessionInfo(
   return info;
 }
 
+void PolicyAgent::recordTierEnter(const Session& session) {
+  if (flightRecorder_ == nullptr || !session.hasContract) return;
+  flightRecorder_->tierEnter(
+      session.reg.pid, session.requestedContract,
+      session.currentTier == policy::AdmissionTier::kDegraded ? "degraded"
+                                                              : "full");
+}
+
 void PolicyAgent::emitEvent(ContractEvent event) {
+  if (flightRecorder_ != nullptr) {
+    flightRecorder_->record(event.kindName(), event.pid, event.contract,
+                            event.detail);
+  }
   if (sink_) {
     sink_(event);
     return;

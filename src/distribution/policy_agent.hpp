@@ -29,6 +29,7 @@
 #include "distribution/repository.hpp"
 #include "instrument/coordinator.hpp"
 #include "net/rpc.hpp"
+#include "obs/flight_recorder.hpp"
 #include "policy/compile.hpp"
 #include "policy/qos_contract.hpp"
 #include "sim/simulation.hpp"
@@ -143,6 +144,18 @@ class PolicyAgent {
   /// Missed probes (timeout or alive=0) before liveliness is declared lost.
   void setLivelinessMissThreshold(int misses) { missThreshold_ = misses; }
 
+  /// Attach a contract-plane flight recorder (nullptr detaches): every
+  /// admission decision, renegotiation, liveliness loss and ownership move
+  /// is recorded (log + metrics + optional spans), and per-session tier
+  /// residency is tracked through it. The recorder must outlive the
+  /// attachment; default off.
+  void setFlightRecorder(obs::FlightRecorder* recorder) {
+    flightRecorder_ = recorder;
+  }
+  [[nodiscard]] obs::FlightRecorder* flightRecorder() const {
+    return flightRecorder_;
+  }
+
   /// How often a renegotiated-down session optimistically retries the full
   /// tier. Downgrades are evidence-driven (the host manager's rules see the
   /// violation), but once the relaxed floors are satisfied the stream goes
@@ -237,8 +250,13 @@ class PolicyAgent {
   /// its coordinator. Returns the offered contract for owner recompute.
   void dropSession(std::map<std::uint32_t, Session>::iterator it);
 
+  /// Tier residency bookkeeping through the attached flight recorder
+  /// (no-op when none is attached).
+  void recordTierEnter(const Session& session);
+
   sim::Simulation& sim_;
   RepositoryService& repository_;
+  obs::FlightRecorder* flightRecorder_ = nullptr;
   std::map<std::uint32_t, Session> sessions_;
   std::map<std::string, std::uint32_t> owners_;  // offered contract -> owner
   std::unique_ptr<net::RpcEndpoint> rpc_;

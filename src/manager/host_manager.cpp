@@ -622,8 +622,12 @@ void QoSHostManager::handleReport(const instrument::ViolationReport& report) {
     } else {
       const auto open = t.violationSince.find(report.pid);
       if (open != t.violationSince.end()) {
-        // Episode closed: detect -> recover latency, in microseconds.
-        t.reactionUs.record(static_cast<double>(sim_.now() - open->second));
+        // Episode closed: detect -> recover latency, in microseconds. The
+        // report's trace id rides along as the bucket's exemplar, so a
+        // domain-level p99 bucket links back to a concrete retained trace.
+        t.reactionUs.recordWithExemplar(
+            static_cast<double>(sim_.now() - open->second),
+            report.context.traceId, sim_.now());
         t.violationSince.erase(open);
       }
     }

@@ -1,5 +1,6 @@
 #include "obs/export.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <unordered_map>
 #include <vector>
@@ -36,7 +37,11 @@ void appendDouble(std::string& out, double value) {
 /// One histogram as a JSON object: summary stats, quantiles, and the raw
 /// occupied buckets as [lower_bound, count] pairs so offline tooling can
 /// re-derive any quantile (or re-merge across runs) without the library.
-void appendHistogramJson(std::string& out, const sim::Histogram& h) {
+/// Buckets carrying an exemplar additionally list it under "exemplars";
+/// with a sampler given, each exemplar resolves its canonical retained
+/// trace id ("sampled_trace", 0 = the trace was dropped).
+void appendHistogramJson(std::string& out, const sim::Histogram& h,
+                         const TraceSampler* sampler = nullptr) {
   out += "{\"count\":";
   out += std::to_string(h.count());
   out += ",\"mean\":";
@@ -64,7 +69,77 @@ void appendHistogramJson(std::string& out, const sim::Histogram& h) {
     out += std::to_string(buckets[i]);
     out += "]";
   }
-  out += "]}";
+  out += "]";
+  if (!h.exemplars().empty()) {
+    out += ",\"exemplars\":[";
+    first = true;
+    for (const auto& [idx, ex] : h.exemplars()) {
+      if (!first) out += ",";
+      first = false;
+      out += "{\"bucket\":";
+      appendDouble(out, sim::Histogram::bucketLowerBound(idx));
+      out += ",\"trace\":\"";
+      out += std::to_string(ex.traceId);
+      out += "\",\"value\":";
+      appendDouble(out, ex.value);
+      out += ",\"when\":";
+      out += std::to_string(ex.when);
+      if (sampler != nullptr) {
+        out += ",\"sampled_trace\":\"";
+        const auto canonical = sampler->canonicalTraceId(ex.traceId);
+        out += std::to_string(canonical.value_or(0));
+        out += "\"";
+      }
+      out += "}";
+    }
+    out += "]";
+  }
+  out += "}";
+}
+
+/// The shared "counters"/"series"/"histograms" body of metricsJson.
+void appendMetricsBody(std::string& out, const sim::MetricRegistry& metrics) {
+  out += "\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : metrics.counters()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n\"";
+    appendEscaped(out, name);
+    out += "\":";
+    out += std::to_string(value);
+  }
+  out += "\n},\n\"series\":{";
+  first = true;
+  for (const auto& [name, series] : metrics.allSeries()) {
+    const sim::Summary& s = series.summary();
+    if (!first) out += ",";
+    first = false;
+    out += "\n\"";
+    appendEscaped(out, name);
+    out += "\":{\"count\":";
+    out += std::to_string(s.count());
+    out += ",\"mean\":";
+    appendDouble(out, s.mean());
+    out += ",\"min\":";
+    appendDouble(out, s.min());
+    out += ",\"max\":";
+    appendDouble(out, s.max());
+    out += ",\"stddev\":";
+    appendDouble(out, s.stddev());
+    out += "}";
+  }
+  out += "\n},\n\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : metrics.allHistograms()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n\"";
+    appendEscaped(out, name);
+    out += "\":";
+    appendHistogramJson(out, h);
+  }
+  out += "\n}";
 }
 
 }  // namespace
@@ -129,53 +204,178 @@ std::string chromeTraceJson(const Observer& observer) {
   return out;
 }
 
+std::string chromeTraceJson(const TraceSampler& sampler) {
+  // Canonical order: sorted by the shard-invariant trace key, which is
+  // exactly the canonicalTraceId order. Span ids restart from 1 and grow in
+  // record order across traces, so the whole document is a pure function of
+  // the retained set.
+  std::vector<const SampledTrace*> traces = sampler.retained();
+  std::sort(traces.begin(), traces.end(),
+            [&sampler](const SampledTrace* a, const SampledTrace* b) {
+              return sampler.canonicalTraceId(a->provisionalTraceId)
+                         .value_or(0) <
+                     sampler.canonicalTraceId(b->provisionalTraceId)
+                         .value_or(0);
+            });
+
+  std::string out;
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  std::uint64_t nextSpanId = 1;
+  for (const SampledTrace* t : traces) {
+    const std::uint64_t tid =
+        sampler.canonicalTraceId(t->provisionalTraceId).value_or(0);
+    const auto& spans = t->spans;
+    const std::size_t n = spans.size();
+
+    // Envelope normalization, per trace: children are recorded after their
+    // parent, so one reverse pass visits every child before its parent.
+    std::vector<sim::SimTime> effEnd(n);
+    std::unordered_map<std::uint64_t, std::size_t> index;
+    index.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) index.emplace(spans[i].spanId, i);
+    for (std::size_t i = n; i-- > 0;) {
+      const SampledSpan& s = spans[i];
+      if (effEnd[i] < s.start) effEnd[i] = s.open() ? s.start : s.end;
+      if (s.parentSpanId != 0) {
+        const auto it = index.find(s.parentSpanId);
+        if (it != index.end() && effEnd[it->second] < effEnd[i]) {
+          effEnd[it->second] = effEnd[i];
+        }
+      }
+    }
+
+    // Provisional -> canonical span ids, in record order.
+    std::unordered_map<std::uint64_t, std::uint64_t> canon;
+    canon.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      canon.emplace(spans[i].spanId, nextSpanId + i);
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const SampledSpan& s = spans[i];
+      if (!first) out += ",";
+      first = false;
+      out += "\n{\"name\":\"";
+      appendEscaped(out, s.name);
+      out += "\",\"cat\":\"";
+      appendEscaped(out, s.component);
+      out += "\",\"ph\":\"X\",\"ts\":";
+      out += std::to_string(s.start);
+      out += ",\"dur\":";
+      out += std::to_string(effEnd[i] - s.start);
+      out += ",\"pid\":1,\"tid\":";
+      out += std::to_string(tid);
+      out += ",\"args\":{\"span_id\":\"";
+      out += std::to_string(canon[s.spanId]);
+      if (s.parentSpanId != 0) {
+        out += "\",\"parent_span_id\":\"";
+        const auto it = canon.find(s.parentSpanId);
+        out += std::to_string(it != canon.end() ? it->second : 0);
+      }
+      out += "\"";
+      if (s.parentSpanId == 0) {
+        out += ",\"retain_reason\":\"";
+        appendEscaped(out, t->reason);
+        out += "\",\"complete\":\"";
+        out += t->complete ? "1" : "0";
+        out += "\"";
+      }
+      for (const auto& [key, value] : s.annotations) {
+        out += ",\"";
+        appendEscaped(out, key);
+        out += "\":\"";
+        appendEscaped(out, value);
+        out += "\"";
+      }
+      out += "}}";
+    }
+    nextSpanId += n;
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
 std::string metricsJson(const sim::MetricRegistry& metrics) {
   std::string out;
-  out += "{\n\"counters\":{";
+  out += "{\n";
+  appendMetricsBody(out, metrics);
+  out += "\n}\n";
+  return out;
+}
+
+std::string metricsJson(const sim::MetricRegistry& metrics,
+                        const sim::Trace* trace, const Observer* observer,
+                        const TraceSampler* sampler) {
+  std::string out;
+  out += "{\n";
+  appendMetricsBody(out, metrics);
+  if (trace == nullptr && observer == nullptr && sampler == nullptr) {
+    out += "\n}\n";
+    return out;
+  }
+  out += ",\n\"observability\":{";
   bool first = true;
-  for (const auto& [name, value] : metrics.counters()) {
+  const auto section = [&out, &first](const char* name) {
     if (!first) out += ",";
     first = false;
     out += "\n\"";
-    appendEscaped(out, name);
+    out += name;
+    out += "\":";
+  };
+  const auto field = [&out](const char* key, std::uint64_t value, bool& inner) {
+    if (!inner) out += ",";
+    inner = false;
+    out += "\"";
+    out += key;
     out += "\":";
     out += std::to_string(value);
-  }
-  out += "\n},\n\"series\":{";
-  first = true;
-  for (const auto& [name, series] : metrics.allSeries()) {
-    const sim::Summary& s = series.summary();
-    if (!first) out += ",";
-    first = false;
-    out += "\n\"";
-    appendEscaped(out, name);
-    out += "\":{\"count\":";
-    out += std::to_string(s.count());
-    out += ",\"mean\":";
-    appendDouble(out, s.mean());
-    out += ",\"min\":";
-    appendDouble(out, s.min());
-    out += ",\"max\":";
-    appendDouble(out, s.max());
-    out += ",\"stddev\":";
-    appendDouble(out, s.stddev());
+  };
+  if (trace != nullptr) {
+    section("trace_ring");
+    bool inner = true;
+    out += "{";
+    field("records", trace->records().size(), inner);
+    field("max_records", trace->maxRecords(), inner);
+    field("dropped_records", trace->droppedRecords(), inner);
     out += "}";
   }
-  out += "\n},\n\"histograms\":{";
-  first = true;
-  for (const auto& [name, h] : metrics.allHistograms()) {
-    if (!first) out += ",";
-    first = false;
-    out += "\n\"";
-    appendEscaped(out, name);
-    out += "\":";
-    appendHistogramJson(out, h);
+  if (observer != nullptr) {
+    section("span_store");
+    bool inner = true;
+    out += "{";
+    field("spans", observer->spans().size(), inner);
+    field("max_spans", observer->maxSpans(), inner);
+    field("total_spans", observer->totalSpans(), inner);
+    field("dropped_spans", observer->droppedSpans(), inner);
+    out += "}";
+  }
+  if (sampler != nullptr) {
+    section("sampler");
+    bool inner = true;
+    out += "{";
+    field("total_traces", sampler->totalTraces(), inner);
+    field("total_spans", sampler->totalSpans(), inner);
+    field("retained_traces", sampler->retainedCount(), inner);
+    field("retained_spans", sampler->retainedSpanCount(), inner);
+    field("dropped_traces", sampler->droppedTraces(), inner);
+    field("dropped_records", sampler->droppedRecords(), inner);
+    field("orphan_records", sampler->orphanRecords(), inner);
+    field("evicted_pending", sampler->evictedPending(), inner);
+    field("evicted_retained", sampler->evictedRetained(), inner);
+    field("reservoir_evictions", sampler->reservoirEvictions(), inner);
+    out += "}";
   }
   out += "\n}\n}\n";
   return out;
 }
 
 std::string domainMetricsJson(const sim::TelemetryAggregator& telemetry) {
+  return domainMetricsJson(telemetry, nullptr);
+}
+
+std::string domainMetricsJson(const sim::TelemetryAggregator& telemetry,
+                              const TraceSampler* sampler) {
   std::string out;
   out += "{\n\"snapshots\":";
   out += std::to_string(telemetry.snapshotsIngested());
@@ -207,7 +407,7 @@ std::string domainMetricsJson(const sim::TelemetryAggregator& telemetry) {
     out += "\n\"";
     appendEscaped(out, name);
     out += "\":";
-    appendHistogramJson(out, h);
+    appendHistogramJson(out, h, sampler);
   }
   // Per-host drill-down: the latest published window from each source.
   out += "\n},\n\"latest\":{";
@@ -234,6 +434,103 @@ std::string domainMetricsJson(const sim::TelemetryAggregator& telemetry) {
     out += "}}";
   }
   out += "\n}\n}\n";
+  return out;
+}
+
+std::string flightRecorderJson(const FlightRecorder& recorder) {
+  const auto& counters = recorder.stats().counters();
+  const auto counterFor = [&counters](const std::string& name) {
+    const auto it = counters.find(name);
+    return it != counters.end() ? it->second : 0;
+  };
+  // record() kinds: admission verdicts plus ContractEvent::kindName values.
+  static constexpr const char* kRateKinds[] = {"admit-full", "degraded",
+                                               "restored"};
+  static constexpr const char* kErrorKinds[] = {"rejected", "liveliness-lost",
+                                                "owner-changed"};
+  static constexpr const char* kTiers[] = {"full", "degraded"};
+
+  std::string out;
+  out += "{\n\"decisions\":";
+  out += std::to_string(recorder.totalRecords());
+  out += ",\n\"contracts\":{";
+  bool first = true;
+  for (const auto& [contract, decisions] : recorder.contractsSeen()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n\"";
+    appendEscaped(out, contract);
+    out += "\":{\"decisions\":";
+    out += std::to_string(decisions);
+    out += ",\"rate\":{";
+    bool inner = true;
+    for (const char* kind : kRateKinds) {
+      if (!inner) out += ",";
+      inner = false;
+      out += "\"";
+      out += kind;
+      out += "\":";
+      out += std::to_string(counterFor("flight." + contract + "." + kind));
+    }
+    out += "},\"errors\":{";
+    inner = true;
+    for (const char* kind : kErrorKinds) {
+      if (!inner) out += ",";
+      inner = false;
+      out += "\"";
+      out += kind;
+      out += "\":";
+      out += std::to_string(counterFor("flight." + contract + "." + kind));
+    }
+    out += "},\"residency_us\":{";
+    inner = true;
+    for (const char* tier : kTiers) {
+      const sim::Histogram* h = recorder.stats().histogram(
+          "flight." + contract + ".residency_us." + tier);
+      if (h == nullptr) continue;
+      if (!inner) out += ",";
+      inner = false;
+      out += "\"";
+      out += tier;
+      out += "\":";
+      appendHistogramJson(out, *h);
+    }
+    out += "}}";
+  }
+  out += "\n},\n\"totals\":{";
+  first = true;
+  for (const auto& [name, value] : counters) {
+    // Global counters are "flight.<kind>" — exactly one dot.
+    const std::size_t dot = name.find('.');
+    if (dot == std::string::npos || name.find('.', dot + 1) != std::string::npos)
+      continue;
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    appendEscaped(out, name);
+    out += "\":";
+    out += std::to_string(value);
+  }
+  out += "},\n\"log\":[";
+  first = true;
+  for (const auto& rec : recorder.records()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"when\":";
+    out += std::to_string(rec.when);
+    out += ",\"kind\":\"";
+    appendEscaped(out, rec.kind);
+    out += "\",\"pid\":";
+    out += std::to_string(rec.pid);
+    out += ",\"contract\":\"";
+    appendEscaped(out, rec.contract);
+    out += "\",\"detail\":\"";
+    appendEscaped(out, rec.detail);
+    out += "\"}";
+  }
+  out += "\n],\n\"dropped_log_records\":";
+  out += std::to_string(recorder.droppedRecords());
+  out += "\n}\n";
   return out;
 }
 

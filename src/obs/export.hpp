@@ -12,9 +12,12 @@
 
 #include <string>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/observer.hpp"
+#include "obs/sampler.hpp"
 #include "sim/metrics.hpp"
 #include "sim/rollup.hpp"
+#include "sim/trace.hpp"
 
 namespace softqos::obs {
 
@@ -27,16 +30,46 @@ namespace softqos::obs {
 /// (or render as instants when childless).
 [[nodiscard]] std::string chromeTraceJson(const Observer& observer);
 
+/// The tail sampler's retained traces in the same Chrome trace_event shape.
+/// Trace and span ids are renumbered canonically (traces sorted by root
+/// start/name/component, spans in record order), so the document is
+/// byte-identical across shard and worker counts. Root spans carry the
+/// retention reason and completeness flag in args.
+[[nodiscard]] std::string chromeTraceJson(const TraceSampler& sampler);
+
 /// Snapshot of all counters, series and histograms as a JSON object.
 /// Histograms carry their summary quantiles plus the raw occupied buckets as
-/// [lower_bound, count] pairs, so offline tooling can recompute any quantile
-/// or merge distributions across runs.
+/// [lower_bound, count] pairs — and, when present, per-bucket exemplars as
+/// {bucket lower bound, trace id, value, when} — so offline tooling can
+/// recompute any quantile or jump from a bucket to a retained trace.
 [[nodiscard]] std::string metricsJson(const sim::MetricRegistry& metrics);
+
+/// metricsJson plus an "observability" section surfacing the ring-drop
+/// counters of every attached plane: the sim::Trace record ring, the
+/// span-store Observer and the tail sampler (any may be null). Silent
+/// truncation is thereby visible in the export itself.
+[[nodiscard]] std::string metricsJson(const sim::MetricRegistry& metrics,
+                                      const sim::Trace* trace,
+                                      const Observer* observer,
+                                      const TraceSampler* sampler);
 
 /// The domain manager's aggregated telemetry (host-manager rollup windows
 /// merged across sources) as a JSON object: domain-wide counter totals,
 /// merged histograms, and the latest published window per source host.
 [[nodiscard]] std::string domainMetricsJson(
     const sim::TelemetryAggregator& telemetry);
+
+/// domainMetricsJson with exemplar trace ids resolved through the sampler:
+/// each exported exemplar additionally carries "sampled_trace", the
+/// canonical id of the retained trace it links to (0 when the trace was
+/// dropped by the retention policy).
+[[nodiscard]] std::string domainMetricsJson(
+    const sim::TelemetryAggregator& telemetry, const TraceSampler* sampler);
+
+/// The contract-plane flight recorder as dashboard JSON: per-contract RED
+/// tables (Rate = admissions, Errors = rejections / liveliness losses /
+/// ownership moves, Duration = per-tier residency histograms), global
+/// decision counters, and the bounded decision log.
+[[nodiscard]] std::string flightRecorderJson(const FlightRecorder& recorder);
 
 }  // namespace softqos::obs

@@ -1,0 +1,75 @@
+#include "obs/flight_recorder.hpp"
+
+#include "sim/span.hpp"
+
+namespace softqos::obs {
+
+FlightRecorder::FlightRecorder(sim::Simulation& sim, std::size_t maxRecords)
+    : sim_(sim), maxRecords_(maxRecords == 0 ? 1 : maxRecords) {}
+
+void FlightRecorder::record(std::string_view kind, std::uint32_t pid,
+                            std::string_view contract,
+                            std::string_view detail) {
+  ++total_;
+  FlightRecord rec;
+  rec.when = sim_.now();
+  rec.kind = std::string(kind);
+  rec.pid = pid;
+  rec.contract = std::string(contract);
+  rec.detail = std::string(detail);
+
+  stats_.count("flight." + rec.kind);
+  if (!rec.contract.empty()) {
+    stats_.count("flight." + rec.contract + "." + rec.kind);
+    ++contracts_[rec.contract];
+  }
+
+  if (sim::SpanObserver* o = sim_.observer()) {
+    const sim::TraceContext ctx = o->beginTrace(
+        rec.when, "contract:" + rec.kind, "policy-agent");
+    o->annotate(ctx, "pid", std::to_string(pid));
+    if (!rec.contract.empty()) o->annotate(ctx, "contract", rec.contract);
+    if (!rec.detail.empty()) o->annotate(ctx, "detail", rec.detail);
+    o->endSpan(rec.when, ctx);
+  }
+
+  records_.push_back(std::move(rec));
+  while (records_.size() > maxRecords_) {
+    records_.pop_front();
+    ++dropped_;
+  }
+}
+
+void FlightRecorder::tierEnter(std::uint32_t pid, std::string_view contract,
+                               std::string_view tier) {
+  auto it = residency_.find(pid);
+  if (it != residency_.end()) {
+    if (it->second.tier == tier && it->second.contract == contract) return;
+    foldResidency(it->second);
+    it->second.contract = std::string(contract);
+    it->second.tier = std::string(tier);
+    it->second.since = sim_.now();
+    return;
+  }
+  residency_.emplace(
+      pid, Residency{std::string(contract), std::string(tier), sim_.now()});
+}
+
+void FlightRecorder::sessionEnd(std::uint32_t pid) {
+  const auto it = residency_.find(pid);
+  if (it == residency_.end()) return;
+  foldResidency(it->second);
+  residency_.erase(it);
+}
+
+void FlightRecorder::foldResidency(const Residency& residency) {
+  const auto spent = static_cast<double>(sim_.now() - residency.since);
+  stats_.observe("flight.residency_us." + residency.tier, spent);
+  if (!residency.contract.empty()) {
+    stats_.observe(
+        "flight." + residency.contract + ".residency_us." + residency.tier,
+        spent);
+  }
+}
+
+}  // namespace softqos::obs

@@ -1,0 +1,102 @@
+// Contract-plane flight recorder.
+//
+// The Policy Agent's admission, renegotiation, liveliness and failover
+// decisions are the control-plane story an operator replays after an
+// incident. obs::FlightRecorder captures them three ways at once:
+//
+//   * a bounded in-order record log (the "flight recorder" proper: drop
+//     oldest past the cap, count the drops);
+//   * metrics in a private registry — global and per-contract decision
+//     counters plus per-tier residency histograms (how long each session
+//     actually spent at full vs degraded), the raw material for the
+//     per-contract RED tables in obs/export;
+//   * optional spans: when the owning simulation has a SpanObserver
+//     attached, every decision mints a root "contract:<kind>" instant, so
+//     the tail sampler's "contract:" trigger retains the causal record of
+//     every contract-plane fault.
+//
+// The registry is private (never the simulation's), so arming the recorder
+// cannot perturb a run's metric digests; everything here is driven by the
+// sim clock and mints no randomness, so recording is replay-safe.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "sim/metrics.hpp"
+#include "sim/simulation.hpp"
+
+namespace softqos::obs {
+
+/// One contract-plane decision, in decision order.
+struct FlightRecord {
+  sim::SimTime when = 0;
+  std::string kind;  // admit-full, admit-degraded, reject, renegotiate-down,
+                     // renegotiate-up, liveliness-lost, failover, deregister
+  std::uint32_t pid = 0;
+  std::string contract;
+  std::string detail;
+};
+
+class FlightRecorder {
+ public:
+  /// `maxRecords` bounds the log; the oldest record is dropped past it.
+  explicit FlightRecorder(sim::Simulation& sim, std::size_t maxRecords = 4096);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Record one decision: appends to the log, bumps "flight.<kind>" and
+  /// "flight.<contract>.<kind>", and mints a "contract:<kind>" span when an
+  /// observer is attached.
+  void record(std::string_view kind, std::uint32_t pid,
+              std::string_view contract, std::string_view detail);
+
+  /// A session entered `tier` of `contract` now (admission or
+  /// renegotiation). Residency in the previous tier, if any, folds into
+  /// "flight.residency_us.<tier>" and "flight.<contract>.residency_us.<tier>".
+  void tierEnter(std::uint32_t pid, std::string_view contract,
+                 std::string_view tier);
+
+  /// The session left the contract plane (deregistration / replacement);
+  /// folds its final tier residency.
+  void sessionEnd(std::uint32_t pid);
+
+  [[nodiscard]] const std::deque<FlightRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::uint64_t droppedRecords() const { return dropped_; }
+  [[nodiscard]] std::uint64_t totalRecords() const { return total_; }
+
+  /// Private metric registry (decision counters + residency histograms).
+  [[nodiscard]] const sim::MetricRegistry& stats() const { return stats_; }
+
+  /// Contracts seen so far, for per-contract export tables.
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& contractsSeen()
+      const {
+    return contracts_;
+  }
+
+ private:
+  struct Residency {
+    std::string contract;
+    std::string tier;
+    sim::SimTime since = 0;
+  };
+
+  void foldResidency(const Residency& residency);
+
+  sim::Simulation& sim_;
+  std::size_t maxRecords_;
+  std::deque<FlightRecord> records_;
+  std::map<std::uint32_t, Residency> residency_;
+  std::map<std::string, std::uint64_t> contracts_;  // name -> decision count
+  sim::MetricRegistry stats_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace softqos::obs

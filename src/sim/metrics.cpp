@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 namespace softqos::sim {
 
@@ -53,6 +54,18 @@ double TimeSeries::meanInWindow(SimTime from, SimTime to) const {
   return s.mean();
 }
 
+bool exemplarNewer(const Exemplar& a, const Exemplar& b) {
+  if (a.when != b.when) return a.when > b.when;
+  if (a.traceId != b.traceId) return a.traceId > b.traceId;
+  // Compare value as bits: a total order even across NaN/-0.0 oddities.
+  std::uint64_t av = 0;
+  std::uint64_t bv = 0;
+  static_assert(sizeof(av) == sizeof(a.value));
+  std::memcpy(&av, &a.value, sizeof(av));
+  std::memcpy(&bv, &b.value, sizeof(bv));
+  return av > bv;
+}
+
 std::size_t Histogram::bucketIndex(double value) {
   if (!(value >= 1.0)) return 0;  // negatives and NaN clamp to bucket zero
   // Bucket b >= 1 covers [2^(b-1)/4, 2^b/4): four buckets per octave.
@@ -79,7 +92,21 @@ void Histogram::add(double value) {
   }
 }
 
+void Histogram::addWithExemplar(double value, std::uint64_t traceId,
+                                SimTime when) {
+  add(value);
+  if (traceId == 0) return;
+  offerExemplar(bucketIndex(value), Exemplar{traceId, value, when});
+}
+
+void Histogram::offerExemplar(std::size_t index, const Exemplar& ex) {
+  if (ex.traceId == 0) return;
+  const auto [it, inserted] = exemplars_.try_emplace(index, ex);
+  if (!inserted && exemplarNewer(ex, it->second)) it->second = ex;
+}
+
 void Histogram::merge(const Histogram& other) {
+  for (const auto& [idx, ex] : other.exemplars_) offerExemplar(idx, ex);
   if (other.count_ == 0) return;
   if (other.buckets_.size() > buckets_.size()) {
     buckets_.resize(other.buckets_.size(), 0);
@@ -121,6 +148,14 @@ Histogram Histogram::deltaSince(const Histogram& earlier) const {
   if (first < delta.buckets_.size()) {
     delta.min_ = bucketLowerBound(first);
     delta.max_ = std::min(max_, bucketLowerBound(last + 1));
+  }
+  // Ship the current exemplar for every bucket that saw new samples. The
+  // exemplar may predate the window (a re-send); newest-wins merging makes
+  // that idempotent at the receiver.
+  for (const auto& [idx, ex] : exemplars_) {
+    if (idx < delta.buckets_.size() && delta.buckets_[idx] > 0) {
+      delta.exemplars_.emplace(idx, ex);
+    }
   }
   return delta;
 }

@@ -70,18 +70,45 @@ class TimeSeries {
   mutable bool dirty_ = false;
 };
 
+/// One trace reference attached to a histogram bucket: the sample `value`
+/// recorded at sim time `when` belonged to trace `traceId`, so a dashboard
+/// reading a p99 bucket can jump to a concrete retained trace. Buckets keep
+/// at most one exemplar under a newest-wins total order (see exemplarNewer),
+/// which makes exemplar merging associative and commutative — a domain tree
+/// aggregating through any arrangement of tiers converges on the same
+/// exemplar per bucket.
+struct Exemplar {
+  std::uint64_t traceId = 0;
+  double value = 0.0;
+  SimTime when = 0;
+};
+
+/// Strict weak order for newest-wins exemplar selection: later `when` wins,
+/// ties break by traceId then value bits. Pure function of the operands, so
+/// max() over any merge order / tier shape picks the same exemplar.
+[[nodiscard]] bool exemplarNewer(const Exemplar& a, const Exemplar& b);
+
 /// Log-bucketed latency/size histogram: 4 sub-buckets per octave (bucket
 /// boundaries grow by 2^(1/4) ≈ 19%, so a reported quantile is within ~±9%
 /// of the true sample), exact count/sum/min/max, mergeable across instances
 /// (used to fold per-shard recordings into one distribution). Negative
 /// samples clamp to bucket zero.
+///
+/// Buckets optionally carry one Exemplar (sparse: exemplar-free histograms
+/// pay nothing and encode byte-identically on the wire). Exemplars ride
+/// merge/deltaSince so telemetry rollups propagate them up the domain tree.
 class Histogram {
  public:
   static constexpr int kSubBucketsPerOctave = 4;
 
   void add(double value);
 
-  /// Fold `other` into this histogram (bucket-wise addition).
+  /// add(value), then offer (traceId, value, when) as the exemplar of the
+  /// bucket the sample lands in (newest-wins). traceId 0 records plain.
+  void addWithExemplar(double value, std::uint64_t traceId, SimTime when);
+
+  /// Fold `other` into this histogram (bucket-wise addition; exemplars
+  /// newest-wins per bucket).
   void merge(const Histogram& other);
 
   /// The samples recorded since `earlier` was snapshotted from this same
@@ -89,6 +116,9 @@ class Histogram {
   /// estimated from the delta's occupied bucket range (except when `earlier`
   /// is empty, where the delta is this histogram verbatim). Used by
   /// RollupWindow to cut an ever-growing histogram into per-window slices.
+  /// Buckets with new samples carry the current exemplar — possibly a
+  /// re-send of one already published, which the newest-wins merge absorbs
+  /// idempotently downstream.
   [[nodiscard]] Histogram deltaSince(const Histogram& earlier) const;
 
   /// Samples in buckets lying entirely at or above `threshold` (bucket
@@ -123,6 +153,15 @@ class Histogram {
     return buckets_;
   }
 
+  /// Sparse per-bucket exemplars, keyed by bucket index.
+  [[nodiscard]] const std::map<std::size_t, Exemplar>& exemplars() const {
+    return exemplars_;
+  }
+
+  /// Offer `ex` as bucket `index`'s exemplar; kept only if newer than the
+  /// incumbent (wire decode and merge both funnel through here).
+  void offerExemplar(std::size_t index, const Exemplar& ex);
+
   /// Lower bound of bucket `index` (bucket 0 covers [0, 1)).
   [[nodiscard]] static double bucketLowerBound(std::size_t index);
 
@@ -130,6 +169,7 @@ class Histogram {
   [[nodiscard]] static std::size_t bucketIndex(double value);
 
   std::vector<std::uint64_t> buckets_;
+  std::map<std::size_t, Exemplar> exemplars_;
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
   double min_ = 0.0;
@@ -194,6 +234,12 @@ class HistogramHandle {
 
   void record(double value) {
     if (h_ != nullptr && *registryGen_ == gen_) h_->add(value);
+  }
+  /// record(value) plus an exemplar linking the sample's bucket to a trace.
+  void recordWithExemplar(double value, std::uint64_t traceId, SimTime when) {
+    if (h_ != nullptr && *registryGen_ == gen_) {
+      h_->addWithExemplar(value, traceId, when);
+    }
   }
   [[nodiscard]] const Histogram* get() const {
     return h_ != nullptr && *registryGen_ == gen_ ? h_ : nullptr;

@@ -76,6 +76,18 @@ std::string encodeHistogram(const Histogram& h) {
     out += ':';
     out += std::to_string(buckets[i]);
   }
+  // Exemplars trail the buckets as "x<idx>:<trace>:<when>:<value>" — an
+  // exemplar-free histogram encodes byte-identically to the v1 codec.
+  for (const auto& [idx, ex] : h.exemplars()) {
+    out += ",x";
+    out += std::to_string(idx);
+    out += ':';
+    out += std::to_string(ex.traceId);
+    out += ':';
+    out += std::to_string(ex.when);
+    out += ':';
+    appendDouble(out, ex.value);
+  }
   return out;
 }
 
@@ -88,12 +100,28 @@ std::optional<Histogram> decodeHistogram(std::string_view text) {
   const auto max = parseDouble(fields[3]);
   if (!count || !sum || !min || !max) return std::nullopt;
   std::vector<std::uint64_t> buckets;
+  std::vector<std::pair<std::size_t, Exemplar>> exemplars;
   std::uint64_t total = 0;
   for (std::size_t f = 4; f < fields.size(); ++f) {
-    const std::size_t colon = fields[f].find(':');
+    const std::string_view field = fields[f];
+    if (!field.empty() && field.front() == 'x') {
+      // Exemplar entry: x<idx>:<trace>:<when>:<value>.
+      const auto parts = splitView(field.substr(1), ':');
+      if (parts.size() != 4) return std::nullopt;
+      const auto idx = parseU64(parts[0]);
+      const auto trace = parseU64(parts[1]);
+      const auto when = parseI64(parts[2]);
+      const auto value = parseDouble(parts[3]);
+      if (!idx || !trace || !when || !value || *idx >= 4096 || *trace == 0) {
+        return std::nullopt;
+      }
+      exemplars.emplace_back(*idx, Exemplar{*trace, *value, *when});
+      continue;
+    }
+    const std::size_t colon = field.find(':');
     if (colon == std::string_view::npos) return std::nullopt;
-    const auto idx = parseU64(fields[f].substr(0, colon));
-    const auto cnt = parseU64(fields[f].substr(colon + 1));
+    const auto idx = parseU64(field.substr(0, colon));
+    const auto cnt = parseU64(field.substr(colon + 1));
     // Bucket indexes are bounded by log2 of the largest double the codec can
     // carry; 4096 is far past any real sample and blocks hostile resizes.
     if (!idx || !cnt || *idx >= 4096) return std::nullopt;
@@ -102,7 +130,14 @@ std::optional<Histogram> decodeHistogram(std::string_view text) {
     total += *cnt;
   }
   if (total != *count) return std::nullopt;
-  return Histogram::fromParts(std::move(buckets), *count, *sum, *min, *max);
+  Histogram h =
+      Histogram::fromParts(std::move(buckets), *count, *sum, *min, *max);
+  for (const auto& [idx, ex] : exemplars) {
+    // An exemplar must reference a non-empty bucket.
+    if (idx >= h.buckets().size() || h.buckets()[idx] == 0) return std::nullopt;
+    h.offerExemplar(idx, ex);
+  }
+  return h;
 }
 
 const Histogram* RollupWindow::Window::histogram(std::string_view name) const {

@@ -32,8 +32,11 @@
 
 namespace softqos::sim {
 
-/// Compact text codec for Histogram: "count,sum,min,max[,idx:cnt...]" with
-/// only non-empty buckets listed. Round-trips exactly (doubles as %.17g).
+/// Compact text codec for Histogram:
+/// "count,sum,min,max[,idx:cnt...][,x<idx>:<trace>:<when>:<value>...]" with
+/// only non-empty buckets listed and one optional exemplar per bucket
+/// trailing them. Round-trips exactly (doubles as %.17g); exemplar-free
+/// histograms encode byte-identically to the pre-exemplar codec.
 [[nodiscard]] std::string encodeHistogram(const Histogram& h);
 
 /// Inverse of encodeHistogram; malformed text yields nullopt.

@@ -196,8 +196,10 @@ void Simulation::validateWindowedRun() const {
         "sharded run requires a positive lookahead (setLookahead, typically "
         "from Network::minCrossShardPropagation())");
   }
-  if (observer_ != nullptr) {
-    throw std::logic_error("sharded runs do not support a SpanObserver");
+  if (observer_ != nullptr && !observer_->shardSafe()) {
+    throw std::logic_error(
+        "sharded runs require a shard-safe SpanObserver (the span-store "
+        "Observer is serial-only; attach an obs::TraceSampler instead)");
   }
   const unsigned effectiveThreads =
       std::min<unsigned>(config_.threads, static_cast<unsigned>(shards_.size()));

@@ -68,6 +68,12 @@ class SpanObserver {
  public:
   virtual ~SpanObserver() = default;
 
+  /// Whether this observer may stay attached during a sharded (windowed)
+  /// run. Requires every entry point to be safe when called concurrently
+  /// from worker threads executing different shards (e.g. by partitioning
+  /// all mutable state per shard). The default observer is serial-only.
+  [[nodiscard]] virtual bool shardSafe() const { return false; }
+
   /// Mint a root span (a fresh trace). `name` is the span label, `component`
   /// the emitting subsystem (Chrome-trace category).
   virtual TraceContext beginTrace(SimTime now, std::string_view name,

@@ -202,6 +202,39 @@ TEST(MetricsJson, SnapshotsAllMetricKinds) {
   EXPECT_NE(json.find("\"p99\""), std::string::npos);
 }
 
+TEST(MetricsJson, ObservabilitySectionSurfacesRingDropCounters) {
+  sim::Simulation s{1};
+  obs::Observer ob{s};
+  const sim::TraceContext root = ob.beginTrace(0, "episode:test", "test");
+  ob.instant(0, root, "violation", "test");
+  ob.endSpan(sim::msec(1), root);
+
+  obs::TraceSampler sampler(s, {});  // takes over as the active observer
+  sampler.beginTrace(sim::msec(2), "episode:other", "test");
+  sampler.finalFlush();
+
+  const std::string json =
+      obs::metricsJson(s.metrics(), &s.trace(), &ob, &sampler);
+  EXPECT_NE(json.find("\"observability\""), std::string::npos);
+  // sim::Trace ring: tracing is off here, so empty but reported.
+  EXPECT_NE(json.find("\"trace_ring\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_records\":0"), std::string::npos);
+  // Span store: the root and its instant, none dropped by the ring cap.
+  EXPECT_NE(json.find("\"span_store\""), std::string::npos);
+  EXPECT_NE(json.find("\"total_spans\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_spans\":0"), std::string::npos);
+  // Sampler: one trace seen; every eviction class reported.
+  EXPECT_NE(json.find("\"sampler\""), std::string::npos);
+  EXPECT_NE(json.find("\"total_traces\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"orphan_records\""), std::string::npos);
+  EXPECT_NE(json.find("\"evicted_pending\""), std::string::npos);
+
+  // Without the planes, the section is absent and the 1-arg overload's
+  // output is unchanged.
+  EXPECT_EQ(obs::metricsJson(s.metrics(), nullptr, nullptr, nullptr),
+            obs::metricsJson(s.metrics()));
+}
+
 // ---- RPC span propagation ----
 
 struct TracedRpcFixture : ::testing::Test {

@@ -93,6 +93,49 @@ TEST(HistogramCodec, RejectsMalformedText) {
       << "absurd bucket index must be rejected";
 }
 
+TEST(HistogramCodec, ExemplarsRoundTripAndStayOptional) {
+  sim::Histogram h;
+  h.addWithExemplar(100.0, 42, sim::msec(5));
+  h.addWithExemplar(5000.0, 43, sim::msec(6));
+  h.add(100.0);  // plain sample in an exemplared bucket
+
+  const std::string encoded = sim::encodeHistogram(h);
+  EXPECT_NE(encoded.find(",x"), std::string::npos);
+  const auto decoded = sim::decodeHistogram(encoded);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->buckets(), h.buckets());
+  ASSERT_EQ(decoded->exemplars().size(), 2u);
+  for (const auto& [idx, ex] : h.exemplars()) {
+    const auto it = decoded->exemplars().find(idx);
+    ASSERT_NE(it, decoded->exemplars().end());
+    EXPECT_EQ(it->second.traceId, ex.traceId);
+    EXPECT_DOUBLE_EQ(it->second.value, ex.value);
+    EXPECT_EQ(it->second.when, ex.when);
+  }
+  // Canonical form: re-encoding is byte-identical.
+  EXPECT_EQ(sim::encodeHistogram(*decoded), encoded);
+
+  // Exemplar-free histograms pay nothing: same bytes as the v1 codec.
+  sim::Histogram plain;
+  plain.add(100.0);
+  plain.addWithExemplar(200.0, /*traceId=*/0, sim::msec(1));  // 0 = plain
+  EXPECT_EQ(sim::encodeHistogram(plain).find(",x"), std::string::npos);
+}
+
+TEST(HistogramCodec, RejectsMalformedExemplars) {
+  // Baseline without exemplars parses.
+  ASSERT_TRUE(sim::decodeHistogram("1,100,100,100,27:1").has_value());
+  EXPECT_FALSE(sim::decodeHistogram("1,100,100,100,27:1,x27:0:5000:100")
+                   .has_value())
+      << "exemplar with trace id 0 must be rejected";
+  EXPECT_FALSE(sim::decodeHistogram("1,100,100,100,27:1,x50:42:5000:100")
+                   .has_value())
+      << "exemplar on an empty bucket must be rejected";
+  EXPECT_FALSE(sim::decodeHistogram("1,100,100,100,27:1,x99999:42:5000:100")
+                   .has_value())
+      << "absurd exemplar bucket index must be rejected";
+}
+
 // ---- Windowed rollups ----
 
 TEST(Rollup, CutsCounterAndHistogramDeltasPerWindow) {
@@ -311,6 +354,84 @@ TEST(Telemetry, TreeDepthNeverChangesTheRootAggregate) {
   EXPECT_EQ(flatRoot.snapshotsIngested(), kWindows * kHosts);
   EXPECT_EQ(twoTierRoot.snapshotsIngested(), kWindows * 2u);
   EXPECT_EQ(threeTierRoot.snapshotsIngested(), kWindows * 2u);
+}
+
+TEST(Telemetry, ExemplarMergeIsAssociativeAcrossTierDepths) {
+  constexpr int kHosts = 8;
+  constexpr int kWindows = 3;
+
+  // Deterministic per-sample values, trace ids and timestamps: the winning
+  // exemplar per bucket (newest-wins) must be a pure function of the sample
+  // set, not of the aggregation tree shape.
+  auto sampleValue = [](int host, int window, int i) {
+    std::uint32_t x = static_cast<std::uint32_t>(
+        2654435761u * static_cast<std::uint32_t>(host * 97 + window * 13 + i + 1));
+    return 50.0 + static_cast<double>(x % 100000) / 17.0;
+  };
+  auto hostSnapshot = [&](int host, int window) {
+    sim::TelemetrySnapshot snap;
+    snap.source = "host-" + std::to_string(host);
+    snap.windowStart = window * sim::sec(1);
+    snap.windowEnd = (window + 1) * sim::sec(1);
+    sim::Histogram lat;
+    for (int i = 0; i < 5 + (host + window) % 4; ++i) {
+      const auto traceId = static_cast<std::uint64_t>(
+          1 + host * 1000 + window * 100 + i);
+      lat.addWithExemplar(sampleValue(host, window, i), traceId,
+                          window * sim::sec(1) + sim::msec(host * 10 + i));
+    }
+    snap.histograms.emplace_back("qos.reaction_latency_us", lat);
+    return snap;
+  };
+
+  sim::TelemetryAggregator flatRoot;
+  for (int w = 0; w < kWindows; ++w) {
+    for (int h = 0; h < kHosts; ++h) flatRoot.ingest(hostSnapshot(h, w));
+  }
+
+  sim::TelemetryAggregator mids[2];
+  sim::TelemetryAggregator twoTierRoot;
+  for (int w = 0; w < kWindows; ++w) {
+    for (int h = 0; h < kHosts; ++h) mids[h / 4].ingest(hostSnapshot(h, w));
+    for (int m = 0; m < 2; ++m) {
+      twoTierRoot.ingest(mids[m].cutDelta("mid-" + std::to_string(m),
+                                          w * sim::sec(1),
+                                          (w + 1) * sim::sec(1)));
+    }
+  }
+
+  sim::TelemetryAggregator racks[4];
+  sim::TelemetryAggregator clusters[2];
+  sim::TelemetryAggregator threeTierRoot;
+  for (int w = 0; w < kWindows; ++w) {
+    for (int h = 0; h < kHosts; ++h) racks[h / 2].ingest(hostSnapshot(h, w));
+    for (int r = 0; r < 4; ++r) {
+      clusters[r / 2].ingest(racks[r].cutDelta("rack-" + std::to_string(r),
+                                               w * sim::sec(1),
+                                               (w + 1) * sim::sec(1)));
+    }
+    for (int c = 0; c < 2; ++c) {
+      threeTierRoot.ingest(clusters[c].cutDelta("cluster-" + std::to_string(c),
+                                                w * sim::sec(1),
+                                                (w + 1) * sim::sec(1)));
+    }
+  }
+
+  const auto& flat =
+      flatRoot.mergedHistograms().at("qos.reaction_latency_us");
+  ASSERT_FALSE(flat.exemplars().empty());
+  for (const sim::TelemetryAggregator* root : {&twoTierRoot, &threeTierRoot}) {
+    const auto& tiered =
+        root->mergedHistograms().at("qos.reaction_latency_us");
+    ASSERT_EQ(tiered.exemplars().size(), flat.exemplars().size());
+    for (const auto& [idx, ex] : flat.exemplars()) {
+      const auto it = tiered.exemplars().find(idx);
+      ASSERT_NE(it, tiered.exemplars().end()) << "bucket " << idx;
+      EXPECT_EQ(it->second.traceId, ex.traceId) << "bucket " << idx;
+      EXPECT_EQ(it->second.when, ex.when) << "bucket " << idx;
+      EXPECT_DOUBLE_EQ(it->second.value, ex.value) << "bucket " << idx;
+    }
+  }
 }
 
 TEST(Telemetry, CutDeltaOmitsQuietMetricsAndResumesAfterGaps) {

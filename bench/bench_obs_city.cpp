@@ -32,11 +32,14 @@
 #include <cstdint>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "apps/city.hpp"
 #include "faults/fault_plan.hpp"
 #include "faults/injector.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/export.hpp"
+#include "obs/flame.hpp"
 
 namespace {
 
@@ -76,7 +79,11 @@ struct ObsRun {
   std::uint64_t totalSpans = 0;
   std::uint64_t retainedTraces = 0;
   std::uint64_t retainedSpans = 0;
+  std::uint64_t episodesAnalyzed = 0;
   std::string traceJson;
+  /// Every analysis-plane export concatenated (attribution + budget +
+  /// collapsed stacks + speedscope), for the worker-invariance gate.
+  std::string analysisJson;
   std::string error;
 };
 
@@ -127,6 +134,37 @@ ObsRun runObsCity(unsigned workers) {
     if (t->rootName == "contract:owner-changed") failoverRetained = true;
   }
 
+  // Analysis plane over the retained set: every analyzed episode must carry
+  // a complete critical-path attribution — segments tiling [rootStart,
+  // rootEnd] contiguously, so their sum is identically the root duration —
+  // and the flame graph's total self-weight must equal the same total (the
+  // two modules agreeing on the envelope).
+  obs::CriticalPathAnalyzer analyzer;
+  analyzer.analyze(sampler);
+  obs::FlameGraph flame;
+  flame.addRetained(sampler);
+  r.episodesAnalyzed = analyzer.episodesAnalyzed();
+  sim::SimDuration attributed = 0;
+  bool attributionComplete = analyzer.episodesAnalyzed() > 0;
+  for (const obs::EpisodeAttribution& ep : analyzer.episodes()) {
+    attributed += ep.rootDuration();
+    if (ep.segments.empty() || ep.segmentSum() != ep.rootDuration()) {
+      attributionComplete = false;
+      break;
+    }
+    sim::SimTime cursor = ep.rootStart;
+    for (const obs::PathSegment& seg : ep.segments) {
+      if (seg.start != cursor) attributionComplete = false;
+      cursor = seg.end;
+    }
+    if (cursor != ep.rootEnd) attributionComplete = false;
+  }
+  std::vector<obs::BudgetTarget> budgets;
+  budgets.push_back({"reaction", "slo", 1.0e6});
+  r.analysisJson = obs::attributionJson(analyzer) +
+                   obs::latencyBudgetJson(analyzer, budgets) +
+                   flame.collapsed() + flame.speedscopeJson("bench_obs_city");
+
   const distribution::PolicyAgent& agent = city.qorms.agent();
   if (agent.livelinessLosses() < 1 || agent.ownershipFailovers() < 1) {
     r.error = "host crash produced no liveliness loss / failover";
@@ -137,6 +175,11 @@ ObsRun runObsCity(unsigned workers) {
   } else if (!tinyCity() && r.totalSpans > 0 &&
              r.retainedSpans * 10 > r.totalSpans) {
     r.error = "retention reduced spans by less than 90% at city scale";
+  } else if (!attributionComplete) {
+    r.error = "an analyzed episode lacked a complete critical-path "
+              "attribution (segment sum != root duration)";
+  } else if (flame.totalWeight() != attributed) {
+    r.error = "flame self-weights disagree with attributed episode totals";
   }
   return r;
 }
@@ -163,9 +206,13 @@ void ObsCityRetention(benchmark::State& state) {
           ? 100.0 * (1.0 - static_cast<double>(last.retainedSpans) /
                                static_cast<double>(last.totalSpans))
           : 0.0;
-  // Masked to 32 bits so the double-valued counter is exact.
+  state.counters["episodes_analyzed"] =
+      static_cast<double>(last.episodesAnalyzed);
+  // Masked to 32 bits so the double-valued counters are exact.
   state.counters["trace_hash"] =
       static_cast<double>(fnv1a(last.traceJson) & 0xffffffffull);
+  state.counters["analysis_hash"] =
+      static_cast<double>(fnv1a(last.analysisJson) & 0xffffffffull);
 }
 BENCHMARK(ObsCityRetention)
     ->Arg(1)
@@ -177,7 +224,8 @@ BENCHMARK(ObsCityRetention)
     ->UseRealTime();
 
 /// The acceptance gate: the same chaos run at 1/2/4/8 workers must export
-/// the byte-identical retained-trace document.
+/// the byte-identical retained-trace document AND byte-identical
+/// attribution/flame/budget analysis documents.
 void ObsCityWorkerInvariance(benchmark::State& state) {
   for (auto _ : state) {
     const ObsRun base = runObsCity(1);
@@ -194,6 +242,13 @@ void ObsCityWorkerInvariance(benchmark::State& state) {
       if (other.traceJson != base.traceJson) {
         const std::string message =
             "retained-trace export at " + std::to_string(workers) +
+            " workers diverged from the 1-worker run";
+        state.SkipWithError(message.c_str());
+        return;
+      }
+      if (other.analysisJson != base.analysisJson) {
+        const std::string message =
+            "attribution/flame/budget exports at " + std::to_string(workers) +
             " workers diverged from the 1-worker run";
         state.SkipWithError(message.c_str());
         return;

@@ -3,6 +3,7 @@
 // health as a per-window text dashboard.
 //
 //   obs_dashboard [--chaos] [domain_metrics.json]
+//   obs_dashboard --city [budget.json]
 //
 // Each host manager keeps a windowed rollup of its behaviour (reports,
 // violation episodes, escalations, detect->recover latency, fact-repository
@@ -15,16 +16,27 @@
 // dashboard shows the outage: empty windows while the server-host daemon is
 // down, a violation-age spike, and SLO breaches feeding slo-breach facts
 // back into the rule base.
+//
+// --city runs the tiny sharded city with sampling and the contract plane
+// armed (the obs_export --city scenario: strongest offerer's host crashes at
+// t=2s), then renders the analysis plane as tables: per-segment reaction-
+// latency attribution, the component/rule blame tables, and the latency-
+// budget join against SLOs and contract deadlines — and writes the budget
+// JSON.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
+#include "apps/city.hpp"
 #include "apps/testbed.hpp"
 #include "faults/fault_plan.hpp"
 #include "faults/injector.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/export.hpp"
+#include "policy/qos_contract.hpp"
 
 using namespace softqos;
 
@@ -135,18 +147,127 @@ void run(bool chaos, const std::string& jsonPath) {
   std::printf("\nwrote %s\n", jsonPath.c_str());
 }
 
+void runCity(const std::string& jsonPath) {
+  apps::CityConfig config;
+  config.seed = 20260808;
+  config.tiers = 2;
+  config.racks = 4;
+  config.hostsPerRack = 4;
+  config.processesPerHost = 2;
+  config.shards = 8;
+  config.workers = 2;
+  config.sampling = true;
+  config.samplerConfig.slowestReservoir = 8;
+  config.samplerConfig.baselineProbability = 0.01;
+  config.contractPlane = true;
+  apps::City city(config);
+
+  faults::FaultInjector injector(city.sim, city.network);
+  osim::Host& victim = city.contractHost(0);
+  injector.registerHost(victim);
+  if (manager::QoSHostManager* hm = city.qorms.hostManagerFor(victim.name())) {
+    injector.registerHostManager(victim.name(), *hm);
+  }
+  faults::FaultPlan plan;
+  plan.hostCrash(sim::sec(2), victim.name());
+  injector.arm(plan);
+
+  for (int i = 0; i < 16; ++i) city.run(sim::msec(500));
+  city.finishSampling();
+
+  obs::CriticalPathAnalyzer analyzer;
+  analyzer.analyze(*city.sampler);
+
+  std::printf("city run: %.0f simulated seconds, victim %s crashed at t=2s\n",
+              sim::toSeconds(city.sim.now()), victim.name().c_str());
+  std::printf("%llu episodes analyzed (%llu incomplete, %llu non-episode "
+              "traces skipped, %llu orphan spans)\n",
+              static_cast<unsigned long long>(analyzer.episodesAnalyzed()),
+              static_cast<unsigned long long>(analyzer.incompleteSkipped()),
+              static_cast<unsigned long long>(analyzer.nonEpisodeSkipped()),
+              static_cast<unsigned long long>(analyzer.orphanSpans()));
+
+  std::printf("\n-- reaction-latency attribution (per-episode us) --\n");
+  std::printf("%-14s %8s %10s %10s %10s\n", "segment", "n", "mean", "p99",
+              "max");
+  const sim::Histogram& reaction = analyzer.reactionHistogram();
+  std::printf("%-14s %8llu %10.0f %10.0f %10.0f\n", "end-to-end",
+              static_cast<unsigned long long>(reaction.count()),
+              reaction.mean(), reaction.p99(), reaction.max());
+  for (const std::string& label : obs::allSegmentLabels()) {
+    const auto it = analyzer.segmentHistograms().find(label);
+    if (it == analyzer.segmentHistograms().end()) continue;
+    std::printf("%-14s %8llu %10.0f %10.0f %10.0f\n", label.c_str(),
+                static_cast<unsigned long long>(it->second.count()),
+                it->second.mean(), it->second.p99(), it->second.max());
+  }
+
+  std::printf("\n-- component blame (top 8 by self-time) --\n");
+  std::printf("%-24s %12s %12s %9s\n", "component", "self(us)", "wait(us)",
+              "segments");
+  for (const obs::ComponentBlame& b : analyzer.componentBlame(8)) {
+    std::printf("%-24s %12lld %12lld %9llu\n", b.component.c_str(),
+                static_cast<long long>(b.selfUs),
+                static_cast<long long>(b.waitUs),
+                static_cast<unsigned long long>(b.segments));
+  }
+
+  if (!analyzer.ruleBlame().empty()) {
+    std::printf("\n-- rule blame --\n");
+    std::printf("%-36s %12s %9s\n", "rule", "self(us)", "segments");
+    for (const obs::RuleBlame& b : analyzer.ruleBlame(8)) {
+      std::printf("%-36s %12lld %9llu\n", b.rule.c_str(),
+                  static_cast<long long>(b.selfUs),
+                  static_cast<unsigned long long>(b.segments));
+    }
+  }
+
+  std::vector<obs::BudgetTarget> budgets;
+  if (!city.hostManagers().empty()) {
+    if (const obs::SloTracker* slos = city.hostManagers().front()->sloTracker())
+      budgets = obs::budgetTargetsFromSlos(*slos);
+  }
+  for (const auto& [pid, session] : city.qorms.agent().sessions()) {
+    if (!session.hasContract || session.effectiveDeadlineMs <= 0) continue;
+    obs::BudgetTarget target;
+    target.name = session.requestedContract + "#" + std::to_string(pid);
+    target.tier = policy::admissionTierName(session.currentTier);
+    target.budgetUs = session.effectiveDeadlineMs * 1000.0;
+    budgets.push_back(std::move(target));
+  }
+
+  std::printf("\n-- latency budgets --\n");
+  std::printf("%-20s %-9s %12s %10s\n", "target", "tier", "budget(us)",
+              "over-frac");
+  for (const obs::BudgetTarget& t : budgets) {
+    std::printf("%-20s %-9s %12.0f %10.3f\n", t.name.c_str(), t.tier.c_str(),
+                t.budgetUs, reaction.fractionAbove(t.budgetUs));
+  }
+
+  std::ofstream out(jsonPath);
+  out << obs::latencyBudgetJson(analyzer, budgets);
+  std::printf("\nwrote %s\n", jsonPath.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool chaos = false;
-  std::string jsonPath = "domain_metrics.json";
+  bool cityMode = false;
+  std::string jsonPath;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--chaos") == 0) {
       chaos = true;
+    } else if (std::strcmp(argv[i], "--city") == 0) {
+      cityMode = true;
     } else {
       jsonPath = argv[i];
     }
   }
-  run(chaos, jsonPath);
+  if (cityMode) {
+    runCity(jsonPath.empty() ? "budget.json" : jsonPath);
+  } else {
+    run(chaos, jsonPath.empty() ? "domain_metrics.json" : jsonPath);
+  }
   return 0;
 }

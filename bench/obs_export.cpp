@@ -2,7 +2,9 @@
 // tracing enabled and export the results for offline analysis.
 //
 //   obs_export [--chaos] [trace.json [metrics.json]]
-//   obs_export --city [trace.json [metrics.json [domain.json [flight.json]]]]
+//   obs_export --city [trace.json [metrics.json [domain.json [flight.json
+//              [attribution.json [budget.json [flame.txt
+//              [speedscope.json]]]]]]]]
 //
 // Default mode replays the Figure 3 "high load" scenario (competing CPU
 // workers, then bottleneck cross traffic) so the trace contains complete
@@ -17,8 +19,11 @@
 // mid-run. It writes the sampler's retained traces (canonically renumbered,
 // worker-invariant), a metrics snapshot with the observability drop-counter
 // section, the root domain manager's aggregated telemetry with histogram
-// exemplars resolved against the sampler, and the contract-plane flight
-// recorder's dashboard JSON.
+// exemplars resolved against the sampler, the contract-plane flight
+// recorder's dashboard JSON — and the analysis plane's answers: critical-
+// path attribution, the latency-budget join against the management SLOs and
+// contract deadlines, and flame graphs (collapsed stacks + speedscope JSON;
+// load flame.txt or speedscope.json at https://www.speedscope.app).
 //
 // trace.json is Chrome trace_event JSON (open in https://ui.perfetto.dev or
 // chrome://tracing); metrics.json is a MetricRegistry snapshot. The testbed
@@ -28,12 +33,15 @@
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "apps/city.hpp"
 #include "apps/testbed.hpp"
 #include "faults/fault_plan.hpp"
 #include "faults/injector.hpp"
 #include "obs/export.hpp"
+#include "obs/flame.hpp"
+#include "policy/qos_contract.hpp"
 
 using namespace softqos;
 
@@ -134,8 +142,15 @@ void run(bool chaos, const std::string& tracePath,
   std::printf("wrote %s and %s\n", tracePath.c_str(), metricsPath.c_str());
 }
 
-void runCity(const std::string& tracePath, const std::string& metricsPath,
-             const std::string& domainPath, const std::string& flightPath) {
+void runCity(const std::string* paths) {
+  const std::string& tracePath = paths[0];
+  const std::string& metricsPath = paths[1];
+  const std::string& domainPath = paths[2];
+  const std::string& flightPath = paths[3];
+  const std::string& attributionPath = paths[4];
+  const std::string& budgetPath = paths[5];
+  const std::string& flamePath = paths[6];
+  const std::string& speedscopePath = paths[7];
   apps::CityConfig config;
   config.seed = 20260808;
   config.tiers = 2;
@@ -188,6 +203,40 @@ void runCity(const std::string& tracePath, const std::string& metricsPath,
               static_cast<unsigned long long>(
                   city.flightRecorder->totalRecords()));
 
+  // Analysis plane: critical-path attribution and flame graphs over the
+  // retained trees, plus the budget join against the management-plane SLOs
+  // and the contract sessions' effective deadlines.
+  obs::CriticalPathAnalyzer analyzer;
+  analyzer.analyze(sampler);
+  obs::FlameGraph flame;
+  flame.addRetained(sampler);
+
+  std::vector<obs::BudgetTarget> budgets;
+  if (!city.hostManagers().empty()) {
+    if (const obs::SloTracker* slos = city.hostManagers().front()->sloTracker())
+      budgets = obs::budgetTargetsFromSlos(*slos);
+  }
+  for (const auto& [pid, session] : agent.sessions()) {
+    if (!session.hasContract || session.effectiveDeadlineMs <= 0) continue;
+    obs::BudgetTarget target;
+    target.name = session.requestedContract + "#" + std::to_string(pid);
+    target.tier = policy::admissionTierName(session.currentTier);
+    target.budgetUs = session.effectiveDeadlineMs * 1000.0;
+    budgets.push_back(std::move(target));
+  }
+
+  std::printf("attribution: %llu episodes analyzed (%llu incomplete "
+              "skipped), flame total %lld us over %llu stacks\n",
+              static_cast<unsigned long long>(analyzer.episodesAnalyzed()),
+              static_cast<unsigned long long>(analyzer.incompleteSkipped()),
+              static_cast<long long>(flame.totalWeight()),
+              static_cast<unsigned long long>(flame.stacks().size()));
+  for (const obs::ComponentBlame& blame : analyzer.componentBlame(3)) {
+    std::printf("  blame %-24s self=%lld us wait=%lld us\n",
+                blame.component.c_str(), static_cast<long long>(blame.selfUs),
+                static_cast<long long>(blame.waitUs));
+  }
+
   {
     std::ofstream out(tracePath);
     out << obs::chromeTraceJson(sampler);
@@ -195,7 +244,7 @@ void runCity(const std::string& tracePath, const std::string& metricsPath,
   {
     std::ofstream out(metricsPath);
     out << obs::metricsJson(city.sim.metrics(), &city.sim.trace(), nullptr,
-                            &sampler);
+                            &sampler, &analyzer);
   }
   {
     std::ofstream out(domainPath);
@@ -205,8 +254,26 @@ void runCity(const std::string& tracePath, const std::string& metricsPath,
     std::ofstream out(flightPath);
     out << obs::flightRecorderJson(*city.flightRecorder);
   }
-  std::printf("wrote %s, %s, %s and %s\n", tracePath.c_str(),
-              metricsPath.c_str(), domainPath.c_str(), flightPath.c_str());
+  {
+    std::ofstream out(attributionPath);
+    out << obs::attributionJson(analyzer);
+  }
+  {
+    std::ofstream out(budgetPath);
+    out << obs::latencyBudgetJson(analyzer, budgets);
+  }
+  {
+    std::ofstream out(flamePath);
+    out << flame.collapsed();
+  }
+  {
+    std::ofstream out(speedscopePath);
+    out << flame.speedscopeJson("obs_export --city episodes");
+  }
+  std::printf("wrote %s, %s, %s, %s, %s, %s, %s and %s\n", tracePath.c_str(),
+              metricsPath.c_str(), domainPath.c_str(), flightPath.c_str(),
+              attributionPath.c_str(), budgetPath.c_str(), flamePath.c_str(),
+              speedscopePath.c_str());
 }
 
 }  // namespace
@@ -214,21 +281,23 @@ void runCity(const std::string& tracePath, const std::string& metricsPath,
 int main(int argc, char** argv) {
   bool chaos = false;
   bool cityMode = false;
-  std::string paths[4] = {"trace.json", "metrics.json", "domain.json",
-                          "flight.json"};
+  std::string paths[8] = {"trace.json",       "metrics.json", "domain.json",
+                          "flight.json",      "attribution.json",
+                          "budget.json",      "flame.txt",
+                          "speedscope.json"};
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--chaos") == 0) {
       chaos = true;
     } else if (std::strcmp(argv[i], "--city") == 0) {
       cityMode = true;
-    } else if (positional < 4) {
+    } else if (positional < 8) {
       paths[positional] = argv[i];
       ++positional;
     }
   }
   if (cityMode) {
-    runCity(paths[0], paths[1], paths[2], paths[3]);
+    runCity(paths);
   } else {
     run(chaos, paths[0], paths[1]);
   }

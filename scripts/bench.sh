@@ -46,7 +46,26 @@ if [[ ! -x "$bench" ]]; then
   cmake --build "$build_dir" --target "$target" -j >/dev/null
 fi
 
-"$bench" --benchmark_format=json --benchmark_repetitions=1 > "$out"
+# Write to a temp file and validate before overwriting the committed
+# snapshot: a crashed or interrupted benchmark must not clobber the last
+# good BENCH_*.json with a truncated document.
+tmp="$(mktemp "$out.XXXXXX")"
+trap 'rm -f "$tmp"' EXIT
+"$bench" --benchmark_format=json --benchmark_repetitions=1 > "$tmp"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$tmp" <<'EOF'
+import json, sys
+data = json.load(open(sys.argv[1]))
+benches = data.get("benchmarks", [])
+if not benches:
+    sys.exit("benchmark JSON has no benchmarks — refusing to overwrite")
+errors = [b["name"] for b in benches if b.get("error_occurred")]
+if errors:
+    sys.exit("benchmark errors (gate failures): " + ", ".join(errors))
+EOF
+fi
+mv "$tmp" "$out"
+trap - EXIT
 echo "wrote $out" >&2
 
 # Append a timestamped entry to the running history, so BENCH_*.json keeps

@@ -36,6 +36,8 @@ echo "=== chaos traced run ===" >&2
 echo "=== sampled chaos city run ===" >&2
 "$driver" --city "$out_dir/trace_city.json" "$out_dir/metrics_city.json" \
     "$out_dir/domain_city.json" "$out_dir/flight_city.json" \
+    "$out_dir/attribution_city.json" "$out_dir/budget_city.json" \
+    "$out_dir/flame_city.txt" "$out_dir/speedscope_city.json" \
     | tee "$out_dir/city.log" >&2
 victim="$(sed -n 's/^victim host: \([^ ]*\) .*/\1/p' "$out_dir/city.log")"
 
@@ -176,6 +178,71 @@ assert {"liveliness-lost", "owner-changed"} <= kinds, \
 
 print(f"city: {len(traces)} retained traces ({len(contract_roots)} contract kinds), "
       f"{full_chains} full chain(s), {checked} exemplar(s) validated -- OK")
+EOF
+
+# Analysis-plane validation: critical-path attribution must be complete
+# (every analyzed episode's segments tile [root start, root end] exactly),
+# the latency-budget join must carry both SLO and contract-deadline targets,
+# and the flame exports must agree with the attribution on total weight.
+python3 - "$out_dir" <<'EOF'
+import json, sys
+
+out_dir = sys.argv[1]
+
+attr = json.load(open(f"{out_dir}/attribution_city.json"))
+assert attr["episodes_analyzed"] >= 1, "attribution: no episodes analyzed"
+assert len(attr["episodes"]) == attr["episodes_analyzed"], \
+    "attribution: episode list disagrees with the counter"
+attributed = 0
+for ep in attr["episodes"]:
+    segs = ep["segments"]
+    assert segs, f"attribution: episode {ep['trace']} has no segments"
+    total = sum(s["end"] - s["start"] for s in segs)
+    assert total == ep["duration_us"], (
+        f"attribution: episode {ep['trace']} segments sum to {total}, "
+        f"root duration is {ep['duration_us']}")
+    cursor = ep["start"]
+    for s in segs:
+        assert s["start"] == cursor, \
+            f"attribution: episode {ep['trace']} segments do not tile"
+        cursor = s["end"]
+    assert cursor == ep["start"] + ep["duration_us"], \
+        f"attribution: episode {ep['trace']} segments stop short of the root end"
+    attributed += ep["duration_us"]
+assert attr["components"], "attribution: empty component blame table"
+
+budget = json.load(open(f"{out_dir}/budget_city.json"))
+assert budget["episodes"] == attr["episodes_analyzed"], \
+    "budget: episode count disagrees with the attribution export"
+tiers = {t["tier"] for t in budget["targets"]}
+assert "slo" in tiers, "budget: no SLO-derived target"
+assert len(tiers) > 1, "budget: no contract-deadline target joined in"
+for t in budget["targets"]:
+    assert t["budget_us"] > 0, f"budget: non-positive budget in {t['name']}"
+    assert 0.0 <= t["over_budget_fraction"] <= 1.0, \
+        f"budget: over_budget_fraction out of range in {t['name']}"
+
+flame_total = 0
+with open(f"{out_dir}/flame_city.txt") as f:
+    for line in f:
+        stack, weight = line.rsplit(" ", 1)
+        assert stack, "flame: empty stack line"
+        flame_total += int(weight)
+assert flame_total == attributed, (
+    f"flame: collapsed self-weights sum to {flame_total}, "
+    f"attribution says {attributed}")
+
+speedscope = json.load(open(f"{out_dir}/speedscope_city.json"))
+assert speedscope["shared"]["frames"], "speedscope: no frames"
+prof = speedscope["profiles"][0]
+assert len(prof["samples"]) == len(prof["weights"]), \
+    "speedscope: samples/weights length mismatch"
+assert sum(prof["weights"]) == flame_total, \
+    "speedscope: weights disagree with the collapsed export"
+
+print(f"city analysis: {attr['episodes_analyzed']} episodes attributed "
+      f"({attributed} us on the critical path), {len(budget['targets'])} "
+      f"budget targets, flame weight {flame_total} us consistent -- OK")
 EOF
 
 echo "obs smoke: traces valid (open them in https://ui.perfetto.dev)" >&2

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Perf regression sentinel over BENCH_history.jsonl.
+
+For every suite in the history, compares the newest entry's benchmarks
+against a trailing baseline (the per-benchmark median over the previous
+--window same-suite entries) and classifies each delta:
+
+  ok      within the warn threshold
+  warn    slower than the warn threshold but under the fail threshold
+          (report-only: CI stays green)
+  FAIL    slower than the fail threshold -> exit 1
+  new     no baseline yet (first entry for this suite or benchmark)
+
+Per-benchmark noise thresholds: sub-100ns benchmarks measure single
+pointer-chase-scale operations where run-to-run jitter of 20-30% is normal
+machine noise (observed across the committed history), so their thresholds
+are widened by --tiny-factor. Faster-than-baseline deltas never gate.
+
+Emits a markdown delta table (stdout, or --output FILE) suitable for a CI
+job summary. Exit status: 0 = green (ok/warn/new only), 1 = at least one
+FAIL, 2 = usage/IO error.
+
+Usage:
+  scripts/perf_gate.py [--history BENCH_history.jsonl] [--output delta.md]
+                       [--warn 0.10] [--fail 0.50] [--window 5]
+                       [--tiny-ns 100] [--tiny-factor 3.0]
+"""
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+
+UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_history(path):
+    """Parse the JSONL history into {suite: [entry, ...]} in file order."""
+    suites = {}
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as err:
+                sys.exit(f"{path}:{lineno}: invalid JSON ({err})")
+            suites.setdefault(entry.get("suite", "?"), []).append(entry)
+    return suites
+
+
+def bench_map(entry):
+    """{name: (real_time, time_unit)} for one history entry."""
+    out = {}
+    for b in entry.get("benchmarks", []):
+        out[b["name"]] = (float(b["real_time"]), b.get("time_unit", "ns"))
+    return out
+
+
+def classify(baseline, current, unit, args):
+    """(status, delta_fraction) for one benchmark's baseline vs current."""
+    if baseline <= 0:
+        return "new", 0.0
+    delta = (current - baseline) / baseline
+    baseline_ns = baseline * UNIT_TO_NS.get(unit, 1.0)
+    factor = args.tiny_factor if baseline_ns < args.tiny_ns else 1.0
+    if delta >= args.fail * factor:
+        return "FAIL", delta
+    if delta >= args.warn * factor:
+        return "warn", delta
+    return "ok", delta
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    parser.add_argument("--history", default=str(repo_root / "BENCH_history.jsonl"))
+    parser.add_argument("--output", default=None, help="write markdown here")
+    parser.add_argument("--warn", type=float, default=0.10,
+                        help="report-only slowdown fraction (default 0.10)")
+    parser.add_argument("--fail", type=float, default=0.50,
+                        help="gating slowdown fraction (default 0.50)")
+    parser.add_argument("--window", type=int, default=5,
+                        help="baseline = median over this many prior entries")
+    parser.add_argument("--tiny-ns", type=float, default=100.0,
+                        help="baselines under this (ns) use --tiny-factor")
+    parser.add_argument("--tiny-factor", type=float, default=3.0,
+                        help="threshold multiplier for tiny benchmarks")
+    args = parser.parse_args(argv)
+
+    if not pathlib.Path(args.history).exists():
+        sys.exit(f"history file not found: {args.history}")
+    suites = load_history(args.history)
+
+    lines = ["# Perf gate", ""]
+    counts = {"ok": 0, "warn": 0, "FAIL": 0, "new": 0}
+    for suite in sorted(suites):
+        entries = suites[suite]
+        newest = entries[-1]
+        prior = entries[:-1][-args.window:]
+        lines.append(f"## {suite}")
+        lines.append("")
+        lines.append(f"newest: {newest.get('recorded_at', '?')}, "
+                     f"baseline: median over {len(prior)} prior entr"
+                     f"{'y' if len(prior) == 1 else 'ies'}")
+        lines.append("")
+        lines.append("| benchmark | baseline | current | delta | status |")
+        lines.append("|---|---:|---:|---:|---|")
+        prior_maps = [bench_map(e) for e in prior]
+        for name, (current, unit) in bench_map(newest).items():
+            samples = [m[name][0] for m in prior_maps
+                       if name in m and m[name][1] == unit]
+            if not samples:
+                counts["new"] += 1
+                lines.append(f"| {name} | — | {current:.1f} {unit} | — | new |")
+                continue
+            baseline = statistics.median(samples)
+            status, delta = classify(baseline, current, unit, args)
+            counts[status] += 1
+            lines.append(f"| {name} | {baseline:.1f} {unit} "
+                         f"| {current:.1f} {unit} "
+                         f"| {delta:+.1%} | {status} |")
+        lines.append("")
+
+    lines.append(f"**{counts['ok']} ok, {counts['warn']} warn, "
+                 f"{counts['FAIL']} fail, {counts['new']} new** "
+                 f"(warn at +{args.warn:.0%}, fail at +{args.fail:.0%}; "
+                 f"x{args.tiny_factor:g} under {args.tiny_ns:g} ns)")
+    report = "\n".join(lines) + "\n"
+
+    if args.output:
+        pathlib.Path(args.output).write_text(report)
+    print(report, end="")
+    if counts["FAIL"]:
+        print(f"\nperf gate FAILED: {counts['FAIL']} regression(s) past "
+              f"the fail threshold", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

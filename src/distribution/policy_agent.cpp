@@ -475,7 +475,20 @@ std::optional<PolicyAgent::SessionInfo> PolicyAgent::sessionInfo(
   info.requestedContract = s.requestedContract;
   info.strength = s.strength;
   info.alive = s.alive;
+  info.hasContract = s.hasContract;
+  info.effectiveDeadlineMs = s.decision.effectiveDeadlineMs;
   return info;
+}
+
+std::vector<std::pair<std::uint32_t, PolicyAgent::SessionInfo>>
+PolicyAgent::sessions() const {
+  std::vector<std::pair<std::uint32_t, SessionInfo>> out;
+  out.reserve(sessions_.size());
+  for (const auto& [pid, session] : sessions_) {
+    (void)session;
+    out.emplace_back(pid, *sessionInfo(pid));
+  }
+  return out;
 }
 
 void PolicyAgent::recordTierEnter(const Session& session) {

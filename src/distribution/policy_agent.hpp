@@ -180,8 +180,18 @@ class PolicyAgent {
     std::string requestedContract;
     int strength = 0;
     bool alive = true;
+    /// True once a requested side matched and admission ran; the deadline
+    /// below is only meaningful then.
+    bool hasContract = false;
+    /// The deadline bound in force for the session (ms; 0 = unbounded).
+    double effectiveDeadlineMs = 0;
   };
   [[nodiscard]] std::optional<SessionInfo> sessionInfo(std::uint32_t pid) const;
+
+  /// Every live session's public info, sorted by pid (deterministic — the
+  /// latency-budget exporter joins contract deadlines against attribution).
+  [[nodiscard]] std::vector<std::pair<std::uint32_t, SessionInfo>> sessions()
+      const;
 
   /// Current exclusive owner among the alive offerers of `offeredContract`
   /// (strongest strength, ties to the lowest pid). 0 = no owner.

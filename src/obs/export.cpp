@@ -157,7 +157,10 @@ std::string chromeTraceJson(const Observer& observer) {
   for (std::size_t i = 0; i < n; ++i) index.emplace(spans[i].spanId, i);
   for (std::size_t i = n; i-- > 0;) {
     const Span& s = spans[i];
-    if (effEnd[i] < s.start) effEnd[i] = s.open() ? s.start : s.end;
+    // max(own end, latest child): children visited earlier may already have
+    // propagated into effEnd[i], so extend rather than overwrite.
+    const sim::SimTime ownEnd = s.open() ? s.start : s.end;
+    if (effEnd[i] < ownEnd) effEnd[i] = ownEnd;
     if (s.parentSpanId != 0) {
       const auto it = index.find(s.parentSpanId);
       if (it != index.end() && effEnd[it->second] < effEnd[i]) {
@@ -236,7 +239,8 @@ std::string chromeTraceJson(const TraceSampler& sampler) {
     for (std::size_t i = 0; i < n; ++i) index.emplace(spans[i].spanId, i);
     for (std::size_t i = n; i-- > 0;) {
       const SampledSpan& s = spans[i];
-      if (effEnd[i] < s.start) effEnd[i] = s.open() ? s.start : s.end;
+      const sim::SimTime ownEnd = s.open() ? s.start : s.end;
+      if (effEnd[i] < ownEnd) effEnd[i] = ownEnd;
       if (s.parentSpanId != 0) {
         const auto it = index.find(s.parentSpanId);
         if (it != index.end() && effEnd[it->second] < effEnd[i]) {
@@ -307,10 +311,18 @@ std::string metricsJson(const sim::MetricRegistry& metrics) {
 std::string metricsJson(const sim::MetricRegistry& metrics,
                         const sim::Trace* trace, const Observer* observer,
                         const TraceSampler* sampler) {
+  return metricsJson(metrics, trace, observer, sampler, nullptr);
+}
+
+std::string metricsJson(const sim::MetricRegistry& metrics,
+                        const sim::Trace* trace, const Observer* observer,
+                        const TraceSampler* sampler,
+                        const CriticalPathAnalyzer* analyzer) {
   std::string out;
   out += "{\n";
   appendMetricsBody(out, metrics);
-  if (trace == nullptr && observer == nullptr && sampler == nullptr) {
+  if (trace == nullptr && observer == nullptr && sampler == nullptr &&
+      analyzer == nullptr) {
     out += "\n}\n";
     return out;
   }
@@ -364,9 +376,188 @@ std::string metricsJson(const sim::MetricRegistry& metrics,
     field("evicted_pending", sampler->evictedPending(), inner);
     field("evicted_retained", sampler->evictedRetained(), inner);
     field("reservoir_evictions", sampler->reservoirEvictions(), inner);
+    out += ",\"retention_ratio\":";
+    appendDouble(out,
+                 sampler->totalTraces() == 0
+                     ? 0.0
+                     : static_cast<double>(sampler->retainedCount()) /
+                           static_cast<double>(sampler->totalTraces()));
+    out += "}";
+  }
+  if (analyzer != nullptr) {
+    section("analyzer");
+    bool inner = true;
+    out += "{";
+    field("episodes_analyzed", analyzer->episodesAnalyzed(), inner);
+    field("incomplete_skipped", analyzer->incompleteSkipped(), inner);
+    field("non_episode_skipped", analyzer->nonEpisodeSkipped(), inner);
+    field("orphan_spans", analyzer->orphanSpans(), inner);
     out += "}";
   }
   out += "\n}\n}\n";
+  return out;
+}
+
+std::string attributionJson(const CriticalPathAnalyzer& analyzer,
+                            std::size_t topK) {
+  std::string out;
+  out += "{\n\"episodes_analyzed\":";
+  out += std::to_string(analyzer.episodesAnalyzed());
+  out += ",\n\"incomplete_skipped\":";
+  out += std::to_string(analyzer.incompleteSkipped());
+  out += ",\n\"non_episode_skipped\":";
+  out += std::to_string(analyzer.nonEpisodeSkipped());
+  out += ",\n\"orphan_spans\":";
+  out += std::to_string(analyzer.orphanSpans());
+  out += ",\n\"reaction_us\":";
+  appendHistogramJson(out, analyzer.reactionHistogram());
+
+  // Per-segment histograms, in pipeline order (absent labels are skipped).
+  out += ",\n\"segments\":{";
+  bool first = true;
+  const auto& segments = analyzer.segmentHistograms();
+  for (const std::string& label : allSegmentLabels()) {
+    const auto it = segments.find(label);
+    if (it == segments.end()) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "\n\"";
+    appendEscaped(out, label);
+    out += "\":";
+    appendHistogramJson(out, it->second);
+  }
+
+  out += "\n},\n\"components\":[";
+  first = true;
+  for (const ComponentBlame& blame : analyzer.componentBlame(topK)) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"component\":\"";
+    appendEscaped(out, blame.component);
+    out += "\",\"self_us\":";
+    out += std::to_string(blame.selfUs);
+    out += ",\"wait_us\":";
+    out += std::to_string(blame.waitUs);
+    out += ",\"segments\":";
+    out += std::to_string(blame.segments);
+    out += "}";
+  }
+
+  out += "\n],\n\"rules\":[";
+  first = true;
+  for (const RuleBlame& blame : analyzer.ruleBlame(topK)) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"rule\":\"";
+    appendEscaped(out, blame.rule);
+    out += "\",\"self_us\":";
+    out += std::to_string(blame.selfUs);
+    out += ",\"segments\":";
+    out += std::to_string(blame.segments);
+    out += "}";
+  }
+
+  out += "\n],\n\"episodes\":[";
+  first = true;
+  for (const EpisodeAttribution& ep : analyzer.episodes()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"trace\":\"";
+    out += std::to_string(ep.traceId);
+    out += "\",\"root\":\"";
+    appendEscaped(out, ep.rootName);
+    out += "\",\"component\":\"";
+    appendEscaped(out, ep.rootComponent);
+    out += "\",\"start\":";
+    out += std::to_string(ep.rootStart);
+    out += ",\"duration_us\":";
+    out += std::to_string(ep.rootDuration());
+    out += ",\"segments\":[";
+    bool firstSeg = true;
+    for (const PathSegment& seg : ep.segments) {
+      if (!firstSeg) out += ",";
+      firstSeg = false;
+      out += "{\"segment\":\"";
+      appendEscaped(out, seg.segment);
+      out += "\",\"span\":\"";
+      appendEscaped(out, seg.spanName);
+      out += "\",\"component\":\"";
+      appendEscaped(out, seg.component);
+      out += "\",\"start\":";
+      out += std::to_string(seg.start);
+      out += ",\"end\":";
+      out += std::to_string(seg.end);
+      out += ",\"wait\":";
+      out += seg.wait ? "true" : "false";
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "\n]\n}\n";
+  return out;
+}
+
+std::vector<BudgetTarget> budgetTargetsFromSlos(const SloTracker& slos) {
+  std::vector<BudgetTarget> targets;
+  for (const SloTracker::Entry& entry : slos.entries()) {
+    if (entry.objective.kind != SloObjective::Kind::kLatencyQuantile) continue;
+    if (entry.objective.threshold <= 0) continue;
+    BudgetTarget target;
+    target.name = entry.objective.name;
+    target.tier = "slo";
+    target.budgetUs = entry.objective.threshold;
+    targets.push_back(std::move(target));
+  }
+  return targets;
+}
+
+std::string latencyBudgetJson(const CriticalPathAnalyzer& analyzer,
+                              const std::vector<BudgetTarget>& targets) {
+  const sim::Histogram& reaction = analyzer.reactionHistogram();
+  const auto& segments = analyzer.segmentHistograms();
+
+  std::string out;
+  out += "{\n\"episodes\":";
+  out += std::to_string(analyzer.episodesAnalyzed());
+  out += ",\n\"mean_reaction_us\":";
+  appendDouble(out, reaction.mean());
+  out += ",\n\"targets\":[";
+  bool first = true;
+  for (const BudgetTarget& target : targets) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\":\"";
+    appendEscaped(out, target.name);
+    out += "\",\"tier\":\"";
+    appendEscaped(out, target.tier);
+    out += "\",\"budget_us\":";
+    appendDouble(out, target.budgetUs);
+    out += ",\"over_budget_fraction\":";
+    appendDouble(out, target.budgetUs > 0
+                          ? reaction.fractionAbove(target.budgetUs)
+                          : 0.0);
+    out += ",\"segments\":[";
+    bool firstSeg = true;
+    for (const std::string& label : allSegmentLabels()) {
+      const auto it = segments.find(label);
+      if (it == segments.end()) continue;
+      if (!firstSeg) out += ",";
+      firstSeg = false;
+      out += "{\"segment\":\"";
+      appendEscaped(out, label);
+      out += "\",\"mean_us\":";
+      appendDouble(out, it->second.mean());
+      out += ",\"p99_us\":";
+      appendDouble(out, it->second.p99());
+      out += ",\"budget_fraction\":";
+      appendDouble(out, target.budgetUs > 0
+                            ? it->second.mean() / target.budgetUs
+                            : 0.0);
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "\n]\n}\n";
   return out;
 }
 

@@ -11,10 +11,13 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
+#include "obs/critical_path.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/observer.hpp"
 #include "obs/sampler.hpp"
+#include "obs/slo.hpp"
 #include "sim/metrics.hpp"
 #include "sim/rollup.hpp"
 #include "sim/trace.hpp"
@@ -52,6 +55,44 @@ namespace softqos::obs {
                                       const sim::Trace* trace,
                                       const Observer* observer,
                                       const TraceSampler* sampler);
+
+/// metricsJson whose "observability" section additionally carries the
+/// critical-path analyzer's counters (episodes analyzed, incomplete trees
+/// skipped, orphan spans) under "analyzer".
+[[nodiscard]] std::string metricsJson(const sim::MetricRegistry& metrics,
+                                      const sim::Trace* trace,
+                                      const Observer* observer,
+                                      const TraceSampler* sampler,
+                                      const CriticalPathAnalyzer* analyzer);
+
+/// The critical-path analyzer's full result set as a JSON object: analyzer
+/// counters, the end-to-end reaction histogram, per-segment histograms in
+/// pipeline order, the component and rule blame tables (top `topK`; 0 =
+/// all), and every analyzed episode's segment list. Computed from retained
+/// trees in canonical order, so the document is byte-identical across shard
+/// and worker counts.
+[[nodiscard]] std::string attributionJson(const CriticalPathAnalyzer& analyzer,
+                                          std::size_t topK = 10);
+
+/// One deadline budget the attribution is judged against.
+struct BudgetTarget {
+  std::string name;     ///< objective name or contract session label
+  std::string tier;     ///< "slo", or the admission tier ("full", "degraded")
+  double budgetUs = 0;  ///< the latency budget, in microseconds
+};
+
+/// Budget targets from the latency-quantile SLO objectives a tracker holds
+/// (thresholds are already in microseconds — the rollup histogram unit).
+[[nodiscard]] std::vector<BudgetTarget> budgetTargetsFromSlos(
+    const SloTracker& slos);
+
+/// Join segment attribution against deadline budgets: for each target, the
+/// fraction of analyzed episodes over budget and each segment's share of the
+/// budget (mean attributed time / budget). This is the "which stage spent
+/// the deadline" answer per SLO objective and per contract tier.
+[[nodiscard]] std::string latencyBudgetJson(
+    const CriticalPathAnalyzer& analyzer,
+    const std::vector<BudgetTarget>& targets);
 
 /// The domain manager's aggregated telemetry (host-manager rollup windows
 /// merged across sources) as a JSON object: domain-wide counter totals,

@@ -126,6 +126,15 @@ class Histogram {
   /// either side). SLO burn rates treat these as budget-consuming events.
   [[nodiscard]] std::uint64_t countAbove(double threshold) const;
 
+  /// countAbove / count, in [0, 1]; 0 for an empty histogram. The
+  /// latency-budget exporter reads this as "fraction of episodes over
+  /// budget" (same bucket-granularity caveat as countAbove).
+  [[nodiscard]] double fractionAbove(double threshold) const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(countAbove(threshold)) /
+                             static_cast<double>(count_);
+  }
+
   /// Rebuild a histogram from raw parts (the wire codec's inverse). The
   /// caller vouches for consistency (count == sum of buckets).
   [[nodiscard]] static Histogram fromParts(std::vector<std::uint64_t> buckets,
